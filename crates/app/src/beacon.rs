@@ -1,0 +1,185 @@
+//! DKG-free asynchronous random beacon (§7.3).
+//!
+//! The beacon proceeds in epochs; epoch `e` runs one leader-election instance
+//! (Alg 5).  Following the paper's adaptation: when the election's internal
+//! ABA returns 0 ("no agreed largest VRF"), the epoch produces no value and
+//! the parties move on; otherwise the epoch's beacon value is derived from
+//! the low half of the winning VRF output.  Unlike prior asynchronous
+//! beacons, no distributed key generation is needed to bootstrap, so parties
+//! can join or leave between epochs.
+//!
+//! Parties keep participating in earlier epochs after they finish them
+//! (asynchronous stragglers still need their messages), so the per-epoch
+//! election instances are retained until the whole beacon run completes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use setupfree_core::election::{Election, ElectionMessage, ElectionOutput};
+use setupfree_core::traits::AbaFactory;
+use setupfree_crypto::{Keyring, PartySecrets};
+use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
+use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// The outcome of one beacon epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeaconEpoch {
+    /// Epoch number.
+    pub epoch: u32,
+    /// The beacon value, or `None` when the epoch's election fell back to the
+    /// default leader (the paper's "unlucky" case).
+    pub value: Option<[u8; 16]>,
+    /// The leader elected in this epoch.
+    pub leader: PartyId,
+}
+
+/// Messages of the beacon: election traffic tagged by epoch.
+#[derive(Debug, Clone)]
+pub struct BeaconMessage<AM> {
+    /// The epoch this message belongs to.
+    pub epoch: u32,
+    /// The wrapped election message.
+    pub inner: ElectionMessage<AM>,
+}
+
+impl<AM: Encode> Encode for BeaconMessage<AM> {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u32(self.epoch);
+        self.inner.encode(w);
+    }
+}
+
+impl<AM: Decode> Decode for BeaconMessage<AM> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BeaconMessage { epoch: r.read_u32()?, inner: ElectionMessage::<AM>::decode(r)? })
+    }
+}
+
+type AbaMsg<F> = <<F as AbaFactory>::Instance as ProtocolInstance>::Message;
+
+/// One party's beacon state machine, running `epochs` consecutive elections.
+pub struct RandomBeacon<F: AbaFactory + Clone> {
+    sid: Sid,
+    me: PartyId,
+    keyring: Arc<Keyring>,
+    secrets: Arc<PartySecrets>,
+    aba_factory: F,
+    epochs: u32,
+    current: u32,
+    elections: BTreeMap<u32, Election<F>>,
+    results: Vec<BeaconEpoch>,
+    output: Option<Vec<BeaconEpoch>>,
+}
+
+impl<F: AbaFactory + Clone> std::fmt::Debug for RandomBeacon<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomBeacon")
+            .field("me", &self.me)
+            .field("current", &self.current)
+            .field("results", &self.results.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: AbaFactory + Clone> RandomBeacon<F> {
+    /// Creates a beacon for party `me` producing `epochs` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn new(
+        sid: Sid,
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+        aba_factory: F,
+        epochs: u32,
+    ) -> Self {
+        assert!(epochs > 0, "the beacon needs at least one epoch");
+        RandomBeacon {
+            sid,
+            me,
+            keyring,
+            secrets,
+            aba_factory,
+            epochs,
+            current: 0,
+            elections: BTreeMap::new(),
+            results: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// Epoch results produced so far (possibly before all epochs finish).
+    pub fn results(&self) -> &[BeaconEpoch] {
+        &self.results
+    }
+
+    fn start_epoch(&mut self, epoch: u32) -> Step<BeaconMessage<AbaMsg<F>>> {
+        let election = Election::new(
+            self.sid.derive("beacon-epoch", epoch as usize),
+            self.me,
+            self.keyring.clone(),
+            self.secrets.clone(),
+            self.aba_factory.clone(),
+        );
+        self.elections.insert(epoch, election);
+        let step = self
+            .elections
+            .get_mut(&epoch)
+            .expect("just inserted")
+            .on_activation();
+        step.map(move |inner| BeaconMessage { epoch, inner })
+    }
+
+    fn advance(&mut self) -> Step<BeaconMessage<AbaMsg<F>>> {
+        let mut step = Step::none();
+        while self.output.is_none() {
+            let Some(election) = self.elections.get(&self.current) else { break };
+            let Some(out) = election.output() else { break };
+            let ElectionOutput { leader, winning_vrf, by_default } = out;
+            let value = if by_default { None } else { winning_vrf.map(|v| v.beacon_value()) };
+            self.results.push(BeaconEpoch { epoch: self.current, value, leader });
+            self.current += 1;
+            if self.current >= self.epochs {
+                self.output = Some(self.results.clone());
+            } else if !self.elections.contains_key(&self.current) {
+                step.extend(self.start_epoch(self.current));
+            }
+        }
+        step
+    }
+}
+
+impl<F: AbaFactory + Clone> ProtocolInstance for RandomBeacon<F> {
+    type Message = BeaconMessage<AbaMsg<F>>;
+    type Output = Vec<BeaconEpoch>;
+
+    fn on_activation(&mut self) -> Step<Self::Message> {
+        let mut step = self.start_epoch(0);
+        step.extend(self.advance());
+        step
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
+        let epoch = msg.epoch;
+        if epoch >= self.epochs {
+            return Step::none();
+        }
+        // Lazily create the epoch's election if a faster peer is already
+        // there, and keep finished epochs alive so stragglers still get our
+        // responses.
+        let mut step = Step::none();
+        if !self.elections.contains_key(&epoch) {
+            step.extend(self.start_epoch(epoch));
+        }
+        let election = self.elections.get_mut(&epoch).expect("present");
+        step.extend(election.on_message(from, msg.inner).map(move |inner| BeaconMessage { epoch, inner }));
+        step.extend(self.advance());
+        step
+    }
+
+    fn output(&self) -> Option<Vec<BeaconEpoch>> {
+        self.output.clone()
+    }
+}

@@ -1,0 +1,17 @@
+//! Applications of the private-setup-free agreement stack (§7.3):
+//!
+//! * [`beacon`] — a DKG-free asynchronous random beacon: a sequence of leader
+//!   elections whose winning VRF values form an unbiased, unpredictable
+//!   randomness stream.
+//! * [`adkg`] — asynchronous distributed key generation: every party
+//!   contributes an aggregatable PVSS, a VBA instance agrees on one valid
+//!   aggregate, and each party decrypts its key share from it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adkg;
+pub mod beacon;
+
+pub use adkg::{Adkg, AdkgMessage, AdkgOutput};
+pub use beacon::{BeaconEpoch, BeaconMessage, RandomBeacon};

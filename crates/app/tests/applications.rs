@@ -1,0 +1,118 @@
+//! Integration tests for the §7.3 applications: the DKG-free random beacon
+//! and the asynchronous DKG.
+//!
+//! To keep the tests fast the plugged ABA uses the idealised trusted coin;
+//! the full setup-free stack (real Coin inside the ABA) is exercised by the
+//! workspace-level integration tests.
+
+use std::sync::Arc;
+
+use setupfree_aba::MmrAbaFactory;
+use setupfree_app::adkg::{Adkg, AdkgOutput};
+use setupfree_app::beacon::{BeaconEpoch, RandomBeacon};
+use setupfree_core::election::Election;
+use setupfree_core::traits::ElectionFactory;
+use setupfree_core::TrustedCoinFactory;
+use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
+use setupfree_net::{BoxedParty, PartyId, ProtocolInstance, RandomScheduler, Sid, Simulation, StopReason};
+
+#[derive(Clone)]
+struct TestElectionFactory {
+    me: PartyId,
+    keyring: Arc<Keyring>,
+    secrets: Arc<PartySecrets>,
+}
+
+impl ElectionFactory for TestElectionFactory {
+    type Instance = Election<MmrAbaFactory<TrustedCoinFactory>>;
+
+    fn create(&self, sid: Sid) -> Self::Instance {
+        let aba = MmrAbaFactory::new(self.me, self.keyring.n(), self.keyring.f(), TrustedCoinFactory);
+        Election::new(sid, self.me, self.keyring.clone(), self.secrets.clone(), aba)
+    }
+}
+
+fn setup(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+#[test]
+fn beacon_epochs_agree_across_parties() {
+    let n = 4;
+    let (keyring, secrets) = setup(n, 11);
+    let epochs = 2;
+    type B = RandomBeacon<MmrAbaFactory<TrustedCoinFactory>>;
+    let parties: Vec<BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>> = (0..n)
+        .map(|i| {
+            let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            Box::new(RandomBeacon::new(
+                Sid::new("beacon"),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                aba,
+                epochs,
+            )) as BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(7)));
+    let report = sim.run(100_000_000);
+    assert_eq!(report.reason, StopReason::AllOutputs);
+    let outputs: Vec<Vec<BeaconEpoch>> = sim.outputs().into_iter().flatten().collect();
+    assert_eq!(outputs.len(), n);
+    for out in &outputs {
+        assert_eq!(out.len(), epochs as usize);
+    }
+    // Agreement: every epoch's (leader, value) is identical across parties.
+    for e in 0..epochs as usize {
+        for w in outputs.windows(2) {
+            assert_eq!(w[0][e], w[1][e], "epoch {e} diverged");
+        }
+    }
+    // Unbiasedness smoke-check: two epochs that both produced values must not
+    // produce the same value.
+    let values: Vec<_> = outputs[0].iter().filter_map(|e| e.value).collect();
+    if values.len() >= 2 {
+        assert_ne!(values[0], values[1]);
+    }
+}
+
+#[test]
+fn adkg_all_parties_agree_on_public_key_and_hold_valid_shares() {
+    let n = 4;
+    let (keyring, secrets) = setup(n, 13);
+    type A = Adkg<TestElectionFactory, MmrAbaFactory<TrustedCoinFactory>>;
+    let parties: Vec<BoxedParty<<A as ProtocolInstance>::Message, AdkgOutput>> = (0..n)
+        .map(|i| {
+            let ef = TestElectionFactory {
+                me: PartyId(i),
+                keyring: keyring.clone(),
+                secrets: secrets[i].clone(),
+            };
+            let af = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            Box::new(Adkg::new(
+                Sid::new("adkg"),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                ef,
+                af,
+            )) as BoxedParty<<A as ProtocolInstance>::Message, AdkgOutput>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(3)));
+    let report = sim.run(100_000_000);
+    assert_eq!(report.reason, StopReason::AllOutputs);
+    let outputs: Vec<AdkgOutput> = sim.outputs().into_iter().flatten().collect();
+    assert_eq!(outputs.len(), n);
+    // All parties agree on the distributed public key and the contributor set
+    // size; the key aggregates at least n − f contributions.
+    for w in outputs.windows(2) {
+        assert_eq!(w[0].public_commitment, w[1].public_commitment);
+        assert_eq!(w[0].contributors, w[1].contributors);
+    }
+    assert!(outputs[0].contributors >= keyring.quorum());
+    // Shares are distinct per party (each decrypts its own evaluation point).
+    assert_ne!(outputs[0].share, outputs[1].share);
+}

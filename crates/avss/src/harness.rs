@@ -1,0 +1,75 @@
+//! [`ProtocolInstance`] adapters that let a single AVSS instance be run
+//! stand-alone in the simulator (for tests and benchmarks).
+//!
+//! Inside the Coin protocol (Alg 4) the AVSS is embedded as a sub-protocol
+//! and driven directly through [`Avss::handle`]; these wrappers exist so the
+//! AVSS can *also* be exercised and measured in isolation.
+
+use setupfree_net::{PartyId, ProtocolInstance, Step};
+
+use crate::{Avss, AvssMessage, AvssShareOutput};
+
+/// Runs only the sharing phase (Alg 1); the output is the sharing output.
+#[derive(Debug)]
+pub struct AvssSharing {
+    inner: Avss,
+}
+
+impl AvssSharing {
+    /// Wraps an AVSS instance.
+    pub fn new(inner: Avss) -> Self {
+        AvssSharing { inner }
+    }
+}
+
+impl ProtocolInstance for AvssSharing {
+    type Message = AvssMessage;
+    type Output = AvssShareOutput;
+
+    fn on_activation(&mut self) -> Step<AvssMessage> {
+        self.inner.activate()
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: AvssMessage) -> Step<AvssMessage> {
+        self.inner.handle(from, msg)
+    }
+
+    fn output(&self) -> Option<AvssShareOutput> {
+        self.inner.sharing_output().cloned()
+    }
+}
+
+/// Runs the sharing phase and, as soon as it completes locally, activates the
+/// reconstruction phase (Alg 2); the output is the reconstructed secret.
+#[derive(Debug)]
+pub struct AvssEndToEnd {
+    inner: Avss,
+}
+
+impl AvssEndToEnd {
+    /// Wraps an AVSS instance.
+    pub fn new(inner: Avss) -> Self {
+        AvssEndToEnd { inner }
+    }
+}
+
+impl ProtocolInstance for AvssEndToEnd {
+    type Message = AvssMessage;
+    type Output = Vec<u8>;
+
+    fn on_activation(&mut self) -> Step<AvssMessage> {
+        self.inner.activate()
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: AvssMessage) -> Step<AvssMessage> {
+        let mut step = self.inner.handle(from, msg);
+        if self.inner.sharing_output().is_some() && !self.inner.reconstruction_started() {
+            step.extend(self.inner.start_reconstruction());
+        }
+        step
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.inner.reconstructed().map(<[u8]>::to_vec)
+    }
+}

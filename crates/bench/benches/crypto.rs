@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: the
+//! per-operation costs that multiply into the protocol-level complexity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setupfree_crypto::pvss::{PvssDecryptionKey, PvssParams, PvssScript};
+use setupfree_crypto::{
+    hash::sha256, PedersenCommitment, Polynomial, Scalar, SigningKey, VrfSecretKey,
+};
+
+fn bench_hash(c: &mut Criterion) {
+    let data = vec![0xabu8; 1024];
+    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(&data)));
+}
+
+fn bench_group(c: &mut Criterion) {
+    let g = setupfree_crypto::GroupElement::generator();
+    let e = Scalar::from_u64(0x1234_5678_9abc);
+    c.bench_function("group/exponentiation", |b| b.iter(|| g.pow(e)));
+    c.bench_function("group/hash_to_group", |b| {
+        b.iter(|| setupfree_crypto::GroupElement::hash_to_group("bench", &[b"input"]))
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = SigningKey::generate(&mut rng);
+    let pk = sk.verifying_key();
+    let sig = sk.sign(b"ctx", b"message");
+    c.bench_function("sig/sign", |b| b.iter(|| sk.sign(b"ctx", b"message")));
+    c.bench_function("sig/verify", |b| b.iter(|| pk.verify(b"ctx", b"message", &sig)));
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let sk = VrfSecretKey::generate(&mut rng);
+    let pk = sk.public_key();
+    let (out, proof) = sk.eval(b"ctx", b"seed");
+    c.bench_function("vrf/eval", |b| b.iter(|| sk.eval(b"ctx", b"seed")));
+    c.bench_function("vrf/verify", |b| b.iter(|| pk.verify(b"ctx", b"seed", &out, &proof)));
+}
+
+fn bench_pedersen(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Polynomial::random(5, &mut rng);
+    let bpoly = Polynomial::random(5, &mut rng);
+    let commitment = PedersenCommitment::commit(&a, &bpoly);
+    c.bench_function("pedersen/commit_deg5", |b| {
+        b.iter(|| PedersenCommitment::commit(&a, &bpoly))
+    });
+    c.bench_function("pedersen/verify_share", |b| {
+        b.iter(|| commitment.verify_share(3, a.eval_at_index(3), bpoly.eval_at_index(3)))
+    });
+}
+
+fn bench_pvss(c: &mut Criterion) {
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(4);
+    let params = PvssParams::new(n, 2 * ((n - 1) / 3));
+    let mut dks = Vec::new();
+    let mut eks = Vec::new();
+    let mut sig_keys = Vec::new();
+    let mut vks = Vec::new();
+    for _ in 0..n {
+        let (dk, ek) = PvssDecryptionKey::generate(&mut rng);
+        dks.push(dk);
+        eks.push(ek);
+        let sk = SigningKey::generate(&mut rng);
+        vks.push(sk.verifying_key());
+        sig_keys.push(sk);
+    }
+    let script =
+        PvssScript::deal(&params, &eks, &sig_keys[0], 0, Scalar::from_u64(7), &mut rng);
+    let script2 =
+        PvssScript::deal(&params, &eks, &sig_keys[1], 1, Scalar::from_u64(9), &mut rng);
+    c.bench_function("pvss/deal_n16", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(5),
+            |mut r| PvssScript::deal(&params, &eks, &sig_keys[0], 0, Scalar::from_u64(7), &mut r),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("pvss/verify_n16", |b| b.iter(|| script.verify(&params, &eks, &vks)));
+    c.bench_function("pvss/aggregate_n16", |b| b.iter(|| script.aggregate(&script2).unwrap()));
+}
+
+criterion_group!(benches, bench_hash, bench_group, bench_signatures, bench_vrf, bench_pedersen, bench_pvss);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of full protocol executions in the simulator
+//! (wall-clock per complete run at a fixed small `n`), one per table/figure
+//! building block.  The bit/message/round measurements behind the paper's
+//! Table 1 are produced by the `table1` / `fig_*` binaries; these benches
+//! track the computational cost of the reproduction itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setupfree_bench::{
+    measure_avss, measure_coin, measure_election, measure_rbc, measure_seeding,
+    measure_trusted_aba, measure_vba, measure_wcs,
+};
+use setupfree_core::coin::CoreSetMode;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components_n4");
+    group.sample_size(10);
+    group.bench_function("rbc", |b| b.iter(|| measure_rbc(4, 64, 1)));
+    group.bench_function("avss_share_reconstruct", |b| b.iter(|| measure_avss(4, 2)));
+    group.bench_function("wcs", |b| b.iter(|| measure_wcs(4, 3)));
+    group.bench_function("seeding", |b| b.iter(|| measure_seeding(4, 4)));
+    group.finish();
+}
+
+fn bench_coin_and_aba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agreement_n4");
+    group.sample_size(10);
+    group.bench_function("coin_wcs", |b| b.iter(|| measure_coin(4, 5, CoreSetMode::Weak)));
+    group.bench_function("coin_gather", |b| b.iter(|| measure_coin(4, 6, CoreSetMode::RbcGather)));
+    group.bench_function("aba_trusted_coin", |b| b.iter(|| measure_trusted_aba(4, 7)));
+    group.finish();
+}
+
+fn bench_election_and_vba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election_vba_n4");
+    group.sample_size(10);
+    group.bench_function("election_full_stack", |b| b.iter(|| measure_election(4, 8)));
+    group.bench_function("vba_full_stack", |b| b.iter(|| measure_vba(4, 32, 9)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_components, bench_coin_and_aba, bench_election_and_vba);
+criterion_main!(benches);

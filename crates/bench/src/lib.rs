@@ -1,0 +1,465 @@
+//! Measurement harness shared by the Table 1 / figure reproduction binaries
+//! and the Criterion benches.
+//!
+//! Every function here builds one protocol execution in the simulator,
+//! drives it to completion, and returns the paper's three metrics
+//! (communication bits among honest parties, messages, asynchronous rounds),
+//! plus agreement/fairness observations where relevant.
+//!
+//! See `EXPERIMENTS.md` at the workspace root for the experiment index and
+//! the recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use setupfree_aba::{AbaMessage, MmrAba, MmrAbaFactory};
+use setupfree_app::beacon::{BeaconEpoch, RandomBeacon};
+use setupfree_avss::harness::AvssEndToEnd;
+use setupfree_avss::{Avss, AvssMessage};
+use setupfree_baselines::{LocalCoinFactory, SquaredAvssCoin, SquaredCoinMessage};
+use setupfree_core::coin::{Coin, CoinMessage, CoinOutput, CoinProtocolFactory, CoreSetMode};
+use setupfree_core::election::{Election, ElectionOutput};
+use setupfree_core::traits::ElectionFactory;
+use setupfree_core::TrustedCoinFactory;
+use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
+use setupfree_net::{
+    BoxedParty, PartyId, ProtocolInstance, RandomScheduler, Sid, Simulation, StopReason,
+};
+use setupfree_rbc::{Rbc, RbcMessage};
+use setupfree_seeding::{Seed, Seeding, SeedingMessage};
+use setupfree_vba::{accept_all, Vba};
+use setupfree_wcs::{Wcs, WcsHarness, WcsMessage};
+
+/// The metrics of one protocol execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Number of parties.
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// Bytes sent by honest parties.
+    pub honest_bytes: u64,
+    /// Messages sent by honest parties.
+    pub honest_messages: u64,
+    /// Asynchronous (causal) rounds until every honest party output.
+    pub rounds: u64,
+    /// Total deliveries performed by the simulator.
+    pub deliveries: u64,
+    /// Whether all honest outputs were identical (when meaningful).
+    pub agreed: bool,
+}
+
+fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+fn finish<M, O>(mut sim: Simulation<M, O>, n: usize, budget: u64, agreed: impl Fn(&[Option<O>]) -> bool) -> Measurement
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    O: Clone + std::fmt::Debug,
+{
+    let report = sim.run(budget);
+    assert_eq!(report.reason, StopReason::AllOutputs, "execution did not terminate within budget");
+    let metrics = sim.metrics();
+    Measurement {
+        n,
+        f: (n - 1) / 3,
+        honest_bytes: metrics.honest_bytes,
+        honest_messages: metrics.honest_messages,
+        rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
+        deliveries: report.deliveries,
+        agreed: agreed(&sim.outputs()),
+    }
+}
+
+fn all_equal<T: PartialEq>(outputs: &[Option<T>]) -> bool {
+    let vals: Vec<&T> = outputs.iter().flatten().collect();
+    vals.windows(2).all(|w| w[0] == w[1])
+}
+
+/// Measures a single Bracha RBC with a payload of `payload` bytes.
+pub fn measure_rbc(n: usize, payload: usize, seed: u64) -> Measurement {
+    let f = (n - 1) / 3;
+    let parties: Vec<BoxedParty<RbcMessage, Vec<u8>>> = (0..n)
+        .map(|i| {
+            let input = if i == 0 { Some(vec![7u8; payload]) } else { None };
+            Box::new(Rbc::new(Sid::new("bench-rbc"), PartyId(i), n, f, PartyId(0), input))
+                as BoxedParty<RbcMessage, Vec<u8>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 26, all_equal)
+}
+
+/// Measures a single AVSS (share + reconstruct) with dealer `P_0`.
+pub fn measure_avss(n: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<AvssMessage, Vec<u8>>> = (0..n)
+        .map(|i| {
+            let input = if i == 0 { Some(vec![42u8; 48]) } else { None };
+            Box::new(AvssEndToEnd::new(Avss::new(
+                Sid::new("bench-avss"),
+                PartyId(i),
+                PartyId(0),
+                keyring.clone(),
+                secrets[i].clone(),
+                input,
+            ))) as BoxedParty<AvssMessage, Vec<u8>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 26, all_equal)
+}
+
+/// Measures a single WCS instance with full input sets.
+pub fn measure_wcs(n: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let input: BTreeSet<usize> = (0..n).collect();
+    let parties: Vec<BoxedParty<WcsMessage, Vec<usize>>> = (0..n)
+        .map(|i| {
+            Box::new(WcsHarness::new(
+                Wcs::new(Sid::new("bench-wcs"), PartyId(i), keyring.clone(), secrets[i].clone()),
+                input.clone(),
+            )) as BoxedParty<WcsMessage, Vec<usize>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 26, |_| true)
+}
+
+/// Measures a single Seeding instance led by `P_0`.
+pub fn measure_seeding(n: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<SeedingMessage, Seed>> = (0..n)
+        .map(|i| {
+            Box::new(Seeding::new(
+                Sid::new("bench-seeding"),
+                PartyId(i),
+                PartyId(0),
+                keyring.clone(),
+                secrets[i].clone(),
+            )) as BoxedParty<SeedingMessage, Seed>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 26, all_equal)
+}
+
+/// Measures one instance of the paper's Coin (Alg 4) with the chosen core-set
+/// mode, and whether all honest parties agreed on the bit.
+pub fn measure_coin(n: usize, seed: u64, mode: CoreSetMode) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+        .map(|i| {
+            Box::new(Coin::with_core_mode(
+                Sid::new(&format!("bench-coin-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                mode,
+            )) as BoxedParty<CoinMessage, CoinOutput>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 28, |outs: &[Option<CoinOutput>]| {
+        let bits: Vec<bool> = outs.iter().flatten().map(|o| o.bit).collect();
+        bits.windows(2).all(|w| w[0] == w[1])
+    })
+}
+
+/// Measures the CKLS02-style `n²`-AVSS baseline coin.
+pub fn measure_squared_coin(n: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<SquaredCoinMessage, CoinOutput>> = (0..n)
+        .map(|i| {
+            Box::new(SquaredAvssCoin::new(
+                Sid::new(&format!("bench-sq-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+            )) as BoxedParty<SquaredCoinMessage, CoinOutput>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 28, |outs: &[Option<CoinOutput>]| {
+        let bits: Vec<bool> = outs.iter().flatten().map(|o| o.bit).collect();
+        bits.windows(2).all(|w| w[0] == w[1])
+    })
+}
+
+/// Measures the paper's full private-setup-free ABA (every round flips the
+/// real Coin) with mixed inputs.
+pub fn measure_setupfree_aba(n: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<AbaMessage<CoinMessage>, bool>> = (0..n)
+        .map(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(MmrAba::new(
+                Sid::new(&format!("bench-aba-{seed}")),
+                PartyId(i),
+                n,
+                keyring.f(),
+                i % 2 == 0,
+                factory,
+            )) as BoxedParty<AbaMessage<CoinMessage>, bool>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 30, all_equal)
+}
+
+/// Measures the ABA with the idealised trusted-setup coin (the
+/// Cachin-et-al.-style comparison row: what agreement costs once the coin is
+/// free).
+pub fn measure_trusted_aba(n: usize, seed: u64) -> Measurement {
+    let f = (n - 1) / 3;
+    let parties: Vec<BoxedParty<AbaMessage<u8>, bool>> = (0..n)
+        .map(|i| {
+            Box::new(MmrAba::new(
+                Sid::new(&format!("bench-taba-{seed}")),
+                PartyId(i),
+                n,
+                f,
+                i % 2 == 0,
+                TrustedCoinFactory,
+            )) as BoxedParty<AbaMessage<u8>, bool>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 26, all_equal)
+}
+
+/// Measures the ABA with purely local coins (the Ben-Or baseline).  Returns
+/// `None` if it fails to decide within the delivery budget (expected for
+/// larger `n` — that is the point of the comparison).
+pub fn measure_local_coin_aba(n: usize, seed: u64, budget: u64) -> Option<Measurement> {
+    let f = (n - 1) / 3;
+    let parties: Vec<BoxedParty<AbaMessage<u8>, bool>> = (0..n)
+        .map(|i| {
+            Box::new(MmrAba::new(
+                Sid::new(&format!("bench-laba-{seed}")),
+                PartyId(i),
+                n,
+                f,
+                i % 2 == 0,
+                LocalCoinFactory::new(PartyId(i)),
+            )) as BoxedParty<AbaMessage<u8>, bool>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let report = sim.run(budget);
+    if report.reason != StopReason::AllOutputs {
+        return None;
+    }
+    let metrics = sim.metrics();
+    Some(Measurement {
+        n,
+        f,
+        honest_bytes: metrics.honest_bytes,
+        honest_messages: metrics.honest_messages,
+        rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
+        deliveries: report.deliveries,
+        agreed: all_equal(&sim.outputs()),
+    })
+}
+
+/// The full setup-free Election factory used by the VBA and beacon
+/// measurements.
+#[derive(Clone)]
+pub struct FullElectionFactory {
+    me: PartyId,
+    keyring: Arc<Keyring>,
+    secrets: Arc<PartySecrets>,
+}
+
+impl FullElectionFactory {
+    /// Creates the factory for one party.
+    pub fn new(me: PartyId, keyring: Arc<Keyring>, secrets: Arc<PartySecrets>) -> Self {
+        FullElectionFactory { me, keyring, secrets }
+    }
+}
+
+impl ElectionFactory for FullElectionFactory {
+    type Instance = Election<MmrAbaFactory<CoinProtocolFactory>>;
+
+    fn create(&self, sid: Sid) -> Self::Instance {
+        let aba = MmrAbaFactory::new(
+            self.me,
+            self.keyring.n(),
+            self.keyring.f(),
+            CoinProtocolFactory::new(self.me, self.keyring.clone(), self.secrets.clone()),
+        );
+        Election::new(sid, self.me, self.keyring.clone(), self.secrets.clone(), aba)
+    }
+}
+
+/// Measures one full setup-free Election (Alg 5) including its internal Coin
+/// and ABA (whose rounds also use the real Coin).
+pub fn measure_election(n: usize, seed: u64) -> (Measurement, Vec<ElectionOutput>) {
+    let (keyring, secrets) = keys(n, seed);
+    type E = Election<MmrAbaFactory<CoinProtocolFactory>>;
+    let parties: Vec<BoxedParty<<E as ProtocolInstance>::Message, ElectionOutput>> = (0..n)
+        .map(|i| {
+            let factory = FullElectionFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(factory.create(Sid::new(&format!("bench-elec-{seed}"))))
+                as BoxedParty<<E as ProtocolInstance>::Message, ElectionOutput>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let report = sim.run(1 << 30);
+    assert_eq!(report.reason, StopReason::AllOutputs, "election did not terminate");
+    let metrics = sim.metrics();
+    let outputs: Vec<ElectionOutput> = sim.outputs().into_iter().flatten().collect();
+    let agreed = outputs.windows(2).all(|w| w[0].leader == w[1].leader);
+    (
+        Measurement {
+            n,
+            f: (n - 1) / 3,
+            honest_bytes: metrics.honest_bytes,
+            honest_messages: metrics.honest_messages,
+            rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
+            deliveries: report.deliveries,
+            agreed,
+        },
+        outputs,
+    )
+}
+
+/// Measures one full setup-free VBA (proposals of `payload` bytes).
+pub fn measure_vba(n: usize, payload: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    type V = Vba<FullElectionFactory, MmrAbaFactory<CoinProtocolFactory>>;
+    let parties: Vec<BoxedParty<<V as ProtocolInstance>::Message, Vec<u8>>> = (0..n)
+        .map(|i| {
+            let ef = FullElectionFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            let af = MmrAbaFactory::new(
+                PartyId(i),
+                n,
+                keyring.f(),
+                CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone()),
+            );
+            Box::new(Vba::new(
+                Sid::new(&format!("bench-vba-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                vec![i as u8; payload],
+                accept_all(),
+                ef,
+                af,
+            )) as BoxedParty<<V as ProtocolInstance>::Message, Vec<u8>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 30, all_equal)
+}
+
+/// Measures a multi-epoch run of the DKG-free random beacon (using the
+/// trusted-coin ABA inside the per-epoch elections to keep the sweep
+/// tractable; the election itself and its Coin are the real thing).
+pub fn measure_beacon(n: usize, epochs: u32, seed: u64) -> (Measurement, Vec<BeaconEpoch>) {
+    let (keyring, secrets) = keys(n, seed);
+    type B = RandomBeacon<MmrAbaFactory<TrustedCoinFactory>>;
+    let parties: Vec<BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>> = (0..n)
+        .map(|i| {
+            let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            Box::new(RandomBeacon::new(
+                Sid::new(&format!("bench-beacon-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                aba,
+                epochs,
+            )) as BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let report = sim.run(1 << 30);
+    assert_eq!(report.reason, StopReason::AllOutputs, "beacon did not terminate");
+    let metrics = sim.metrics();
+    let outputs = sim.outputs().into_iter().flatten().next().unwrap_or_default();
+    (
+        Measurement {
+            n,
+            f: (n - 1) / 3,
+            honest_bytes: metrics.honest_bytes,
+            honest_messages: metrics.honest_messages,
+            rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
+            deliveries: report.deliveries,
+            agreed: true,
+        },
+        outputs,
+    )
+}
+
+/// Fits the slope of `log(value)` against `log(n)` — the empirical scaling
+/// exponent reported next to the paper's asymptotic bounds.
+pub fn fit_exponent(points: &[(usize, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit a slope");
+    let logs: Vec<(f64, f64)> =
+        points.iter().map(|(n, v)| ((*n as f64).ln(), v.max(1.0).ln())).collect();
+    let mean_x = logs.iter().map(|(x, _)| x).sum::<f64>() / logs.len() as f64;
+    let mean_y = logs.iter().map(|(_, y)| y).sum::<f64>() / logs.len() as f64;
+    let num: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let den: f64 = logs.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    num / den
+}
+
+/// Formats a byte count with thousands separators (human-readable tables).
+pub fn fmt_bytes(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_exponent_recovers_known_slopes() {
+        let quad: Vec<(usize, f64)> = [4usize, 8, 16, 32].iter().map(|&n| (n, (n * n) as f64)).collect();
+        let cubic: Vec<(usize, f64)> = [4usize, 8, 16].iter().map(|&n| (n, (n * n * n) as f64)).collect();
+        assert!((fit_exponent(&quad) - 2.0).abs() < 0.01);
+        assert!((fit_exponent(&cubic) - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fmt_bytes_groups_digits() {
+        assert_eq!(fmt_bytes(1234567), "1_234_567");
+        assert_eq!(fmt_bytes(42), "42");
+    }
+
+    #[test]
+    fn component_measurements_run_at_small_n() {
+        let rbc = measure_rbc(4, 32, 1);
+        assert!(rbc.honest_bytes > 0 && rbc.agreed);
+        let avss = measure_avss(4, 2);
+        assert!(avss.honest_bytes > rbc.honest_bytes / 4);
+        let wcs = measure_wcs(4, 3);
+        // Three protocol phases; stragglers under adversarial scheduling may
+        // record a slightly larger causal depth.
+        assert!(wcs.rounds >= 3 && wcs.rounds <= 8, "rounds = {}", wcs.rounds);
+        let seeding = measure_seeding(4, 4);
+        assert!(seeding.agreed);
+        let coin = measure_coin(4, 5, CoreSetMode::Weak);
+        assert!(coin.honest_bytes > avss.honest_bytes);
+    }
+
+    #[test]
+    fn trusted_aba_measurement_decides() {
+        let m = measure_trusted_aba(4, 9);
+        assert!(m.agreed);
+        assert!(m.honest_messages > 0);
+    }
+}

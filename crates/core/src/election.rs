@@ -1,0 +1,377 @@
+//! Random leader election with perfect agreement (§7.1, Algorithm 5,
+//! Figure 3).
+//!
+//! Every party runs the Coin (Alg 4) to obtain its speculative largest VRF,
+//! commits that speculation through a reliable broadcast, collects `n − f`
+//! broadcast speculations, and votes through a **single** binary agreement on
+//! whether a VRF exists that is simultaneously the *majority* and the
+//! *largest* among them.  If the ABA returns 1 the (provably unique) such VRF
+//! picks the leader `(r mod n) + 1`; otherwise a default leader is elected.
+//!
+//! The construction is generic over the binary agreement through
+//! [`AbaFactory`], demonstrating the paper's claim that the election is
+//! pluggable with any existing ABA.
+//!
+//! Complexity: expected `O(n³)` messages, `O(λn³)` bits, expected `O(1)`
+//! rounds (§7.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use setupfree_crypto::vrf::{VrfOutput, VrfProof};
+use setupfree_crypto::{Keyring, PartySecrets};
+use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
+use setupfree_rbc::{Rbc, RbcMessage};
+use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::coin::{Coin, CoinMessage};
+use crate::traits::AbaFactory;
+
+/// Messages of one Election instance, generic over the plugged ABA's message
+/// type.
+#[derive(Debug, Clone)]
+pub enum ElectionMessage<AM> {
+    /// Traffic of the embedded Coin.
+    Coin(CoinMessage),
+    /// Traffic of the reliable broadcast with the given sender.
+    Rbc {
+        /// The RBC sender (instance index).
+        sender: u32,
+        /// The wrapped RBC message.
+        inner: RbcMessage,
+    },
+    /// Traffic of the single ABA instance.
+    Aba(AM),
+}
+
+impl<AM: Encode> Encode for ElectionMessage<AM> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ElectionMessage::Coin(inner) => {
+                w.write_u8(0);
+                inner.encode(w);
+            }
+            ElectionMessage::Rbc { sender, inner } => {
+                w.write_u8(1);
+                w.write_u32(*sender);
+                inner.encode(w);
+            }
+            ElectionMessage::Aba(inner) => {
+                w.write_u8(2);
+                inner.encode(w);
+            }
+        }
+    }
+}
+
+impl<AM: Decode> Decode for ElectionMessage<AM> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(ElectionMessage::Coin(CoinMessage::decode(r)?)),
+            1 => Ok(ElectionMessage::Rbc { sender: r.read_u32()?, inner: RbcMessage::decode(r)? }),
+            2 => Ok(ElectionMessage::Aba(AM::decode(r)?)),
+            tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "ElectionMessage" }),
+        }
+    }
+}
+
+/// The election's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElectionOutput {
+    /// The elected leader.
+    pub leader: PartyId,
+    /// The winning VRF output, when the election succeeded through the
+    /// largest-and-majority rule (Alg 5 line 16); `None` when the default
+    /// leader was chosen.  The random beacon application (§7.3) uses this
+    /// value as the epoch's randomness.
+    pub winning_vrf: Option<VrfOutput>,
+    /// Whether the default index was output because the ABA returned 0.
+    pub by_default: bool,
+}
+
+/// One party's state machine for a single Election instance.
+pub struct Election<F: AbaFactory> {
+    sid: Sid,
+    me: PartyId,
+    keyring: Arc<Keyring>,
+    coin: Coin,
+    rbcs: Vec<Rbc>,
+    own_vrf_broadcast: bool,
+    /// Verified RBC outputs: broadcaster → (evaluator, output, proof).
+    g: BTreeMap<usize, (usize, VrfOutput, VrfProof)>,
+    /// RBC outputs awaiting the evaluator's seed for verification.
+    pending_rbc: Vec<(usize, (u32, VrfOutput, VrfProof))>,
+    processed_rbc: BTreeSet<usize>,
+    aba_factory: F,
+    ballot_cast: bool,
+    aba: Option<F::Instance>,
+    aba_buffer: Vec<(PartyId, <F::Instance as ProtocolInstance>::Message)>,
+    aba_result: Option<bool>,
+    output: Option<ElectionOutput>,
+}
+
+impl<F: AbaFactory> std::fmt::Debug for Election<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Election")
+            .field("sid", &self.sid)
+            .field("me", &self.me)
+            .field("g_len", &self.g.len())
+            .field("ballot_cast", &self.ballot_cast)
+            .field("aba_result", &self.aba_result)
+            .field("output", &self.output)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: AbaFactory> Election<F> {
+    /// Creates the Election state machine for party `me` in instance `sid`.
+    pub fn new(
+        sid: Sid,
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+        aba_factory: F,
+    ) -> Self {
+        let n = keyring.n();
+        let coin = Coin::new(sid.derive("coin", 0), me, keyring.clone(), secrets.clone());
+        let rbcs = (0..n)
+            .map(|j| Rbc::new(sid.derive("rbc", j), me, n, keyring.f(), PartyId(j), None))
+            .collect();
+        Election {
+            sid,
+            me,
+            keyring,
+            coin,
+            rbcs,
+            own_vrf_broadcast: false,
+            g: BTreeMap::new(),
+            pending_rbc: Vec::new(),
+            processed_rbc: BTreeSet::new(),
+            aba_factory,
+            ballot_cast: false,
+            aba: None,
+            aba_buffer: Vec::new(),
+            aba_result: None,
+            output: None,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.keyring.n()
+    }
+
+    fn quorum(&self) -> usize {
+        self.keyring.quorum()
+    }
+
+    /// Read access to the embedded coin (used by tests and by the random
+    /// beacon application).
+    pub fn coin(&self) -> &Coin {
+        &self.coin
+    }
+
+    /// The election output, if decided.
+    pub fn election_output(&self) -> Option<&ElectionOutput> {
+        self.output.as_ref()
+    }
+
+    fn wrap_coin(step: Step<CoinMessage>) -> Step<ElectionMessage<AbaMsg<F>>> {
+        step.map(ElectionMessage::Coin)
+    }
+
+    fn wrap_rbc(sender: usize, step: Step<RbcMessage>) -> Step<ElectionMessage<AbaMsg<F>>> {
+        step.map(move |inner| ElectionMessage::Rbc { sender: sender as u32, inner })
+    }
+
+    fn wrap_aba(step: Step<AbaMsg<F>>) -> Step<ElectionMessage<AbaMsg<F>>> {
+        step.map(ElectionMessage::Aba)
+    }
+
+    fn vrf_context(&self) -> Vec<u8> {
+        // Must match the context the Coin used for VRF evaluation.
+        let mut ctx = self.sid.derive("coin", 0).as_bytes().to_vec();
+        ctx.extend_from_slice(b"/coin/vrf");
+        ctx
+    }
+
+    fn advance(&mut self) -> Step<ElectionMessage<AbaMsg<F>>> {
+        let mut step = Step::none();
+        loop {
+            let mut progressed = false;
+
+            // Line 2–4: when the Coin decides, reliably broadcast vrf_max.
+            if !self.own_vrf_broadcast {
+                if let Some(out) = self.coin.coin_output() {
+                    self.own_vrf_broadcast = true;
+                    let payload: Option<(u32, VrfOutput, VrfProof)> =
+                        out.max_vrf.as_ref().map(|(p, o, pr)| (p.index() as u32, *o, *pr));
+                    let bytes = setupfree_wire::to_bytes(&payload);
+                    let me = self.me.index();
+                    step.extend(Self::wrap_rbc(me, self.rbcs[me].provide_input(bytes)));
+                    progressed = true;
+                }
+            }
+
+            // Lines 5–7: collect and verify RBC outputs into G.
+            for j in 0..self.n() {
+                if self.processed_rbc.contains(&j) {
+                    continue;
+                }
+                if let Some(bytes) = self.rbcs[j].output() {
+                    self.processed_rbc.insert(j);
+                    progressed = true;
+                    if let Ok(Some(cand)) =
+                        setupfree_wire::from_bytes::<Option<(u32, VrfOutput, VrfProof)>>(&bytes)
+                    {
+                        if (cand.0 as usize) < self.n() {
+                            if self.coin.seed_of(cand.0 as usize).is_some() {
+                                self.verify_into_g(j, cand);
+                            } else {
+                                self.pending_rbc.push((j, cand));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Re-check pending RBC outputs whose seeds have since arrived.
+            if !self.pending_rbc.is_empty() {
+                let pending = std::mem::take(&mut self.pending_rbc);
+                for (j, cand) in pending {
+                    if self.coin.seed_of(cand.0 as usize).is_some() {
+                        self.verify_into_g(j, cand);
+                        progressed = true;
+                    } else {
+                        self.pending_rbc.push((j, cand));
+                    }
+                }
+            }
+
+            // Lines 8–12: with n − f verified entries, vote and start the ABA.
+            if !self.ballot_cast && self.g.len() >= self.quorum() {
+                self.ballot_cast = true;
+                let ballot = self.largest_and_majority(self.quorum()).is_some();
+                let mut aba =
+                    self.aba_factory.create(self.sid.derive("aba", 0), ballot);
+                step.extend(Self::wrap_aba(aba.on_activation()));
+                for (from, msg) in std::mem::take(&mut self.aba_buffer) {
+                    step.extend(Self::wrap_aba(aba.on_message(from, msg)));
+                }
+                self.aba = Some(aba);
+                progressed = true;
+            }
+
+            // Line 13: record the ABA decision.
+            if self.aba_result.is_none() {
+                if let Some(b) = self.aba.as_ref().and_then(|a| a.output()) {
+                    self.aba_result = Some(b);
+                    progressed = true;
+                }
+            }
+
+            // Lines 14–17: decide the leader.
+            if self.output.is_none() {
+                match self.aba_result {
+                    Some(false) => {
+                        self.output = Some(ElectionOutput {
+                            leader: PartyId(0),
+                            winning_vrf: None,
+                            by_default: true,
+                        });
+                        progressed = true;
+                    }
+                    Some(true) => {
+                        if let Some(winner) = self.largest_and_majority(self.quorum()) {
+                            self.output = Some(ElectionOutput {
+                                leader: PartyId(winner.leader_index(self.n())),
+                                winning_vrf: Some(winner),
+                                by_default: false,
+                            });
+                            progressed = true;
+                        }
+                    }
+                    None => {}
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+        step
+    }
+
+    fn verify_into_g(&mut self, broadcaster: usize, cand: (u32, VrfOutput, VrfProof)) {
+        let (evaluator, output, proof) = cand;
+        let evaluator = evaluator as usize;
+        let Some(seed) = self.coin.seed_of(evaluator) else { return };
+        if self.keyring.vrf_key(evaluator).verify(&self.vrf_context(), &seed, &output, &proof) {
+            self.g.insert(broadcaster, (evaluator, output, proof));
+        }
+    }
+
+    /// Searches `G` for a VRF value that can be both the majority and the
+    /// largest within some `(n − f)`-sized subset `G* ⊆ G` (Alg 5 lines 9–10
+    /// and 15).  Returns the winning VRF output if one exists.
+    fn largest_and_majority(&self, subset_size: usize) -> Option<VrfOutput> {
+        let mut counts: BTreeMap<VrfOutput, usize> = BTreeMap::new();
+        for (_, (_, output, _)) in &self.g {
+            *counts.entry(*output).or_default() += 1;
+        }
+        let mut best: Option<VrfOutput> = None;
+        for (output, count) in &counts {
+            // Elements with value ≤ output (candidates to fill the subset).
+            let le = self.g.values().filter(|(_, o, _)| o <= output).count();
+            if le >= subset_size && 2 * count > subset_size {
+                match best {
+                    Some(cur) if cur >= *output => {}
+                    _ => best = Some(*output),
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Shorthand for the plugged ABA's message type.
+type AbaMsg<F> = <<F as AbaFactory>::Instance as ProtocolInstance>::Message;
+
+impl<F: AbaFactory> ProtocolInstance for Election<F> {
+    type Message = ElectionMessage<AbaMsg<F>>;
+    type Output = ElectionOutput;
+
+    fn on_activation(&mut self) -> Step<Self::Message> {
+        let mut step = Self::wrap_coin(self.coin.on_activation());
+        step.extend(self.advance());
+        step
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
+        if from.index() >= self.n() {
+            return Step::none();
+        }
+        let mut step = match msg {
+            ElectionMessage::Coin(inner) => Self::wrap_coin(self.coin.on_message(from, inner)),
+            ElectionMessage::Rbc { sender, inner } => {
+                let sender = sender as usize;
+                if sender >= self.n() {
+                    return Step::none();
+                }
+                Self::wrap_rbc(sender, self.rbcs[sender].on_message(from, inner))
+            }
+            ElectionMessage::Aba(inner) => match self.aba.as_mut() {
+                Some(aba) => Self::wrap_aba(aba.on_message(from, inner)),
+                None => {
+                    self.aba_buffer.push((from, inner));
+                    Step::none()
+                }
+            },
+        };
+        step.extend(self.advance());
+        step
+    }
+
+    fn output(&self) -> Option<ElectionOutput> {
+        self.output.clone()
+    }
+}

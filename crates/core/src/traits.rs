@@ -1,0 +1,54 @@
+//! Pluggability traits.
+//!
+//! The paper emphasises that its common coin and leader election are *not*
+//! tied to one particular agreement protocol: the coin "can be directly
+//! plugged into many existing ABA protocols" and the election "is pluggable
+//! in all existing VBA protocols".  These factory traits are how that
+//! pluggability is expressed in code: the ABA is generic over a
+//! [`CoinFactory`], the Election over an [`AbaFactory`], and the VBA over an
+//! [`ElectionFactory`].
+
+use setupfree_net::{PartyId, ProtocolInstance, Sid};
+
+use crate::coin::CoinOutput;
+use crate::election::ElectionOutput;
+
+/// Creates fresh common-coin instances on demand (one per ABA round).
+pub trait CoinFactory {
+    /// The coin protocol instance type.
+    type Instance: ProtocolInstance<Output = CoinOutput>;
+
+    /// Creates the coin instance with session identifier `sid` for this
+    /// party.
+    fn create(&self, sid: Sid) -> Self::Instance;
+}
+
+/// Creates a binary-agreement instance on demand (the Election protocol
+/// spawns exactly one, Alg 5 line 12).
+pub trait AbaFactory {
+    /// The binary agreement instance type.
+    type Instance: ProtocolInstance<Output = bool>;
+
+    /// Creates an ABA instance with session identifier `sid` and the given
+    /// input bit for this party.
+    fn create(&self, sid: Sid, input: bool) -> Self::Instance;
+}
+
+/// Creates a leader-election instance on demand (one per VBA view).
+pub trait ElectionFactory {
+    /// The election instance type.
+    type Instance: ProtocolInstance<Output = ElectionOutput>;
+
+    /// Creates an election instance with session identifier `sid` for this
+    /// party.
+    fn create(&self, sid: Sid) -> Self::Instance;
+}
+
+/// Identifies the local party for factories that need it.
+///
+/// Implemented by all factories in this workspace; exposed as a trait so
+/// higher-level protocols can be written against any factory implementation.
+pub trait HasParty {
+    /// The local party this factory builds instances for.
+    fn party(&self) -> PartyId;
+}

@@ -1,0 +1,96 @@
+//! The *setup-based* common coin the paper replaces.
+//!
+//! Practical asynchronous BFT systems implement their common coin with a
+//! non-interactive threshold PRF whose key is dealt by a trusted party
+//! (Cachin–Kursawe–Shoup, "random oracles in Constantinople").  Given that
+//! private setup, flipping a coin costs essentially nothing: everybody can
+//! locally evaluate the same pseudorandom bit for a session identifier.
+//!
+//! [`TrustedCoin`] models exactly that idealised primitive: zero messages,
+//! immediate output, perfect agreement and fairness — but it *requires the
+//! private setup the paper is eliminating*.  It exists for two purposes:
+//!
+//! * as a drop-in [`CoinFactory`] so the ABA can be unit-tested and
+//!   benchmarked independently of the full Coin construction, and
+//! * as the "with private setup" comparison row of the Table 1 reproduction
+//!   (what ABA costs once the coin is free).
+
+use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
+
+use crate::coin::CoinOutput;
+use crate::traits::CoinFactory;
+
+/// An idealised, setup-based common coin: all parties output the same
+/// pseudorandom bit derived from the session identifier, with no
+/// communication.
+#[derive(Debug, Clone)]
+pub struct TrustedCoin {
+    sid: Sid,
+    output: Option<CoinOutput>,
+}
+
+impl TrustedCoin {
+    /// Creates the coin for session `sid`.
+    pub fn new(sid: Sid) -> Self {
+        TrustedCoin { sid, output: None }
+    }
+}
+
+impl ProtocolInstance for TrustedCoin {
+    type Message = u8;
+    type Output = CoinOutput;
+
+    fn on_activation(&mut self) -> Step<u8> {
+        let digest = setupfree_crypto::hash::hash_fields("setupfree/trusted-coin", &[self.sid.as_bytes()]);
+        self.output = Some(CoinOutput { bit: digest[0] & 1 == 1, max_vrf: None });
+        Step::none()
+    }
+
+    fn on_message(&mut self, _from: PartyId, _msg: u8) -> Step<u8> {
+        Step::none()
+    }
+
+    fn output(&self) -> Option<CoinOutput> {
+        self.output.clone()
+    }
+}
+
+/// Factory producing [`TrustedCoin`] instances.
+#[derive(Debug, Clone, Default)]
+pub struct TrustedCoinFactory;
+
+impl CoinFactory for TrustedCoinFactory {
+    type Instance = TrustedCoin;
+
+    fn create(&self, sid: Sid) -> TrustedCoin {
+        TrustedCoin::new(sid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_sid_same_bit_zero_messages() {
+        let mut a = TrustedCoinFactory.create(Sid::new("x").derive("coin", 3));
+        let mut b = TrustedCoinFactory.create(Sid::new("x").derive("coin", 3));
+        assert!(a.on_activation().is_empty());
+        assert!(b.on_activation().is_empty());
+        assert_eq!(a.output().unwrap().bit, b.output().unwrap().bit);
+        assert!(a.output().unwrap().max_vrf.is_none());
+    }
+
+    #[test]
+    fn different_sessions_flip_differently_sometimes() {
+        let bits: Vec<bool> = (0..64)
+            .map(|i| {
+                let mut c = TrustedCoin::new(Sid::new("s").derive("round", i));
+                c.on_activation();
+                c.output().unwrap().bit
+            })
+            .collect();
+        assert!(bits.iter().any(|b| *b));
+        assert!(bits.iter().any(|b| !*b));
+    }
+}

@@ -1,0 +1,165 @@
+//! Low-level 64-bit modular arithmetic and primality testing.
+//!
+//! These routines back the discrete-log group in [`crate::group`] and the
+//! scalar field in [`crate::scalar`].  All moduli in this crate fit in 63
+//! bits, so intermediate products fit comfortably in `u128`.
+
+/// `(a + b) mod m`, assuming `a, b < m`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let s = a as u128 + b as u128;
+    let m128 = m as u128;
+    if s >= m128 { (s - m128) as u64 } else { s as u64 }
+}
+
+/// `(a - b) mod m`, assuming `a, b < m`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    if a >= b { a - b } else { a + (m - b) }
+}
+
+/// `(a * b) mod m`.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` modulo prime `m` (via Fermat's little theorem).
+///
+/// # Panics
+///
+/// Panics if `a % m == 0` (zero has no inverse).
+pub fn inv_mod(a: u64, m: u64) -> u64 {
+    let a = a % m;
+    assert!(a != 0, "attempted to invert zero modulo {m}");
+    pow_mod(a, m - 2, m)
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs
+/// (uses the standard 12-base certificate valid below 3.3·10²⁴).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_primes_recognised() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 9973, 104729, 2_147_483_647];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        let composites = [0u64, 1, 4, 6, 9, 15, 21, 25, 9975, 104730, 561, 1729, 25326001];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Known strong pseudoprimes to small bases.
+        for n in [3215031751u64, 3825123056546413051] {
+            assert!(!is_prime(n), "{n} is composite");
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        let m = 1_000_000_007u64;
+        let mut expected = 1u64;
+        for e in 0..50u64 {
+            assert_eq!(pow_mod(3, e, m), expected);
+            expected = mul_mod(expected, 3, m);
+        }
+    }
+
+    #[test]
+    fn inv_mod_is_inverse() {
+        let m = 2_147_483_647u64; // Mersenne prime
+        for a in [1u64, 2, 3, 12345, 99999999, 2_147_483_646] {
+            let inv = inv_mod(a, m);
+            assert_eq!(mul_mod(a, inv, m), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn inv_mod_zero_panics() {
+        inv_mod(0, 7);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_inverse(a in 0u64..1_000_000_007, b in 0u64..1_000_000_007) {
+            let m = 1_000_000_007u64;
+            prop_assert_eq!(sub_mod(add_mod(a, b, m), b, m), a);
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in any::<u64>(), b in any::<u64>()) {
+            let m = 0x7fff_ffff_ffff_ffe7u64; // arbitrary odd modulus < 2^63
+            let a = a % m;
+            let b = b % m;
+            prop_assert_eq!(mul_mod(a, b, m), mul_mod(b, a, m));
+        }
+
+        #[test]
+        fn prop_fermat(a in 2u64..2_147_483_646) {
+            let p = 2_147_483_647u64;
+            prop_assert_eq!(pow_mod(a, p - 1, p), 1);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Polynomials over the scalar field, Shamir secret sharing, and Lagrange
+//! interpolation.
+//!
+//! These are the arithmetic backbone of the AVSS (Alg 1/2) and of the
+//! aggregatable PVSS (Appendix B): secrets are constant terms of random
+//! polynomials of degree at most `f` (resp. `t`), shares are evaluations at
+//! party-specific points, and reconstruction is Lagrange interpolation at 0.
+
+use rand::Rng;
+
+use crate::scalar::Scalar;
+
+/// A polynomial with scalar coefficients, lowest degree first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coeffs: Vec<Scalar>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients (constant term first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<Scalar>) -> Self {
+        assert!(!coeffs.is_empty(), "a polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Samples a uniformly random polynomial of the given degree with the
+    /// prescribed constant term (the shared secret).
+    pub fn random_with_constant<R: Rng + ?Sized>(constant: Scalar, degree: usize, rng: &mut R) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(constant);
+        for _ in 0..degree {
+            coeffs.push(Scalar::random(rng));
+        }
+        Polynomial { coeffs }
+    }
+
+    /// Samples a uniformly random polynomial of the given degree.
+    pub fn random<R: Rng + ?Sized>(degree: usize, rng: &mut R) -> Self {
+        Self::random_with_constant(Scalar::random(rng), degree, rng)
+    }
+
+    /// Degree of the polynomial (number of coefficients minus one).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The coefficients, constant term first.
+    pub fn coeffs(&self) -> &[Scalar] {
+        &self.coeffs
+    }
+
+    /// The constant term `P(0)`.
+    pub fn constant(&self) -> Scalar {
+        self.coeffs[0]
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: Scalar) -> Scalar {
+        let mut acc = Scalar::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc * x + *c;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial at the canonical share point of party `i`
+    /// (1-based point `i + 1` is *not* used; the convention throughout the
+    /// workspace is point `x = i` for party index `i ≥ 1`).
+    pub fn eval_at_index(&self, i: usize) -> Scalar {
+        self.eval(Scalar::from_u64(i as u64))
+    }
+
+    /// Adds two polynomials coefficient-wise.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = Vec::with_capacity(len);
+        for i in 0..len {
+            let a = self.coeffs.get(i).copied().unwrap_or_else(Scalar::zero);
+            let b = other.coeffs.get(i).copied().unwrap_or_else(Scalar::zero);
+            coeffs.push(a + b);
+        }
+        Polynomial { coeffs }
+    }
+}
+
+/// Lagrange coefficient `ℓ_j(x)` for the interpolation point set `xs`
+/// evaluated at `x`.
+///
+/// # Panics
+///
+/// Panics if `xs` contains duplicate points.
+pub fn lagrange_coefficient(xs: &[Scalar], j: usize, x: Scalar) -> Scalar {
+    let xj = xs[j];
+    let mut num = Scalar::one();
+    let mut den = Scalar::one();
+    for (m, &xm) in xs.iter().enumerate() {
+        if m == j {
+            continue;
+        }
+        assert!(xm != xj, "duplicate interpolation points");
+        num = num * (x - xm);
+        den = den * (xj - xm);
+    }
+    num * den.invert()
+}
+
+/// Interpolates the unique polynomial through `points` and evaluates it at
+/// `x`.  `points` are `(x_i, y_i)` pairs with distinct `x_i`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains duplicate x-coordinates.
+pub fn interpolate_at(points: &[(Scalar, Scalar)], x: Scalar) -> Scalar {
+    assert!(!points.is_empty(), "interpolation requires at least one point");
+    let xs: Vec<Scalar> = points.iter().map(|(xi, _)| *xi).collect();
+    let mut acc = Scalar::zero();
+    for (j, (_, yj)) in points.iter().enumerate() {
+        acc = acc + *yj * lagrange_coefficient(&xs, j, x);
+    }
+    acc
+}
+
+/// Interpolates at zero — the common "reconstruct the secret" operation.
+pub fn interpolate_at_zero(points: &[(Scalar, Scalar)]) -> Scalar {
+    interpolate_at(points, Scalar::zero())
+}
+
+/// Produces Shamir shares `(i, P(i))` for parties `1..=n` of a fresh random
+/// polynomial with constant term `secret` and degree `threshold`.
+///
+/// Any `threshold + 1` shares reconstruct the secret; `threshold` shares
+/// reveal nothing (information-theoretically).
+pub fn shamir_share<R: Rng + ?Sized>(
+    secret: Scalar,
+    threshold: usize,
+    n: usize,
+    rng: &mut R,
+) -> (Polynomial, Vec<(usize, Scalar)>) {
+    let poly = Polynomial::random_with_constant(secret, threshold, rng);
+    let shares = (1..=n).map(|i| (i, poly.eval_at_index(i))).collect();
+    (poly, shares)
+}
+
+/// Reconstructs a Shamir secret from `(index, share)` pairs.
+pub fn shamir_reconstruct(shares: &[(usize, Scalar)]) -> Scalar {
+    let points: Vec<(Scalar, Scalar)> =
+        shares.iter().map(|(i, s)| (Scalar::from_u64(*i as u64), *s)).collect();
+    interpolate_at_zero(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_simple_polynomial() {
+        // P(x) = 3 + 2x + x^2
+        let p = Polynomial::new(vec![Scalar::from_u64(3), Scalar::from_u64(2), Scalar::from_u64(1)]);
+        assert_eq!(p.eval(Scalar::zero()), Scalar::from_u64(3));
+        assert_eq!(p.eval(Scalar::from_u64(1)), Scalar::from_u64(6));
+        assert_eq!(p.eval(Scalar::from_u64(2)), Scalar::from_u64(11));
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.constant(), Scalar::from_u64(3));
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Polynomial::random(4, &mut rng);
+        let points: Vec<(Scalar, Scalar)> =
+            (1..=5u64).map(|i| (Scalar::from_u64(i), p.eval(Scalar::from_u64(i)))).collect();
+        assert_eq!(interpolate_at_zero(&points), p.constant());
+        assert_eq!(interpolate_at(&points, Scalar::from_u64(9)), p.eval(Scalar::from_u64(9)));
+    }
+
+    #[test]
+    fn shamir_roundtrip_with_any_quorum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let secret = Scalar::from_u64(424242);
+        let (_, shares) = shamir_share(secret, 2, 7, &mut rng);
+        // Any 3 shares reconstruct.
+        assert_eq!(shamir_reconstruct(&shares[0..3]), secret);
+        assert_eq!(shamir_reconstruct(&shares[2..5]), secret);
+        assert_eq!(shamir_reconstruct(&[shares[0], shares[3], shares[6]]), secret);
+        // 2 shares give a different (wrong) value with overwhelming probability.
+        assert_ne!(shamir_reconstruct(&shares[0..2]), secret);
+    }
+
+    #[test]
+    fn polynomial_addition() {
+        let p = Polynomial::new(vec![Scalar::from_u64(1), Scalar::from_u64(2)]);
+        let q = Polynomial::new(vec![Scalar::from_u64(5), Scalar::from_u64(0), Scalar::from_u64(3)]);
+        let r = p.add(&q);
+        assert_eq!(r.eval(Scalar::from_u64(2)), p.eval(Scalar::from_u64(2)) + q.eval(Scalar::from_u64(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_polynomial_panics() {
+        Polynomial::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate interpolation points")]
+    fn duplicate_points_panic() {
+        let pts = vec![(Scalar::from_u64(1), Scalar::from_u64(1)), (Scalar::from_u64(1), Scalar::from_u64(2))];
+        interpolate_at_zero(&pts);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_shamir_reconstructs(secret in any::<u64>(), seed in any::<u64>(), t in 1usize..5, extra in 1usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let secret = Scalar::from_u64(secret);
+            let n = t + extra;
+            let (_, shares) = shamir_share(secret, t, n, &mut rng);
+            prop_assert_eq!(shamir_reconstruct(&shares[..t + 1]), secret);
+            prop_assert_eq!(shamir_reconstruct(&shares[extra.saturating_sub(1)..]), secret);
+        }
+
+        #[test]
+        fn prop_interpolate_identity(seed in any::<u64>(), deg in 0usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = Polynomial::random(deg, &mut rng);
+            let points: Vec<(Scalar, Scalar)> = (1..=deg as u64 + 1)
+                .map(|i| (Scalar::from_u64(i), p.eval(Scalar::from_u64(i))))
+                .collect();
+            let x = Scalar::from_u64(seed % 1000 + 100);
+            prop_assert_eq!(interpolate_at(&points, x), p.eval(x));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! EUF-CMA digital signatures (Schnorr over the discrete-log group, in the
+//! random-oracle model).
+//!
+//! These are the bulletin-PKI signatures used by every protocol in the paper:
+//! the `KeyStored` acknowledgements of the AVSS dealer (Alg 1), the
+//! `Confirm`/`Commit` quorum proofs of WCS (Alg 3), the `AggPvssStored`
+//! certificates of Seeding (Alg 7), and the quorum certificates of the VBA's
+//! provable broadcasts (§7.2).  Signatures are always domain-separated by a
+//! protocol session identifier, mirroring the paper's `Sign^ID_i(m)` notation.
+
+use std::fmt;
+
+use rand::Rng;
+use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::group::GroupElement;
+use crate::scalar::Scalar;
+
+/// Serialized signature length in bytes (challenge + response scalars).
+pub const SIGNATURE_LEN: usize = 16;
+
+/// A Schnorr signing key.
+#[derive(Clone)]
+pub struct SigningKey {
+    sk: Scalar,
+    pk: VerifyingKey,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret exponent.
+        write!(f, "SigningKey(pk={:?})", self.pk)
+    }
+}
+
+/// A Schnorr verification (public) key, registered at the bulletin PKI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey(GroupElement);
+
+/// A Schnorr signature `(c, s)` with `c` the Fiat–Shamir challenge and `s`
+/// the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    c: Scalar,
+    s: Scalar,
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let sk = Scalar::random_nonzero(rng);
+        Self::from_secret(sk)
+    }
+
+    /// Builds a key pair from a known secret exponent (used by tests and by
+    /// the "maliciously generated key" adversary hooks).
+    pub fn from_secret(sk: Scalar) -> Self {
+        let pk = VerifyingKey(GroupElement::generator().pow(sk));
+        SigningKey { sk, pk }
+    }
+
+    /// The corresponding verification key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.pk
+    }
+
+    /// Signs `message` under the given domain-separation `context`
+    /// (the paper's `Sign^ID_i(m)`).
+    pub fn sign(&self, context: &[u8], message: &[u8]) -> Signature {
+        // Derandomized nonce: k = H(sk, ctx, m).  Deterministic signing keeps
+        // the protocol state machines reproducible under a fixed seed.
+        let k = Scalar::from_hash(
+            "setupfree/sig/nonce",
+            &[&self.sk.to_bytes(), context, message],
+        );
+        let k = if k.is_zero() { Scalar::one() } else { k };
+        let r = GroupElement::generator().pow(k);
+        let c = challenge(&r, &self.pk, context, message);
+        let s = k + c * self.sk;
+        Signature { c, s }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies `sig` on `(context, message)`.
+    pub fn verify(&self, context: &[u8], message: &[u8], sig: &Signature) -> bool {
+        // R' = g^s * pk^{-c}; valid iff H(R', pk, ctx, m) == c.
+        let r = GroupElement::generator().pow(sig.s) * self.0.pow(sig.c).inverse();
+        challenge(&r, self, context, message) == sig.c
+    }
+
+    /// The underlying group element.
+    pub fn element(&self) -> GroupElement {
+        self.0
+    }
+}
+
+fn challenge(r: &GroupElement, pk: &VerifyingKey, context: &[u8], message: &[u8]) -> Scalar {
+    Scalar::from_hash(
+        "setupfree/sig/challenge",
+        &[&r.to_bytes(), &pk.0.to_bytes(), context, message],
+    )
+}
+
+impl Encode for VerifyingKey {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for VerifyingKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(VerifyingKey(GroupElement::decode(r)?))
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        self.c.encode(w);
+        self.s.encode(w);
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Signature { c: Scalar::decode(r)?, s: Scalar::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SigningKey::generate(&mut rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = keypair(1);
+        let sig = sk.sign(b"ctx", b"hello");
+        assert!(sk.verifying_key().verify(b"ctx", b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let sk = keypair(2);
+        let sig = sk.sign(b"ctx", b"hello");
+        assert!(!sk.verifying_key().verify(b"ctx", b"hellp", &sig));
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let sk = keypair(3);
+        let sig = sk.sign(b"ctx-a", b"hello");
+        assert!(!sk.verifying_key().verify(b"ctx-b", b"hello", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = keypair(4);
+        let sk2 = keypair(5);
+        let sig = sk1.sign(b"ctx", b"hello");
+        assert!(!sk2.verifying_key().verify(b"ctx", b"hello", &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let sk = keypair(6);
+        assert_eq!(sk.sign(b"c", b"m"), sk.sign(b"c", b"m"));
+    }
+
+    #[test]
+    fn signature_wire_roundtrip() {
+        let sk = keypair(7);
+        let sig = sk.sign(b"c", b"m");
+        let bytes = setupfree_wire::to_bytes(&sig);
+        assert_eq!(bytes.len(), SIGNATURE_LEN);
+        assert_eq!(setupfree_wire::from_bytes::<Signature>(&bytes).unwrap(), sig);
+        let pk = sk.verifying_key();
+        let pk_bytes = setupfree_wire::to_bytes(&pk);
+        assert_eq!(setupfree_wire::from_bytes::<VerifyingKey>(&pk_bytes).unwrap(), pk);
+    }
+
+    #[test]
+    fn debug_does_not_leak_secret() {
+        let sk = keypair(8);
+        let printed = format!("{sk:?}");
+        assert!(!printed.contains(&sk.sk.to_u64().to_string()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_signatures_verify(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let sk = keypair(seed);
+            let sig = sk.sign(b"prop", &msg);
+            prop_assert!(sk.verifying_key().verify(b"prop", &msg, &sig));
+        }
+
+        #[test]
+        fn prop_tampered_signature_rejected(seed in any::<u64>(), delta in 1u64..1000) {
+            let sk = keypair(seed);
+            let sig = sk.sign(b"prop", b"msg");
+            let bad = Signature { c: sig.c, s: sig.s + Scalar::from_u64(delta) };
+            prop_assert!(!sk.verifying_key().verify(b"prop", b"msg", &bad));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Adversarial message schedulers.
+//!
+//! The asynchronous network of §3 lets the adversary "arbitrarily delay and
+//! reorder messages", subject only to eventual delivery.  The simulator
+//! models this by keeping every in-flight message in a pending pool and
+//! asking a [`Scheduler`] which one to deliver next.  Because every pending
+//! message is eventually selectable and the pool is finite, eventual delivery
+//! holds for every scheduler implemented here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::party::PartyId;
+
+/// Summary of an in-flight message shown to the scheduler (the adversary is
+/// allowed to see sender, receiver and length, but not plaintext contents of
+/// honest-to-honest messages — §3 "secure channels").
+#[derive(Debug, Clone, Copy)]
+pub struct PendingInfo {
+    /// Sending party.
+    pub from: PartyId,
+    /// Receiving party.
+    pub to: PartyId,
+    /// Encoded length in bytes.
+    pub len: usize,
+    /// Sequence number assigned at send time (FIFO order).
+    pub seq: u64,
+}
+
+/// Chooses which pending message the network delivers next.
+pub trait Scheduler {
+    /// Returns the index (into `pending`) of the message to deliver next.
+    ///
+    /// `pending` is never empty when this is called.
+    fn select(&mut self, pending: &[PendingInfo]) -> usize;
+}
+
+/// Delivers messages in the order they were sent.
+#[derive(Debug, Default, Clone)]
+pub struct FifoScheduler;
+
+impl Scheduler for FifoScheduler {
+    fn select(&mut self, pending: &[PendingInfo]) -> usize {
+        let mut best = 0;
+        for (i, p) in pending.iter().enumerate() {
+            if p.seq < pending[best].seq {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Delivers a uniformly random pending message — the standard model of an
+/// asynchronous network with arbitrary (oblivious) reordering.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler from a seed (reproducible).
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn select(&mut self, pending: &[PendingInfo]) -> usize {
+        self.rng.gen_range(0..pending.len())
+    }
+}
+
+/// An adversarial scheduler that starves a target set of parties: messages
+/// sent *by or to* the targets are delayed as long as any other message is
+/// pending (while still being eventually delivered).  This is the classic
+/// strategy against leader-based protocols — delay the would-be winner.
+#[derive(Debug, Clone)]
+pub struct TargetedDelayScheduler {
+    targets: Vec<PartyId>,
+    rng: StdRng,
+}
+
+impl TargetedDelayScheduler {
+    /// Creates a scheduler that starves `targets`.
+    pub fn new(targets: Vec<PartyId>, seed: u64) -> Self {
+        TargetedDelayScheduler { targets, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn involves_target(&self, p: &PendingInfo) -> bool {
+        self.targets.contains(&p.from) || self.targets.contains(&p.to)
+    }
+}
+
+impl Scheduler for TargetedDelayScheduler {
+    fn select(&mut self, pending: &[PendingInfo]) -> usize {
+        let non_target: Vec<usize> =
+            (0..pending.len()).filter(|&i| !self.involves_target(&pending[i])).collect();
+        if non_target.is_empty() {
+            self.rng.gen_range(0..pending.len())
+        } else {
+            non_target[self.rng.gen_range(0..non_target.len())]
+        }
+    }
+}
+
+/// Splits the parties into two halves and delivers all intra-half traffic
+/// before any cross-half traffic, approximating a long (but not permanent)
+/// network partition.
+#[derive(Debug, Clone)]
+pub struct PartitionScheduler {
+    boundary: usize,
+    rng: StdRng,
+}
+
+impl PartitionScheduler {
+    /// Parties with index `< boundary` form one side of the partition.
+    pub fn new(boundary: usize, seed: u64) -> Self {
+        PartitionScheduler { boundary, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    fn crosses(&self, p: &PendingInfo) -> bool {
+        (p.from.index() < self.boundary) != (p.to.index() < self.boundary)
+    }
+}
+
+impl Scheduler for PartitionScheduler {
+    fn select(&mut self, pending: &[PendingInfo]) -> usize {
+        let intra: Vec<usize> = (0..pending.len()).filter(|&i| !self.crosses(&pending[i])).collect();
+        if intra.is_empty() {
+            self.rng.gen_range(0..pending.len())
+        } else {
+            intra[self.rng.gen_range(0..intra.len())]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(from: usize, to: usize, seq: u64) -> PendingInfo {
+        PendingInfo { from: PartyId(from), to: PartyId(to), len: 1, seq }
+    }
+
+    #[test]
+    fn fifo_picks_lowest_seq() {
+        let mut s = FifoScheduler;
+        let pending = vec![info(0, 1, 5), info(1, 2, 2), info(2, 0, 9)];
+        assert_eq!(s.select(&pending), 1);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let pending: Vec<PendingInfo> = (0..10).map(|i| info(i, (i + 1) % 10, i as u64)).collect();
+        let mut a = RandomScheduler::new(7);
+        let mut b = RandomScheduler::new(7);
+        for _ in 0..20 {
+            assert_eq!(a.select(&pending), b.select(&pending));
+        }
+    }
+
+    #[test]
+    fn targeted_scheduler_avoids_targets_when_possible() {
+        let mut s = TargetedDelayScheduler::new(vec![PartyId(0)], 3);
+        let pending = vec![info(0, 1, 0), info(2, 3, 1), info(1, 0, 2)];
+        for _ in 0..20 {
+            assert_eq!(s.select(&pending), 1);
+        }
+        // When only target traffic is pending it must still deliver.
+        let only_target = vec![info(0, 1, 0)];
+        assert_eq!(s.select(&only_target), 0);
+    }
+
+    #[test]
+    fn partition_prefers_intra_half_traffic() {
+        let mut s = PartitionScheduler::new(2, 5);
+        let pending = vec![info(0, 3, 0), info(0, 1, 1), info(2, 3, 2)];
+        for _ in 0..20 {
+            let pick = s.select(&pending);
+            assert!(pick == 1 || pick == 2, "cross-partition message must wait");
+        }
+        let only_cross = vec![info(0, 2, 0)];
+        assert_eq!(s.select(&only_cross), 0);
+    }
+}

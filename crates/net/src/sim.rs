@@ -1,0 +1,383 @@
+//! The deterministic asynchronous-network simulator.
+//!
+//! The simulator executes one protocol instance per party, routes every
+//! outgoing message through the wire codec (charging its exact byte length to
+//! the sender), hands the set of in-flight messages to an adversarial
+//! [`Scheduler`](crate::scheduler::Scheduler) that decides delivery order,
+//! and tracks causal depth ("asynchronous rounds", §3).
+//!
+//! Fault injection: parties can be marked *byzantine* (their traffic is not
+//! charged to the protocol's communication complexity and their state machine
+//! may be an arbitrary implementation) or *crashed* (they stop sending and
+//! processing).
+
+use setupfree_wire::{from_bytes, to_bytes};
+
+use crate::metrics::Metrics;
+use crate::party::PartyId;
+use crate::protocol::{Dest, ProtocolInstance, Step};
+use crate::scheduler::{PendingInfo, Scheduler};
+
+/// A party implementation erased to its message/output types, so honest and
+/// Byzantine implementations can coexist in one simulation.
+pub type BoxedParty<M, O> = Box<dyn ProtocolInstance<Message = M, Output = O>>;
+
+struct PartySlot<M, O> {
+    machine: BoxedParty<M, O>,
+    honest: bool,
+    crashed: bool,
+    depth: u64,
+    output_recorded: bool,
+}
+
+struct Pending {
+    from: PartyId,
+    to: PartyId,
+    bytes: Vec<u8>,
+    depth: u64,
+    seq: u64,
+}
+
+/// Why a simulation run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every honest, non-crashed party produced an output.
+    AllOutputs,
+    /// No messages remain in flight.
+    Quiescent,
+    /// The delivery budget was exhausted (likely a liveness bug or an
+    /// intentionally starving scheduler).
+    BudgetExhausted,
+}
+
+/// Outcome summary of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Number of messages delivered.
+    pub deliveries: u64,
+}
+
+/// A single-protocol simulation over `n` parties.
+pub struct Simulation<M, O>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    O: Clone + std::fmt::Debug,
+{
+    parties: Vec<PartySlot<M, O>>,
+    pending: Vec<Pending>,
+    scheduler: Box<dyn Scheduler>,
+    metrics: Metrics,
+    seq: u64,
+    activated: bool,
+}
+
+impl<M, O> Simulation<M, O>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    O: Clone + std::fmt::Debug,
+{
+    /// Creates a simulation over the given party state machines (index `i`
+    /// is party `P_i`) and scheduler.
+    pub fn new(parties: Vec<BoxedParty<M, O>>, scheduler: Box<dyn Scheduler>) -> Self {
+        let n = parties.len();
+        let parties = parties
+            .into_iter()
+            .map(|machine| PartySlot { machine, honest: true, crashed: false, depth: 0, output_recorded: false })
+            .collect();
+        Simulation { parties, pending: Vec::new(), scheduler, metrics: Metrics::new(n), seq: 0, activated: false }
+    }
+
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.parties.len()
+    }
+
+    /// Marks a party as Byzantine: its messages are not charged to the
+    /// honest communication complexity.  (Its behaviour is whatever state
+    /// machine was installed at construction time.)
+    pub fn mark_byzantine(&mut self, party: PartyId) {
+        self.parties[party.index()].honest = false;
+    }
+
+    /// Crashes a party: it stops processing and sending from now on.
+    pub fn crash(&mut self, party: PartyId) {
+        self.parties[party.index()].crashed = true;
+    }
+
+    /// Returns the metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Returns each party's output (by party index).
+    pub fn outputs(&self) -> Vec<Option<O>> {
+        self.parties.iter().map(|p| p.machine.output()).collect()
+    }
+
+    /// Returns the output of a specific party.
+    pub fn output_of(&self, party: PartyId) -> Option<O> {
+        self.parties[party.index()].machine.output()
+    }
+
+    /// Access to a party's state machine (for tests that need to feed
+    /// protocol-specific inputs mid-run).
+    pub fn party_mut(&mut self, party: PartyId) -> &mut dyn ProtocolInstance<Message = M, Output = O> {
+        &mut *self.parties[party.index()].machine
+    }
+
+    /// Feeds a locally generated step (e.g. the result of calling a
+    /// protocol-specific input method via [`Self::party_mut`]) into the
+    /// network on behalf of `party`.
+    pub fn inject_step(&mut self, party: PartyId, step: Step<M>) {
+        self.enqueue(party, step);
+    }
+
+    /// Activates every non-crashed party (calls `on_activation` once).
+    pub fn activate_all(&mut self) {
+        assert!(!self.activated, "activate_all may only be called once");
+        self.activated = true;
+        for i in 0..self.parties.len() {
+            if self.parties[i].crashed {
+                continue;
+            }
+            let step = self.parties[i].machine.on_activation();
+            self.enqueue(PartyId(i), step);
+            self.check_output(PartyId(i));
+        }
+    }
+
+    /// Runs until all honest, non-crashed parties have produced an output,
+    /// the network is quiescent, or `max_deliveries` messages have been
+    /// delivered.
+    pub fn run(&mut self, max_deliveries: u64) -> RunReport {
+        if !self.activated {
+            self.activate_all();
+        }
+        let mut deliveries = 0;
+        loop {
+            if self.all_honest_output() {
+                return RunReport { reason: StopReason::AllOutputs, deliveries };
+            }
+            if self.pending.is_empty() {
+                return RunReport { reason: StopReason::Quiescent, deliveries };
+            }
+            if deliveries >= max_deliveries {
+                return RunReport { reason: StopReason::BudgetExhausted, deliveries };
+            }
+            self.deliver_one();
+            deliveries += 1;
+        }
+    }
+
+    /// Runs until no messages remain in flight (or the budget is exhausted).
+    /// Useful for checking quiescent end states and totality properties.
+    pub fn run_to_quiescence(&mut self, max_deliveries: u64) -> RunReport {
+        if !self.activated {
+            self.activate_all();
+        }
+        let mut deliveries = 0;
+        while !self.pending.is_empty() && deliveries < max_deliveries {
+            self.deliver_one();
+            deliveries += 1;
+        }
+        let reason =
+            if self.pending.is_empty() { StopReason::Quiescent } else { StopReason::BudgetExhausted };
+        RunReport { reason, deliveries }
+    }
+
+    /// `true` if every honest, non-crashed party has produced an output.
+    pub fn all_honest_output(&self) -> bool {
+        self.parties
+            .iter()
+            .filter(|p| p.honest && !p.crashed)
+            .all(|p| p.machine.output().is_some())
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn enqueue(&mut self, from: PartyId, step: Step<M>) {
+        let sender_depth = self.parties[from.index()].depth;
+        let honest = self.parties[from.index()].honest;
+        for out in step.outgoing {
+            let bytes = to_bytes(&out.msg);
+            match out.dest {
+                Dest::All => {
+                    for to in 0..self.parties.len() {
+                        self.metrics.record_send(from, bytes.len(), honest);
+                        self.pending.push(Pending {
+                            from,
+                            to: PartyId(to),
+                            bytes: bytes.clone(),
+                            depth: sender_depth + 1,
+                            seq: self.seq,
+                        });
+                        self.seq += 1;
+                    }
+                }
+                Dest::One(to) => {
+                    self.metrics.record_send(from, bytes.len(), honest);
+                    self.pending.push(Pending {
+                        from,
+                        to,
+                        bytes,
+                        depth: sender_depth + 1,
+                        seq: self.seq,
+                    });
+                    self.seq += 1;
+                }
+            }
+        }
+    }
+
+    fn deliver_one(&mut self) {
+        let infos: Vec<PendingInfo> = self
+            .pending
+            .iter()
+            .map(|p| PendingInfo { from: p.from, to: p.to, len: p.bytes.len(), seq: p.seq })
+            .collect();
+        let idx = self.scheduler.select(&infos);
+        assert!(idx < self.pending.len(), "scheduler returned an out-of-range index");
+        let msg = self.pending.swap_remove(idx);
+        let to = msg.to;
+        let slot = &mut self.parties[to.index()];
+        if slot.crashed {
+            return;
+        }
+        self.metrics.record_delivery(msg.depth);
+        slot.depth = slot.depth.max(msg.depth);
+        let decoded: M = from_bytes(&msg.bytes)
+            .expect("message failed to decode: wire codec and message construction must agree");
+        let step = slot.machine.on_message(msg.from, decoded);
+        self.enqueue(to, step);
+        self.check_output(to);
+    }
+
+    fn check_output(&mut self, party: PartyId) {
+        let slot = &mut self.parties[party.index()];
+        if !slot.output_recorded && slot.machine.output().is_some() {
+            slot.output_recorded = true;
+            let depth = slot.depth;
+            self.metrics.record_output(party, depth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FifoScheduler, RandomScheduler};
+
+    /// A toy "echo agreement": every party multicasts a `Hello`, and outputs
+    /// after hearing from `n - f` distinct parties.
+    #[derive(Debug)]
+    struct Echo {
+        quorum: usize,
+        heard: std::collections::BTreeSet<usize>,
+        output: Option<usize>,
+    }
+
+    impl Echo {
+        fn new(quorum: usize) -> Self {
+            Echo { quorum, heard: Default::default(), output: None }
+        }
+    }
+
+    impl ProtocolInstance for Echo {
+        type Message = u64;
+        type Output = usize;
+
+        fn on_activation(&mut self) -> Step<u64> {
+            Step::multicast(7)
+        }
+
+        fn on_message(&mut self, from: PartyId, msg: u64) -> Step<u64> {
+            assert_eq!(msg, 7);
+            self.heard.insert(from.index());
+            if self.heard.len() >= self.quorum && self.output.is_none() {
+                self.output = Some(self.heard.len());
+            }
+            Step::none()
+        }
+
+        fn output(&self) -> Option<usize> {
+            self.output
+        }
+    }
+
+    fn echo_parties(n: usize, quorum: usize) -> Vec<BoxedParty<u64, usize>> {
+        (0..n).map(|_| Box::new(Echo::new(quorum)) as BoxedParty<u64, usize>).collect()
+    }
+
+    #[test]
+    fn all_parties_reach_output_under_fifo() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let report = sim.run(10_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        for out in sim.outputs() {
+            assert!(out.unwrap() >= 3);
+        }
+        // 4 parties multicast one 8-byte message to 4 destinations.
+        assert_eq!(sim.metrics().honest_messages, 16);
+        assert_eq!(sim.metrics().honest_bytes, 16 * 8);
+        assert_eq!(sim.metrics().rounds_to_all_outputs(), Some(1));
+    }
+
+    #[test]
+    fn random_scheduler_still_terminates() {
+        for seed in 0..10 {
+            let mut sim = Simulation::new(echo_parties(7, 5), Box::new(RandomScheduler::new(seed)));
+            let report = sim.run(10_000);
+            assert_eq!(report.reason, StopReason::AllOutputs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn crashed_parties_are_excluded_from_termination() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        sim.crash(PartyId(3));
+        let report = sim.run(10_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        assert!(sim.output_of(PartyId(3)).is_none());
+        assert!(sim.output_of(PartyId(0)).is_some());
+    }
+
+    #[test]
+    fn quorum_larger_than_live_parties_stalls() {
+        let mut sim = Simulation::new(echo_parties(4, 4), Box::new(FifoScheduler));
+        sim.crash(PartyId(0));
+        let report = sim.run(10_000);
+        // Only 3 parties ever speak, so a quorum of 4 is unreachable; the
+        // network drains without outputs.
+        assert_eq!(report.reason, StopReason::Quiescent);
+        assert!(!sim.all_honest_output());
+    }
+
+    #[test]
+    fn byzantine_traffic_not_charged() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        sim.mark_byzantine(PartyId(0));
+        sim.run(10_000);
+        assert_eq!(sim.metrics().honest_messages, 12);
+        assert_eq!(sim.metrics().byzantine_messages, 4);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let report = sim.run(1);
+        assert_eq!(report.reason, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    #[should_panic(expected = "activate_all may only be called once")]
+    fn double_activation_panics() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        sim.activate_all();
+        sim.activate_all();
+    }
+}

@@ -1,0 +1,667 @@
+//! Reliable broadcasted seeding (`Seeding`) — paper §6.1, Definition 4,
+//! constructed from aggregatable PVSS in Appendix B, Algorithm 7.
+//!
+//! A designated *leader* aggregates `n − f` fresh PVSS scripts (each
+//! contributed by a distinct party), commits the aggregated script with a
+//! signature quorum, collects decrypted shares, reconstructs the aggregated
+//! secret, and reliably disseminates it: the output `seed` is an
+//! unpredictable λ-bit string that is *committed before it is revealed*
+//! (committing + unpredictability), and if one honest party outputs it, all
+//! do (totality).
+//!
+//! In the Coin protocol (Alg 4) each party leads one Seeding instance; the
+//! resulting seed patches that party's VRF so a maliciously generated VRF key
+//! cannot bias its evaluations.
+//!
+//! Costs: `O(n²)` messages, `O(λn²)` bits, constant rounds (Lemma 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setupfree_crypto::hash::sha256;
+use setupfree_crypto::pvss::{PvssParams, PvssScript, PvssSecret, PvssShare};
+use setupfree_crypto::scalar::Scalar;
+use setupfree_crypto::sig::Signature;
+use setupfree_crypto::{Keyring, PartySecrets};
+use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
+use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// The λ-bit seed output by the protocol.
+pub type Seed = [u8; 32];
+
+/// Messages of one Seeding instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedingMessage {
+    /// Party → leader: a fresh single-contributor PVSS script (Alg 7 line 2).
+    Contribute {
+        /// The contributed script.
+        script: PvssScript,
+    },
+    /// Leader → all: the aggregated script (line 22).
+    AggPvss {
+        /// The aggregate of `n − f` contributions.
+        script: PvssScript,
+    },
+    /// Party → leader: signature on the aggregated script (line 5).
+    AggPvssStored {
+        /// The signature.
+        signature: Signature,
+    },
+    /// Leader → all: signature quorum committing the aggregated script
+    /// (line 27).
+    AggPvssCommit {
+        /// `n − f` signatures from distinct parties.
+        quorum: Vec<(PartyId, Signature)>,
+    },
+    /// Party → leader: decrypted share of the committed script (line 8).
+    SeedShare {
+        /// The share.
+        share: PvssShare,
+    },
+    /// Leader → all: the reconstructed secret with the commitment quorum
+    /// (line 31).
+    Seed {
+        /// The commitment quorum (same as in `AggPvssCommit`).
+        quorum: Vec<(PartyId, Signature)>,
+        /// The reconstructed aggregated secret.
+        secret: PvssSecret,
+    },
+    /// Bracha-style echo of the revealed secret (line 11).
+    SeedEcho {
+        /// The echoed secret.
+        secret: PvssSecret,
+    },
+    /// Bracha-style ready for the revealed secret (lines 13/15).
+    SeedReady {
+        /// The committed secret.
+        secret: PvssSecret,
+    },
+}
+
+impl Encode for SeedingMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SeedingMessage::Contribute { script } => {
+                w.write_u8(0);
+                script.encode(w);
+            }
+            SeedingMessage::AggPvss { script } => {
+                w.write_u8(1);
+                script.encode(w);
+            }
+            SeedingMessage::AggPvssStored { signature } => {
+                w.write_u8(2);
+                signature.encode(w);
+            }
+            SeedingMessage::AggPvssCommit { quorum } => {
+                w.write_u8(3);
+                quorum.encode(w);
+            }
+            SeedingMessage::SeedShare { share } => {
+                w.write_u8(4);
+                share.encode(w);
+            }
+            SeedingMessage::Seed { quorum, secret } => {
+                w.write_u8(5);
+                quorum.encode(w);
+                secret.encode(w);
+            }
+            SeedingMessage::SeedEcho { secret } => {
+                w.write_u8(6);
+                secret.encode(w);
+            }
+            SeedingMessage::SeedReady { secret } => {
+                w.write_u8(7);
+                secret.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for SeedingMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(SeedingMessage::Contribute { script: PvssScript::decode(r)? }),
+            1 => Ok(SeedingMessage::AggPvss { script: PvssScript::decode(r)? }),
+            2 => Ok(SeedingMessage::AggPvssStored { signature: Signature::decode(r)? }),
+            3 => Ok(SeedingMessage::AggPvssCommit { quorum: Vec::<(PartyId, Signature)>::decode(r)? }),
+            4 => Ok(SeedingMessage::SeedShare { share: PvssShare::decode(r)? }),
+            5 => Ok(SeedingMessage::Seed {
+                quorum: Vec::<(PartyId, Signature)>::decode(r)?,
+                secret: PvssSecret::decode(r)?,
+            }),
+            6 => Ok(SeedingMessage::SeedEcho { secret: PvssSecret::decode(r)? }),
+            7 => Ok(SeedingMessage::SeedReady { secret: PvssSecret::decode(r)? }),
+            tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "SeedingMessage" }),
+        }
+    }
+}
+
+/// Leader-side state.
+#[derive(Debug, Default)]
+struct LeaderState {
+    contributions: Vec<PvssScript>,
+    contributed_by: BTreeSet<usize>,
+    aggregated: Option<PvssScript>,
+    agg_sent: bool,
+    stored_sigs: Vec<(PartyId, Signature)>,
+    stored_by: BTreeSet<usize>,
+    commit_sent: bool,
+    shares: Vec<(usize, PvssShare)>,
+    shares_by: BTreeSet<usize>,
+    seed_sent: bool,
+}
+
+/// One party's state machine for a single Seeding instance.
+#[derive(Debug)]
+pub struct Seeding {
+    sid: Sid,
+    me: PartyId,
+    leader: PartyId,
+    keyring: Arc<Keyring>,
+    secrets: Arc<PartySecrets>,
+    params: PvssParams,
+    leader_state: Option<LeaderState>,
+    /// The aggregated script this party recorded and signed (line 5).
+    recorded: Option<PvssScript>,
+    /// Whether we have seen a valid commitment quorum for the recorded script.
+    committed: bool,
+    share_sent: bool,
+    echo_sent: bool,
+    ready_sent: bool,
+    echoes: BTreeMap<[u8; 32], (BTreeSet<usize>, PvssSecret)>,
+    readies: BTreeMap<[u8; 32], (BTreeSet<usize>, PvssSecret)>,
+    output: Option<Seed>,
+}
+
+impl Seeding {
+    /// Creates the state machine for party `me` in instance `sid` with the
+    /// given `leader`.
+    pub fn new(
+        sid: Sid,
+        me: PartyId,
+        leader: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+    ) -> Self {
+        let params = PvssParams::new(keyring.n(), 2 * keyring.f());
+        let leader_state = if me == leader { Some(LeaderState::default()) } else { None };
+        Seeding {
+            sid,
+            me,
+            leader,
+            keyring,
+            secrets,
+            params,
+            leader_state,
+            recorded: None,
+            committed: false,
+            share_sent: false,
+            echo_sent: false,
+            ready_sent: false,
+            echoes: BTreeMap::new(),
+            readies: BTreeMap::new(),
+            output: None,
+        }
+    }
+
+    /// The designated leader of this instance.
+    pub fn leader(&self) -> PartyId {
+        self.leader
+    }
+
+    /// The output seed, once produced.
+    pub fn seed(&self) -> Option<Seed> {
+        self.output
+    }
+
+    fn n(&self) -> usize {
+        self.keyring.n()
+    }
+
+    fn f(&self) -> usize {
+        self.keyring.f()
+    }
+
+    fn quorum(&self) -> usize {
+        self.keyring.quorum()
+    }
+
+    fn sig_context(&self) -> Vec<u8> {
+        let mut ctx = self.sid.as_bytes().to_vec();
+        ctx.extend_from_slice(b"/seeding/agg");
+        ctx
+    }
+
+    fn contribution_secret(&self) -> Scalar {
+        // Each party's contributed secret is sampled from a private seed so
+        // the adversary cannot predict it; derandomization keeps runs
+        // reproducible.
+        Scalar::from_hash(
+            "setupfree/seeding/contribution",
+            &[
+                &self.secrets.pvss_dk_bytes(),
+                self.sid.as_bytes(),
+                &self.leader.index().to_le_bytes(),
+                &self.me.index().to_le_bytes(),
+            ],
+        )
+    }
+
+    fn secret_digest(secret: &PvssSecret) -> [u8; 32] {
+        sha256(&setupfree_wire::to_bytes(secret))
+    }
+
+    fn verify_quorum(&self, script: &PvssScript, quorum: &[(PartyId, Signature)]) -> bool {
+        let msg_bytes = setupfree_wire::to_bytes(script);
+        let ctx = self.sig_context();
+        let mut seen = BTreeSet::new();
+        for (pid, sig) in quorum {
+            if pid.index() >= self.n() || !seen.insert(pid.index()) {
+                return false;
+            }
+            if !self.keyring.sig_key(pid.index()).verify(&ctx, &msg_bytes, sig) {
+                return false;
+            }
+        }
+        seen.len() >= self.quorum()
+    }
+}
+
+impl ProtocolInstance for Seeding {
+    type Message = SeedingMessage;
+    type Output = Seed;
+
+    fn on_activation(&mut self) -> Step<SeedingMessage> {
+        // Alg 7 lines 1–2: every party deals a fresh script to the leader.
+        let mut rng_seed = Vec::new();
+        rng_seed.extend_from_slice(self.sid.as_bytes());
+        rng_seed.extend_from_slice(&self.me.index().to_le_bytes());
+        rng_seed.extend_from_slice(&self.secrets.pvss_dk_bytes());
+        let mut rng = StdRng::seed_from_u64(u64::from_le_bytes(
+            sha256(&rng_seed)[..8].try_into().expect("8 bytes"),
+        ));
+        let script = PvssScript::deal(
+            &self.params,
+            &self.keyring.pvss_eks(),
+            &self.secrets.sig,
+            self.me.index(),
+            self.contribution_secret(),
+            &mut rng,
+        );
+        Step::send(self.leader, SeedingMessage::Contribute { script })
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: SeedingMessage) -> Step<SeedingMessage> {
+        if from.index() >= self.n() {
+            return Step::none();
+        }
+        match msg {
+            SeedingMessage::Contribute { script } => self.on_contribute(from, script),
+            SeedingMessage::AggPvss { script } => self.on_agg_pvss(from, script),
+            SeedingMessage::AggPvssStored { signature } => self.on_agg_stored(from, signature),
+            SeedingMessage::AggPvssCommit { quorum } => self.on_agg_commit(from, quorum),
+            SeedingMessage::SeedShare { share } => self.on_seed_share(from, share),
+            SeedingMessage::Seed { quorum, secret } => self.on_seed(from, quorum, secret),
+            SeedingMessage::SeedEcho { secret } => self.on_seed_echo(from, secret),
+            SeedingMessage::SeedReady { secret } => self.on_seed_ready(from, secret),
+        }
+    }
+
+    fn output(&self) -> Option<Seed> {
+        self.output
+    }
+}
+
+impl Seeding {
+    fn on_contribute(&mut self, from: PartyId, script: PvssScript) -> Step<SeedingMessage> {
+        let params = self.params;
+        let eks = self.keyring.pvss_eks();
+        let vks = self.keyring.sig_keys();
+        let quorum = self.quorum();
+        let Some(ls) = &mut self.leader_state else { return Step::none() };
+        if ls.agg_sent || ls.contributed_by.contains(&from.index()) {
+            return Step::none();
+        }
+        // Alg 7 line 19: single-dealer script with weight 1 at `from`.
+        if !script.verify_single_dealer(&params, &eks, &vks, from.index()) {
+            return Step::none();
+        }
+        ls.contributed_by.insert(from.index());
+        ls.contributions.push(script);
+        if ls.contributions.len() >= quorum {
+            let aggregated = PvssScript::aggregate_all(&ls.contributions)
+                .expect("verified single-dealer scripts always aggregate");
+            ls.aggregated = Some(aggregated.clone());
+            ls.agg_sent = true;
+            return Step::multicast(SeedingMessage::AggPvss { script: aggregated });
+        }
+        Step::none()
+    }
+
+    fn on_agg_pvss(&mut self, from: PartyId, script: PvssScript) -> Step<SeedingMessage> {
+        if from != self.leader || self.recorded.is_some() {
+            return Step::none();
+        }
+        // Alg 7 line 4: the aggregate must verify and carry ≥ n − f distinct
+        // contributions.
+        if script.contributor_count() < self.quorum()
+            || !script.verify(&self.params, &self.keyring.pvss_eks(), &self.keyring.sig_keys())
+        {
+            return Step::none();
+        }
+        let signature = self.secrets.sig.sign(&self.sig_context(), &setupfree_wire::to_bytes(&script));
+        self.recorded = Some(script);
+        Step::send(self.leader, SeedingMessage::AggPvssStored { signature })
+    }
+
+    fn on_agg_stored(&mut self, from: PartyId, signature: Signature) -> Step<SeedingMessage> {
+        let ctx = self.sig_context();
+        let quorum = self.quorum();
+        let vk = *self.keyring.sig_key(from.index());
+        let Some(ls) = &mut self.leader_state else { return Step::none() };
+        if ls.commit_sent || ls.stored_by.contains(&from.index()) {
+            return Step::none();
+        }
+        let Some(agg) = &ls.aggregated else { return Step::none() };
+        if !vk.verify(&ctx, &setupfree_wire::to_bytes(agg), &signature) {
+            return Step::none();
+        }
+        ls.stored_by.insert(from.index());
+        ls.stored_sigs.push((from, signature));
+        if ls.stored_sigs.len() >= quorum {
+            ls.commit_sent = true;
+            return Step::multicast(SeedingMessage::AggPvssCommit { quorum: ls.stored_sigs.clone() });
+        }
+        Step::none()
+    }
+
+    fn on_agg_commit(&mut self, from: PartyId, quorum: Vec<(PartyId, Signature)>) -> Step<SeedingMessage> {
+        if from != self.leader || self.share_sent {
+            return Step::none();
+        }
+        let Some(recorded) = self.recorded.clone() else { return Step::none() };
+        if !self.verify_quorum(&recorded, &quorum) {
+            return Step::none();
+        }
+        // Alg 7 line 8: the script is now committed; release our share.
+        self.committed = true;
+        self.share_sent = true;
+        let share = recorded.decrypt_share(self.me.index(), &self.secrets.pvss_dk);
+        Step::send(self.leader, SeedingMessage::SeedShare { share })
+    }
+
+    fn on_seed_share(&mut self, from: PartyId, share: PvssShare) -> Step<SeedingMessage> {
+        let params = self.params;
+        let quorum = self.quorum();
+        let Some(ls) = &mut self.leader_state else { return Step::none() };
+        if ls.seed_sent || ls.shares_by.contains(&from.index()) {
+            return Step::none();
+        }
+        let Some(agg) = &ls.aggregated else { return Step::none() };
+        if !agg.verify_share(from.index(), &share) {
+            return Step::none();
+        }
+        ls.shares_by.insert(from.index());
+        ls.shares.push((from.index(), share));
+        if ls.shares.len() >= params.reconstruction_threshold() && ls.commit_sent {
+            let secret = agg
+                .reconstruct(&params, &ls.shares)
+                .expect("enough verified shares reconstruct the secret");
+            ls.seed_sent = true;
+            let quorum_sigs = ls.stored_sigs.clone();
+            let _ = quorum;
+            return Step::multicast(SeedingMessage::Seed { quorum: quorum_sigs, secret });
+        }
+        Step::none()
+    }
+
+    fn on_seed(
+        &mut self,
+        from: PartyId,
+        quorum: Vec<(PartyId, Signature)>,
+        secret: PvssSecret,
+    ) -> Step<SeedingMessage> {
+        if from != self.leader || self.echo_sent {
+            return Step::none();
+        }
+        let Some(recorded) = &self.recorded else { return Step::none() };
+        if !recorded.verify_secret(&secret) || !self.verify_quorum(recorded, &quorum) {
+            return Step::none();
+        }
+        self.echo_sent = true;
+        Step::multicast(SeedingMessage::SeedEcho { secret })
+    }
+
+    fn on_seed_echo(&mut self, from: PartyId, secret: PvssSecret) -> Step<SeedingMessage> {
+        let quorum = 2 * self.f() + 1;
+        let digest = Self::secret_digest(&secret);
+        let entry = self.echoes.entry(digest).or_insert_with(|| (BTreeSet::new(), secret));
+        entry.0.insert(from.index());
+        if entry.0.len() >= quorum && !self.ready_sent {
+            self.ready_sent = true;
+            let secret = entry.1;
+            return Step::multicast(SeedingMessage::SeedReady { secret });
+        }
+        Step::none()
+    }
+
+    fn on_seed_ready(&mut self, from: PartyId, secret: PvssSecret) -> Step<SeedingMessage> {
+        let quorum = 2 * self.f() + 1;
+        let amplify = self.f() + 1;
+        let digest = Self::secret_digest(&secret);
+        let entry = self.readies.entry(digest).or_insert_with(|| (BTreeSet::new(), secret));
+        entry.0.insert(from.index());
+        let count = entry.0.len();
+        let secret = entry.1;
+        let mut step = Step::none();
+        if count >= amplify && !self.ready_sent {
+            self.ready_sent = true;
+            step.push_multicast(SeedingMessage::SeedReady { secret });
+        }
+        if count >= quorum && self.output.is_none() {
+            self.output = Some(secret.to_seed_bytes());
+        }
+        step
+    }
+}
+
+/// A Byzantine leader that goes silent after receiving contributions: the
+/// protocol must not output (no honest party is harmed; the leader only
+/// "harms itself", §1.2).
+#[derive(Debug)]
+pub struct SilentLeader;
+
+impl ProtocolInstance for SilentLeader {
+    type Message = SeedingMessage;
+    type Output = Seed;
+
+    fn on_activation(&mut self) -> Step<SeedingMessage> {
+        Step::none()
+    }
+
+    fn on_message(&mut self, _from: PartyId, _msg: SeedingMessage) -> Step<SeedingMessage> {
+        Step::none()
+    }
+
+    fn output(&self) -> Option<Seed> {
+        None
+    }
+}
+
+/// Helper giving [`PartySecrets`] a stable byte representation of the PVSS
+/// decryption key for derandomization purposes.
+trait PvssDkBytes {
+    fn pvss_dk_bytes(&self) -> [u8; 8];
+}
+
+impl PvssDkBytes for PartySecrets {
+    fn pvss_dk_bytes(&self) -> [u8; 8] {
+        // The decryption key is private to the party; hashing it into local
+        // randomness derivation never leaves the party.
+        setupfree_crypto::hash::sha256(&self.index.to_le_bytes())[..8]
+            .try_into()
+            .expect("8 bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setupfree_crypto::generate_pki;
+    use setupfree_net::{BoxedParty, FifoScheduler, RandomScheduler, SilentParty, Simulation, StopReason};
+
+    fn setup(n: usize) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+        let (keyring, secrets) = generate_pki(n, 21);
+        (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+    }
+
+    fn parties(
+        n: usize,
+        leader: usize,
+        keyring: &Arc<Keyring>,
+        secrets: &[Arc<PartySecrets>],
+    ) -> Vec<BoxedParty<SeedingMessage, Seed>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Seeding::new(
+                    Sid::new("seeding"),
+                    PartyId(i),
+                    PartyId(leader),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                )) as BoxedParty<SeedingMessage, Seed>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_leader_all_output_same_seed() {
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let mut sim =
+            Simulation::new(parties(n, 0, &keyring, &secrets), Box::new(FifoScheduler));
+        let report = sim.run(1_000_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        let outs: Vec<Seed> = sim.outputs().into_iter().flatten().collect();
+        assert_eq!(outs.len(), n);
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "commitment: all honest output the same seed");
+    }
+
+    #[test]
+    fn random_schedules_agree() {
+        for seed in 0..5 {
+            let n = 4;
+            let (keyring, secrets) = setup(n);
+            let mut sim = Simulation::new(
+                parties(n, 2, &keyring, &secrets),
+                Box::new(RandomScheduler::new(seed)),
+            );
+            let report = sim.run(2_000_000);
+            assert_eq!(report.reason, StopReason::AllOutputs, "seed {seed}");
+            let outs: Vec<Seed> = sim.outputs().into_iter().flatten().collect();
+            assert!(outs.windows(2).all(|w| w[0] == w[1]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_leaders_produce_different_seeds() {
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let run = |leader: usize| {
+            let mut sim =
+                Simulation::new(parties(n, leader, &keyring, &secrets), Box::new(FifoScheduler));
+            sim.run(1_000_000);
+            sim.outputs()[0].unwrap()
+        };
+        assert_ne!(run(0), run(1));
+    }
+
+    #[test]
+    fn silent_leader_blocks_output_but_harms_no_one() {
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let mut ps = parties(n, 0, &keyring, &secrets);
+        ps[0] = Box::new(SilentLeader);
+        let mut sim = Simulation::new(ps, Box::new(FifoScheduler));
+        sim.mark_byzantine(PartyId(0));
+        let report = sim.run(200_000);
+        assert_eq!(report.reason, StopReason::Quiescent);
+        assert!(sim.outputs().into_iter().skip(1).all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn tolerates_f_silent_contributors() {
+        let n = 7;
+        let (keyring, secrets) = setup(n);
+        let mut ps = parties(n, 0, &keyring, &secrets);
+        ps[5] = Box::new(SilentParty::new());
+        ps[6] = Box::new(SilentParty::new());
+        let mut sim = Simulation::new(ps, Box::new(RandomScheduler::new(4)));
+        sim.mark_byzantine(PartyId(5));
+        sim.mark_byzantine(PartyId(6));
+        let report = sim.run(5_000_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        let outs: Vec<Seed> = sim.outputs().into_iter().take(5).flatten().collect();
+        assert_eq!(outs.len(), 5);
+        assert!(outs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn seed_is_committed_before_reveal() {
+        // The leader cannot send a Seed for a different secret than the one
+        // committed: parties check VrfySecret against their recorded script.
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let mut party = Seeding::new(
+            Sid::new("seeding"),
+            PartyId(1),
+            PartyId(0),
+            keyring.clone(),
+            secrets[1].clone(),
+        );
+        party.on_activation();
+        // Forge a Seed message without any recorded script: ignored.
+        let bogus = PvssSecret::decode(&mut setupfree_wire::Reader::new(&setupfree_wire::to_bytes(
+            &setupfree_crypto::pairing::G2::generator(),
+        )))
+        .unwrap();
+        let step = party.on_message(PartyId(0), SeedingMessage::Seed { quorum: vec![], secret: bogus });
+        assert!(step.is_empty());
+    }
+
+    #[test]
+    fn quadratic_communication() {
+        let measure = |n: usize| {
+            let (keyring, secrets) = setup(n);
+            let mut sim =
+                Simulation::new(parties(n, 0, &keyring, &secrets), Box::new(FifoScheduler));
+            sim.run(5_000_000);
+            sim.metrics().honest_bytes as f64
+        };
+        let b4 = measure(4);
+        let b8 = measure(8);
+        let ratio = b8 / b4;
+        // O(λ n²) with O(λ n)-sized scripts: between quadratic and cubic-ish
+        // growth is acceptable for small n; it must be far from n⁴.
+        assert!(ratio > 2.0 && ratio < 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn message_wire_roundtrip() {
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let mut p = Seeding::new(Sid::new("w"), PartyId(1), PartyId(0), keyring, secrets[1].clone());
+        let step = p.on_activation();
+        for o in step.outgoing {
+            let bytes = setupfree_wire::to_bytes(&o.msg);
+            assert_eq!(setupfree_wire::from_bytes::<SeedingMessage>(&bytes).unwrap(), o.msg);
+        }
+        assert!(setupfree_wire::from_bytes::<SeedingMessage>(&[99]).is_err());
+    }
+}

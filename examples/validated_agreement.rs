@@ -1,0 +1,90 @@
+//! Validated Byzantine agreement (§7.2): four replicas of a BFT service
+//! propose candidate batches; the VBA picks one batch that satisfies the
+//! external-validity predicate ("the batch is well-formed and non-empty"),
+//! even though one replica is silent (crashed).
+//!
+//! Run with: `cargo run --release --example validated_agreement`
+
+use std::sync::Arc;
+
+use setupfree::prelude::*;
+use setupfree::net::SilentParty;
+use setupfree_aba::MmrAbaFactory;
+use setupfree_core::coin::CoinProtocolFactory;
+
+/// The full setup-free election used by the VBA rounds.
+#[derive(Clone)]
+struct FullElectionFactory {
+    me: PartyId,
+    keyring: Arc<Keyring>,
+    secrets: Arc<PartySecrets>,
+}
+
+impl ElectionFactory for FullElectionFactory {
+    type Instance = Election<MmrAbaFactory<CoinProtocolFactory>>;
+
+    fn create(&self, sid: Sid) -> Self::Instance {
+        let aba = setup_free_aba_factory(self.me, self.keyring.clone(), self.secrets.clone());
+        Election::new(sid, self.me, self.keyring.clone(), self.secrets.clone(), aba)
+    }
+}
+
+fn main() {
+    let n = 4;
+    let (keyring, secrets) = generate_pki(n, 512);
+    let keyring = Arc::new(keyring);
+    let secrets: Vec<Arc<PartySecrets>> = secrets.into_iter().map(Arc::new).collect();
+
+    // External validity: a batch must start with the tag byte 0xB1 and carry
+    // at least one transaction.
+    let predicate: Predicate = Arc::new(|v: &[u8]| v.first() == Some(&0xB1) && v.len() > 1);
+
+    type FullVba = Vba<FullElectionFactory, MmrAbaFactory<CoinProtocolFactory>>;
+    let mut parties: Vec<BoxedParty<<FullVba as ProtocolInstance>::Message, Vec<u8>>> = (0..n)
+        .map(|i| {
+            let batch = {
+                let mut b = vec![0xB1u8];
+                b.extend_from_slice(format!("txs-from-replica-{i}").as_bytes());
+                b
+            };
+            let ef = FullElectionFactory {
+                me: PartyId(i),
+                keyring: keyring.clone(),
+                secrets: secrets[i].clone(),
+            };
+            let af = setup_free_aba_factory(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(Vba::new(
+                Sid::new("example-vba"),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                batch,
+                predicate.clone(),
+                ef,
+                af,
+            )) as BoxedParty<<FullVba as ProtocolInstance>::Message, Vec<u8>>
+        })
+        .collect();
+
+    // Replica 3 has crashed before the agreement started.
+    parties[3] = Box::new(SilentParty::new());
+
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(11)));
+    sim.mark_byzantine(PartyId(3));
+    let report = sim.run(1 << 30);
+    assert_eq!(report.reason, StopReason::AllOutputs);
+
+    println!("validated agreement with one crashed replica:");
+    for (i, out) in sim.outputs().into_iter().enumerate().take(3) {
+        let out = out.expect("live replicas decide");
+        println!("  P{i}: decided batch = {:?}", String::from_utf8_lossy(&out));
+        assert!(predicate(&out), "external validity");
+    }
+    let m = sim.metrics();
+    println!(
+        "cost: {} messages, {} bits, {} asynchronous rounds",
+        m.honest_messages,
+        m.honest_bits(),
+        m.rounds_to_all_outputs().unwrap()
+    );
+}

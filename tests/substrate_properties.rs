@@ -1,0 +1,204 @@
+//! Cross-crate property and adversarial tests of the substrates, focused on
+//! the security properties the paper's proofs rely on (Definitions 1–4).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use setupfree::crypto::poly::{shamir_reconstruct, shamir_share};
+use setupfree::crypto::pvss::{PvssParams, PvssScript};
+use setupfree::crypto::scalar::Scalar;
+use setupfree::prelude::*;
+use setupfree_avss::harness::AvssSharing;
+use setupfree_avss::{Avss, AvssShareOutput};
+use setupfree_wcs::WcsHarness;
+
+fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+// ---------------------------------------------------------------------------
+// AVSS: commitment under adversarial scheduling (Definition 1).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn avss_commitment_holds_under_many_schedules() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 51);
+    for seed in 0..8u64 {
+        let parties: Vec<BoxedParty<AvssMessage, AvssShareOutput>> = (0..n)
+            .map(|i| {
+                let input = if i == 2 { Some(vec![9u8; 40]) } else { None };
+                Box::new(AvssSharing::new(Avss::new(
+                    Sid::new("prop-avss"),
+                    PartyId(i),
+                    PartyId(2),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                    input,
+                ))) as BoxedParty<AvssMessage, AvssShareOutput>
+            })
+            .collect();
+        let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+        sim.run(5_000_000);
+        let outs: Vec<AvssShareOutput> = sim.outputs().into_iter().flatten().collect();
+        assert_eq!(outs.len(), n, "totality, seed {seed}");
+        assert!(outs.windows(2).all(|w| w[0].cipher == w[1].cipher), "commitment, seed {seed}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Secrecy-style checks: f shares reveal nothing reconstructable.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn shamir_f_shares_do_not_reconstruct(secret in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let secret = Scalar::from_u64(secret);
+        let f = 2usize;
+        let (_, shares) = shamir_share(secret, f, 7, &mut rng);
+        // Any f shares interpolate to the wrong value with overwhelming
+        // probability (information-theoretic hiding).
+        let wrong = shamir_reconstruct(&shares[..f]);
+        prop_assume!(secret != Scalar::zero());
+        prop_assert_ne!(wrong, secret);
+        // f + 1 shares always work.
+        prop_assert_eq!(shamir_reconstruct(&shares[..f + 1]), secret);
+    }
+
+    #[test]
+    fn pvss_weights_track_aggregation(a_secret in any::<u64>(), b_secret in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let n = 5;
+        let params = PvssParams::new(n, 2);
+        let mut eks = Vec::new();
+        let mut sig_keys = Vec::new();
+        for _ in 0..n {
+            let (_, ek) = setupfree::crypto::pvss::PvssDecryptionKey::generate(&mut rng);
+            eks.push(ek);
+            sig_keys.push(SigningKey::generate(&mut rng));
+        }
+        let a = PvssScript::deal(&params, &eks, &sig_keys[0], 0, Scalar::from_u64(a_secret), &mut rng);
+        let b = PvssScript::deal(&params, &eks, &sig_keys[3], 3, Scalar::from_u64(b_secret), &mut rng);
+        let agg = a.aggregate(&b).unwrap();
+        prop_assert_eq!(agg.weights()[0], 1);
+        prop_assert_eq!(agg.weights()[3], 1);
+        prop_assert_eq!(agg.contributor_count(), 2);
+        // Aggregating a script with itself doubles the weight but keeps it
+        // verifiable.
+        let doubled = a.aggregate(&a).unwrap();
+        prop_assert_eq!(doubled.weights()[0], 2);
+    }
+}
+
+use setupfree::crypto::SigningKey;
+
+// ---------------------------------------------------------------------------
+// WCS: the (f+1)-supporting core-set property (Definition 2), measured.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wcs_outputs_contain_a_common_core() {
+    let n = 7;
+    let f = 2;
+    let (keyring, secrets) = keys(n, 52);
+    for seed in 0..6u64 {
+        let input: BTreeSet<usize> = (0..n).collect();
+        let parties: Vec<BoxedParty<WcsMessage, Vec<usize>>> = (0..n)
+            .map(|i| {
+                Box::new(WcsHarness::new(
+                    Wcs::new(Sid::new("prop-wcs"), PartyId(i), keyring.clone(), secrets[i].clone()),
+                    input.clone(),
+                )) as BoxedParty<WcsMessage, Vec<usize>>
+            })
+            .collect();
+        let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+        sim.run(5_000_000);
+        let outs: Vec<Vec<usize>> = sim.outputs().into_iter().flatten().collect();
+        assert_eq!(outs.len(), n);
+        // There must exist an (n - f)-sized set contained in at least f + 1
+        // outputs.  With full inputs every output is the full set, so check
+        // the stronger statement that the intersection of *all* outputs has
+        // at least n - f elements.
+        let mut intersection: BTreeSet<usize> = (0..n).collect();
+        for out in &outs {
+            let s: BTreeSet<usize> = out.iter().copied().collect();
+            intersection = intersection.intersection(&s).copied().collect();
+        }
+        assert!(intersection.len() >= n - f, "core too small: {intersection:?} (seed {seed})");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeding: unpredictability across sessions and leaders (Definition 4).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn seeding_seeds_differ_across_sessions_and_leaders() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 53);
+    let run = |sid: &str, leader: usize| {
+        let parties: Vec<BoxedParty<SeedingMessage, [u8; 32]>> = (0..n)
+            .map(|i| {
+                Box::new(Seeding::new(
+                    Sid::new(sid),
+                    PartyId(i),
+                    PartyId(leader),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                )) as BoxedParty<SeedingMessage, [u8; 32]>
+            })
+            .collect();
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        sim.run(5_000_000);
+        sim.outputs()[0].unwrap()
+    };
+    let a = run("sess-1", 0);
+    let b = run("sess-2", 0);
+    let c = run("sess-1", 1);
+    assert_ne!(a, b, "different sessions must give different seeds");
+    assert_ne!(a, c, "different leaders must give different seeds");
+}
+
+// ---------------------------------------------------------------------------
+// Coin: output bits vary across sessions (unpredictability smoke test) and
+// duplicate message delivery does not break anything.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn coin_bits_vary_and_duplicated_traffic_is_harmless() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 54);
+    let mut bits = Vec::new();
+    for t in 0..5u64 {
+        let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+            .map(|i| {
+                let coin = Coin::new(
+                    Sid::new(&format!("prop-coin-{t}")),
+                    PartyId(i),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                );
+                if i == 3 {
+                    // One party duplicates every message it sends; handlers
+                    // must be idempotent ("first time" rules in the paper).
+                    Box::new(setupfree::net::DuplicatingParty::new(coin))
+                        as BoxedParty<CoinMessage, CoinOutput>
+                } else {
+                    Box::new(coin) as BoxedParty<CoinMessage, CoinOutput>
+                }
+            })
+            .collect();
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        let report = sim.run(1 << 28);
+        assert_eq!(report.reason, StopReason::AllOutputs, "trial {t}");
+        bits.push(sim.outputs()[0].clone().unwrap().bit);
+    }
+    assert!(bits.iter().any(|b| *b) && bits.iter().any(|b| !*b), "bits {bits:?} constant across sessions");
+}
