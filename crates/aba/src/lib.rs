@@ -219,11 +219,11 @@ impl<F: CoinFactory> MmrAba<F> {
         state.bval_from[value as usize].insert(from.index());
         let count = state.bval_from[value as usize].len();
         let mut step = Step::none();
-        if count >= f + 1 && !state.bval_sent[value as usize] {
+        if count > f && !state.bval_sent[value as usize] {
             state.bval_sent[value as usize] = true;
             step.push_multicast(AbaMessage::BVal { round, value });
         }
-        if count >= 2 * f + 1 && !state.bin_values[value as usize] {
+        if count > 2 * f && !state.bin_values[value as usize] {
             state.bin_values[value as usize] = true;
             if !state.aux_sent {
                 state.aux_sent = true;
@@ -324,11 +324,11 @@ impl<F: CoinFactory> MmrAba<F> {
         self.finish_from[value as usize].insert(from.index());
         let count = self.finish_from[value as usize].len();
         let mut step = Step::none();
-        if count >= self.f + 1 && !self.finish_sent {
+        if count > self.f && !self.finish_sent {
             self.finish_sent = true;
             step.push_multicast(AbaMessage::Finish { value });
         }
-        if count >= 2 * self.f + 1 && self.output.is_none() {
+        if count > 2 * self.f && self.output.is_none() {
             self.output = Some(value);
         }
         step
@@ -451,7 +451,7 @@ mod tests {
     fn trusted_parties(n: usize, f: usize, inputs: &[bool]) -> Vec<BoxedParty<TrustedMsg, bool>> {
         (0..n)
             .map(|i| {
-                Box::new(MmrAba::new(
+                Box::new(TrustedAba::new(
                     Sid::new("aba"),
                     PartyId(i),
                     n,

@@ -76,6 +76,9 @@ impl<EM: Decode, AM: Decode> Decode for AdkgMessage<EM, AM> {
 
 type EMsg<EF> = <<EF as ElectionFactory>::Instance as ProtocolInstance>::Message;
 type AMsg<AF> = <<AF as AbaFactory>::Instance as ProtocolInstance>::Message;
+/// VBA messages buffered (with their sender) until the local VBA instance
+/// exists.
+type VbaBuffer<EF, AF> = Vec<(PartyId, VbaMessage<EMsg<EF>, AMsg<AF>>)>;
 
 /// One party's ADKG state machine.
 pub struct Adkg<EF: ElectionFactory, AF: AbaFactory> {
@@ -88,7 +91,7 @@ pub struct Adkg<EF: ElectionFactory, AF: AbaFactory> {
     aba_factory: Option<AF>,
     contributions: BTreeMap<usize, PvssScript>,
     vba: Option<Vba<EF, AF>>,
-    vba_buffer: Vec<(PartyId, VbaMessage<EMsg<EF>, AMsg<AF>>)>,
+    vba_buffer: VbaBuffer<EF, AF>,
     output: Option<AdkgOutput>,
 }
 

@@ -1,5 +1,6 @@
 //! Integration tests for the §7.3 applications: the DKG-free random beacon
-//! and the asynchronous DKG.
+//! and the asynchronous DKG, run through the shared adversarial harness
+//! across several seeded schedules.
 //!
 //! To keep the tests fast the plugged ABA uses the idealised trusted coin;
 //! the full setup-free stack (real Coin inside the ABA) is exercised by the
@@ -14,7 +15,8 @@ use setupfree_core::election::Election;
 use setupfree_core::traits::ElectionFactory;
 use setupfree_core::TrustedCoinFactory;
 use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
-use setupfree_net::{BoxedParty, PartyId, ProtocolInstance, RandomScheduler, Sid, Simulation, StopReason};
+use setupfree_net::{BoxedParty, PartyId, ProtocolInstance, Sid};
+use setupfree_testkit::{assert_agreement_sweep, sweep, Adversary, Ensemble};
 
 #[derive(Clone)]
 struct TestElectionFactory {
@@ -38,43 +40,37 @@ fn setup(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
 }
 
 #[test]
-fn beacon_epochs_agree_across_parties() {
+fn beacon_epochs_agree_across_parties_and_schedules() {
     let n = 4;
     let (keyring, secrets) = setup(n, 11);
     let epochs = 2;
     type B = RandomBeacon<MmrAbaFactory<TrustedCoinFactory>>;
-    let parties: Vec<BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>> = (0..n)
-        .map(|i| {
-            let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+    type BeaconMsg = <B as ProtocolInstance>::Message;
+    // Agreement per epoch is whole-output agreement on the Vec<BeaconEpoch>,
+    // so the harness's uniform assertion covers it; run the full standard
+    // sweep (FIFO, random, targeted-delay, partition schedules).
+    let runs = assert_agreement_sweep(&Adversary::standard_sweep(n, 3), 100_000_000, |_| {
+        let sid = Sid::new("beacon");
+        Ensemble::build(n, |i| {
+            let aba = MmrAbaFactory::new(i, n, keyring.f(), TrustedCoinFactory);
             Box::new(RandomBeacon::new(
-                Sid::new("beacon"),
-                PartyId(i),
+                sid.clone(),
+                i,
                 keyring.clone(),
-                secrets[i].clone(),
+                secrets[i.index()].clone(),
                 aba,
                 epochs,
-            )) as BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>
+            )) as BoxedParty<BeaconMsg, Vec<BeaconEpoch>>
         })
-        .collect();
-    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(7)));
-    let report = sim.run(100_000_000);
-    assert_eq!(report.reason, StopReason::AllOutputs);
-    let outputs: Vec<Vec<BeaconEpoch>> = sim.outputs().into_iter().flatten().collect();
-    assert_eq!(outputs.len(), n);
-    for out in &outputs {
-        assert_eq!(out.len(), epochs as usize);
-    }
-    // Agreement: every epoch's (leader, value) is identical across parties.
-    for e in 0..epochs as usize {
-        for w in outputs.windows(2) {
-            assert_eq!(w[0][e], w[1][e], "epoch {e} diverged");
+    });
+    for run in &runs {
+        run.assert_validity(|out| out.len() == epochs as usize);
+        // Unbiasedness smoke-check: two epochs that both produced values
+        // must not produce the same value.
+        let values: Vec<_> = run.first_output().iter().filter_map(|e| e.value).collect();
+        if values.len() >= 2 {
+            assert_ne!(values[0], values[1], "under {}", run.adversary);
         }
-    }
-    // Unbiasedness smoke-check: two epochs that both produced values must not
-    // produce the same value.
-    let values: Vec<_> = outputs[0].iter().filter_map(|e| e.value).collect();
-    if values.len() >= 2 {
-        assert_ne!(values[0], values[1]);
     }
 }
 
@@ -83,36 +79,38 @@ fn adkg_all_parties_agree_on_public_key_and_hold_valid_shares() {
     let n = 4;
     let (keyring, secrets) = setup(n, 13);
     type A = Adkg<TestElectionFactory, MmrAbaFactory<TrustedCoinFactory>>;
-    let parties: Vec<BoxedParty<<A as ProtocolInstance>::Message, AdkgOutput>> = (0..n)
-        .map(|i| {
+    type AdkgMsg = <A as ProtocolInstance>::Message;
+    let runs = sweep(&Adversary::random_sweep(3), 100_000_000, |_| {
+        let sid = Sid::new("adkg");
+        Ensemble::build(n, |i| {
             let ef = TestElectionFactory {
-                me: PartyId(i),
+                me: i,
                 keyring: keyring.clone(),
-                secrets: secrets[i].clone(),
+                secrets: secrets[i.index()].clone(),
             };
-            let af = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            let af = MmrAbaFactory::new(i, n, keyring.f(), TrustedCoinFactory);
             Box::new(Adkg::new(
-                Sid::new("adkg"),
-                PartyId(i),
+                sid.clone(),
+                i,
                 keyring.clone(),
-                secrets[i].clone(),
+                secrets[i.index()].clone(),
                 ef,
                 af,
-            )) as BoxedParty<<A as ProtocolInstance>::Message, AdkgOutput>
+            )) as BoxedParty<AdkgMsg, AdkgOutput>
         })
-        .collect();
-    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(3)));
-    let report = sim.run(100_000_000);
-    assert_eq!(report.reason, StopReason::AllOutputs);
-    let outputs: Vec<AdkgOutput> = sim.outputs().into_iter().flatten().collect();
-    assert_eq!(outputs.len(), n);
-    // All parties agree on the distributed public key and the contributor set
-    // size; the key aggregates at least n − f contributions.
-    for w in outputs.windows(2) {
-        assert_eq!(w[0].public_commitment, w[1].public_commitment);
-        assert_eq!(w[0].contributors, w[1].contributors);
+    });
+    for run in &runs {
+        run.assert_termination();
+        let outputs = run.honest_outputs();
+        // All parties agree on the distributed public key and the
+        // contributor set size; the key aggregates ≥ n − f contributions.
+        for w in outputs.windows(2) {
+            assert_eq!(w[0].public_commitment, w[1].public_commitment, "under {}", run.adversary);
+            assert_eq!(w[0].contributors, w[1].contributors, "under {}", run.adversary);
+        }
+        run.assert_validity(|out| out.contributors >= keyring.quorum());
+        // Shares are distinct per party (each decrypts its own evaluation
+        // point).
+        assert_ne!(outputs[0].share, outputs[1].share, "under {}", run.adversary);
     }
-    assert!(outputs[0].contributors >= keyring.quorum());
-    // Shares are distinct per party (each decrypts its own evaluation point).
-    assert_ne!(outputs[0].share, outputs[1].share);
 }

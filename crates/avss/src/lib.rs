@@ -176,6 +176,10 @@ struct DealerState {
     cipher_sent: bool,
 }
 
+/// A validated-but-not-yet-deliverable ciphertext: the signature quorum, the
+/// Pedersen commitment and the encrypted share vector (Alg 1 line 15).
+type PendingCipher = (Vec<(PartyId, Signature)>, PedersenCommitment, Vec<u8>);
+
 /// One party's state machine for a single AVSS instance (both phases).
 #[derive(Debug)]
 pub struct Avss {
@@ -191,7 +195,7 @@ pub struct Avss {
     recorded_share_b: Option<Scalar>,
     /// Commitment + shares accepted after quorum validation (Alg 1 line 19).
     locked: bool,
-    pending_cipher: Option<(Vec<(PartyId, Signature)>, PedersenCommitment, Vec<u8>)>,
+    pending_cipher: Option<PendingCipher>,
     echo_sent: bool,
     ready_sent: bool,
     echoes: BTreeMap<Digest, (BTreeSet<usize>, Vec<u8>)>,
@@ -568,7 +572,7 @@ impl Avss {
             return Step::none();
         }
         self.key_rec_shares.push((point, share_a));
-        if self.key_rec_shares.len() >= self.f() + 1 {
+        if self.key_rec_shares.len() > self.f() {
             let points: Vec<(Scalar, Scalar)> = self
                 .key_rec_shares
                 .iter()
@@ -584,7 +588,7 @@ impl Avss {
     fn on_key(&mut self, from: PartyId, key: Scalar) -> Step<AvssMessage> {
         let votes = self.key_votes.entry(key.to_u64()).or_default();
         votes.insert(from.index());
-        if votes.len() >= self.f() + 1 && self.reconstructed.is_none() {
+        if votes.len() > self.f() && self.reconstructed.is_none() {
             if let Some(output) = &self.share_output {
                 let plain = self.encrypt(key, &output.cipher);
                 self.reconstructed = Some(plain);
@@ -801,7 +805,7 @@ mod tests {
             .collect();
         // Drive the exchange by hand with a simple FIFO queue.
         let mut queue: Vec<(PartyId, PartyId, AvssMessage)> = Vec::new();
-        let mut push = |step: Step<AvssMessage>, from: PartyId, queue: &mut Vec<(PartyId, PartyId, AvssMessage)>| {
+        let push = |step: Step<AvssMessage>, from: PartyId, queue: &mut Vec<(PartyId, PartyId, AvssMessage)>| {
             for o in step.outgoing {
                 match o.dest {
                     setupfree_net::Dest::All => {

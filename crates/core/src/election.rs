@@ -315,7 +315,7 @@ impl<F: AbaFactory> Election<F> {
     /// and 15).  Returns the winning VRF output if one exists.
     fn largest_and_majority(&self, subset_size: usize) -> Option<VrfOutput> {
         let mut counts: BTreeMap<VrfOutput, usize> = BTreeMap::new();
-        for (_, (_, output, _)) in &self.g {
+        for (_, output, _) in self.g.values() {
             *counts.entry(*output).or_default() += 1;
         }
         let mut best: Option<VrfOutput> = None;

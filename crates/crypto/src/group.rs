@@ -252,5 +252,36 @@ mod tests {
             let x = GroupElement::generator().pow(a);
             prop_assert_eq!(GroupElement::from_bytes(x.to_bytes()), Some(x));
         }
+
+        #[test]
+        fn prop_pow_composes_multiplicatively(a in arb_scalar(), b in arb_scalar()) {
+            // (g^a)^b = g^(a·b): the law Pedersen share verification and the
+            // VRF both rely on.
+            let g = GroupElement::generator();
+            prop_assert_eq!(g.pow(a).pow(b), g.pow(a * b));
+        }
+
+        #[test]
+        fn prop_identity_and_inverse_laws(a in arb_scalar()) {
+            let x = GroupElement::generator().pow(a);
+            prop_assert_eq!(x * GroupElement::identity(), x);
+            prop_assert_eq!(x * x.inverse(), GroupElement::identity());
+            prop_assert_eq!(x.inverse().inverse(), x);
+        }
+
+        #[test]
+        fn prop_multi_exp_matches_naive(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+            let bases = [
+                GroupElement::generator(),
+                GroupElement::generator2(),
+                GroupElement::hash_to_group("prop", &[b"base"]),
+            ];
+            let exps = [a, b, c];
+            let naive = bases
+                .iter()
+                .zip(exps.iter())
+                .fold(GroupElement::identity(), |acc, (base, e)| acc * base.pow(*e));
+            prop_assert_eq!(multi_exp(&bases, &exps), naive);
+        }
     }
 }

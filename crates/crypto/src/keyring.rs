@@ -223,7 +223,7 @@ mod tests {
         for (n, f) in [(4, 1), (7, 2), (10, 3), (13, 4), (16, 5), (31, 10)] {
             let (keyring, _) = generate_pki(n, 7);
             assert_eq!(keyring.f(), f, "n = {n}");
-            assert!(keyring.n() >= 3 * keyring.f() + 1);
+            assert!(keyring.n() > 3 * keyring.f());
         }
     }
 }

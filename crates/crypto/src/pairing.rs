@@ -74,6 +74,9 @@ macro_rules! sim_group {
 
         impl Mul for $name {
             type Output = $name;
+            // The simulated group element stores its discrete log, so the
+            // group operation really is exponent addition.
+            #[allow(clippy::suspicious_arithmetic_impl)]
             fn mul(self, rhs: $name) -> $name {
                 $name(self.0 + rhs.0)
             }

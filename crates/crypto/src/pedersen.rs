@@ -60,7 +60,7 @@ impl PedersenCommitment {
         let mut power = Scalar::one();
         for c in &self.commitments {
             acc = acc * c.pow(power);
-            power = power * x;
+            power *= x;
         }
         acc
     }

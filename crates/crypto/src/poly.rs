@@ -102,8 +102,8 @@ pub fn lagrange_coefficient(xs: &[Scalar], j: usize, x: Scalar) -> Scalar {
             continue;
         }
         assert!(xm != xj, "duplicate interpolation points");
-        num = num * (x - xm);
-        den = den * (xj - xm);
+        num *= x - xm;
+        den *= xj - xm;
     }
     num * den.invert()
 }
@@ -119,7 +119,7 @@ pub fn interpolate_at(points: &[(Scalar, Scalar)], x: Scalar) -> Scalar {
     let xs: Vec<Scalar> = points.iter().map(|(xi, _)| *xi).collect();
     let mut acc = Scalar::zero();
     for (j, (_, yj)) in points.iter().enumerate() {
-        acc = acc + *yj * lagrange_coefficient(&xs, j, x);
+        acc += *yj * lagrange_coefficient(&xs, j, x);
     }
     acc
 }

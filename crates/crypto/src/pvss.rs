@@ -42,7 +42,7 @@ impl PvssParams {
     ///
     /// Panics if `degree + 1 > n`.
     pub fn new(n: usize, degree: usize) -> Self {
-        assert!(degree + 1 <= n, "cannot reconstruct a degree-{degree} polynomial with only {n} shares");
+        assert!(degree < n, "cannot reconstruct a degree-{degree} polynomial with only {n} shares");
         PvssParams { n, degree }
     }
 
@@ -225,7 +225,7 @@ impl PvssScript {
         let mut power = Scalar::one();
         for f_k in &self.f_coeffs {
             rhs = rhs * f_k.pow(power);
-            power = power * alpha;
+            power *= alpha;
         }
         if lhs != rhs {
             return false;
@@ -235,17 +235,17 @@ impl PvssScript {
             return false;
         }
         // (3) e(g_1, Ŷ_j) = e(A_j, ek_j) for every receiver.
-        for j in 0..params.n {
-            if pairing(G1::generator(), self.y_encs[j]) != pairing(self.a_evals[j], eks[j].0) {
+        for ((y_j, a_j), ek_j) in self.y_encs.iter().zip(&self.a_evals).zip(eks) {
+            if pairing(G1::generator(), *y_j) != pairing(*a_j, ek_j.0) {
                 return false;
             }
         }
         // (4) Signature-of-knowledge check for every claimed contributor.
-        for i in 0..params.n {
+        for (i, vk_i) in vks.iter().enumerate() {
             if self.weights[i] != 0 {
                 match (&self.c_comms[i], &self.soks[i]) {
                     (Some(c_i), Some(sok)) => {
-                        if !sok_verify(&vks[i], i, c_i, sok) {
+                        if !sok_verify(vk_i, i, c_i, sok) {
                             return false;
                         }
                     }
@@ -665,4 +665,47 @@ mod tests {
     fn invalid_params_panic() {
         PvssParams::new(3, 3);
     }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_verify_rejects_any_tampered_transcript(
+            secret in any::<u64>(),
+            dealer in 0usize..5,
+            seed in any::<u64>(),
+            tamper in 0usize..6,
+            slot in 0usize..5,
+        ) {
+            // Whatever single component of a valid script an adversary
+            // mutates — a coefficient commitment, the secret commitment, an
+            // evaluation commitment, an encrypted share, a claimed weight or
+            // a contributor commitment — verification must reject.
+            let n = 5;
+            let degree = 2;
+            let fx = fixture(n, degree, seed);
+            let mut script = deal(&fx, dealer, secret, seed ^ 0x5eed);
+            prop_assert!(script.verify(&fx.params, &fx.eks, &fx.vks));
+            match tamper {
+                0 => {
+                    let k = slot % (degree + 1);
+                    script.f_coeffs[k] = script.f_coeffs[k] * G1::generator();
+                }
+                1 => script.u2 = script.u2 * G2::generator(),
+                2 => script.a_evals[slot] = script.a_evals[slot] * G1::generator(),
+                3 => script.y_encs[slot] = script.y_encs[slot] * G2::generator(),
+                4 => script.weights[dealer] += 1,
+                _ => {
+                    let prev = script.c_comms[dealer].expect("dealer contributed");
+                    script.c_comms[dealer] = Some(prev * G1::generator());
+                }
+            }
+            prop_assert!(
+                !script.verify(&fx.params, &fx.eks, &fx.vks),
+                "tamper kind {} (slot {}) went undetected", tamper, slot
+            );
+        }
+    }
+
+    use proptest::prelude::*;
 }

@@ -237,7 +237,7 @@ mod tests {
         let mut acc = Scalar::one();
         for e in 0..20u64 {
             assert_eq!(a.pow(e), acc);
-            acc = acc * a;
+            acc *= a;
         }
     }
 

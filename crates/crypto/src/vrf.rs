@@ -283,7 +283,7 @@ mod tests {
         assert!(!out.lowest_bit());
         out.0[VRF_OUTPUT_LEN - 1] = 1;
         assert!(out.lowest_bit());
-        assert_eq!(out.leader_index(7), 1 % 7);
+        assert_eq!(out.leader_index(7), 1);
         let max = VrfOutput([0xff; VRF_OUTPUT_LEN]);
         assert!(max.leader_index(10) < 10);
     }

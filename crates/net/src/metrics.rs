@@ -24,6 +24,9 @@ pub struct Metrics {
     /// Causal depth ("asynchronous rounds") at which each party produced its
     /// output; `None` if it never did.
     pub output_rounds: Vec<Option<u64>>,
+    /// Parties excluded from the round metric (Byzantine or crashed): they
+    /// are not expected to ever produce an output.
+    pub excluded: Vec<bool>,
     /// Maximum causal depth reached by any delivered message.
     pub max_depth: u64,
 }
@@ -35,7 +38,15 @@ impl Metrics {
             per_party_bytes: vec![0; n],
             per_party_messages: vec![0; n],
             output_rounds: vec![None; n],
+            excluded: vec![false; n],
             ..Default::default()
+        }
+    }
+
+    /// Excludes a party (Byzantine or crashed) from the round metric.
+    pub fn exclude(&mut self, party: PartyId) {
+        if let Some(e) = self.excluded.get_mut(party.index()) {
+            *e = true;
         }
     }
 
@@ -71,16 +82,24 @@ impl Metrics {
     }
 
     /// The asynchronous-round count of the execution: the largest causal
-    /// depth at which an honest party produced its output.
+    /// depth at which an honest party produced its output.  `None` if some
+    /// honest (non-excluded) party has not output yet.  Excluded parties'
+    /// outputs are ignored entirely — an adversarial machine must not be
+    /// able to inflate the honest round count.
     pub fn rounds_to_all_outputs(&self) -> Option<u64> {
-        let mut max = 0;
-        for r in &self.output_rounds {
+        let mut max = None;
+        for (i, r) in self.output_rounds.iter().enumerate() {
+            if self.excluded.get(i).copied().unwrap_or(false) {
+                continue;
+            }
             match r {
-                Some(d) => max = max.max(*d),
+                Some(d) => max = Some(max.unwrap_or(0).max(*d)),
                 None => return None,
             }
         }
-        Some(max)
+        // `None` when no party is measurable (all excluded): there is no
+        // honest execution to report a round count for.
+        max
     }
 
     /// Communication in bits (the paper reports bits, the simulator counts
@@ -118,6 +137,26 @@ mod tests {
         m.record_output(PartyId(1), 5);
         assert_eq!(m.rounds_to_all_outputs(), Some(5));
         assert_eq!(m.output_rounds[0], Some(3));
+    }
+
+    #[test]
+    fn excluded_parties_do_not_block_round_metric() {
+        let mut m = Metrics::new(3);
+        m.record_output(PartyId(0), 3);
+        m.record_output(PartyId(1), 6);
+        // Party 2 is a silent Byzantine party: without exclusion the metric
+        // is undefined, with exclusion it reflects the honest parties.
+        assert_eq!(m.rounds_to_all_outputs(), None);
+        m.exclude(PartyId(2));
+        assert_eq!(m.rounds_to_all_outputs(), Some(6));
+        // An excluded (adversarial) party outputting late must not inflate
+        // the honest round count.
+        m.record_output(PartyId(2), 9);
+        assert_eq!(m.rounds_to_all_outputs(), Some(6));
+        // With every party excluded there is nothing to measure.
+        m.exclude(PartyId(0));
+        m.exclude(PartyId(1));
+        assert_eq!(m.rounds_to_all_outputs(), None);
     }
 
     #[test]

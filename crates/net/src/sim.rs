@@ -26,6 +26,9 @@ struct PartySlot<M, O> {
     machine: BoxedParty<M, O>,
     honest: bool,
     crashed: bool,
+    /// Honest-but-crash-faulty: expected to go silent mid-run, so it is not
+    /// awaited for termination, but its traffic is still honest traffic.
+    termination_exempt: bool,
     depth: u64,
     output_recorded: bool,
 }
@@ -84,7 +87,14 @@ where
         let n = parties.len();
         let parties = parties
             .into_iter()
-            .map(|machine| PartySlot { machine, honest: true, crashed: false, depth: 0, output_recorded: false })
+            .map(|machine| PartySlot {
+                machine,
+                honest: true,
+                crashed: false,
+                termination_exempt: false,
+                depth: 0,
+                output_recorded: false,
+            })
             .collect();
         Simulation { parties, pending: Vec::new(), scheduler, metrics: Metrics::new(n), seq: 0, activated: false }
     }
@@ -99,11 +109,23 @@ where
     /// machine was installed at construction time.)
     pub fn mark_byzantine(&mut self, party: PartyId) {
         self.parties[party.index()].honest = false;
+        self.metrics.exclude(party);
     }
 
     /// Crashes a party: it stops processing and sending from now on.
     pub fn crash(&mut self, party: PartyId) {
         self.parties[party.index()].crashed = true;
+        self.metrics.exclude(party);
+    }
+
+    /// Marks a party honest-but-crash-faulty (e.g. wrapped in
+    /// [`crate::faults::CrashAfter`]): it is not awaited for termination and
+    /// excluded from the round metric, but — unlike
+    /// [`Self::mark_byzantine`] — its traffic is still charged to the honest
+    /// communication complexity, as the crash-fault model requires.
+    pub fn mark_crash_faulty(&mut self, party: PartyId) {
+        self.parties[party.index()].termination_exempt = true;
+        self.metrics.exclude(party);
     }
 
     /// Returns the metrics collected so far.
@@ -187,11 +209,12 @@ where
         RunReport { reason, deliveries }
     }
 
-    /// `true` if every honest, non-crashed party has produced an output.
+    /// `true` if every honest, non-crashed, non-crash-faulty party has
+    /// produced an output.
     pub fn all_honest_output(&self) -> bool {
         self.parties
             .iter()
-            .filter(|p| p.honest && !p.crashed)
+            .filter(|p| p.honest && !p.crashed && !p.termination_exempt)
             .all(|p| p.machine.output().is_some())
     }
 
@@ -364,6 +387,24 @@ mod tests {
         sim.run(10_000);
         assert_eq!(sim.metrics().honest_messages, 12);
         assert_eq!(sim.metrics().byzantine_messages, 4);
+    }
+
+    #[test]
+    fn crash_faulty_traffic_still_charged_but_not_awaited() {
+        use crate::faults::CrashAfter;
+        // Party 0 crashes after its activation multicast: it sends 4 honest
+        // messages, is never awaited for termination, and must not block the
+        // round metric.
+        let mut parties = echo_parties(4, 3);
+        parties[0] = Box::new(CrashAfter::new(Echo::new(3), 1));
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        sim.mark_crash_faulty(PartyId(0));
+        let report = sim.run(10_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        assert_eq!(sim.metrics().honest_messages, 16, "pre-crash traffic is honest traffic");
+        assert_eq!(sim.metrics().byzantine_messages, 0);
+        assert!(sim.output_of(PartyId(0)).is_none());
+        assert!(sim.metrics().rounds_to_all_outputs().is_some());
     }
 
     #[test]

@@ -175,7 +175,7 @@ impl Rbc {
         let count = entry.0.len();
         let value = entry.1.clone();
         let mut step = Step::none();
-        if count >= self.f + 1 && !self.ready_sent {
+        if count > self.f && !self.ready_sent {
             self.ready_sent = true;
             step.push_multicast(RbcMessage::Ready(value.clone()));
         }

@@ -369,14 +369,12 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                             // Otherwise wait: some honest party voted 1, so its
                             // Vote carries the value and certificate.
                         }
-                        Some(false) => {
-                            if round + 1 < self.max_rounds {
-                                self.current_round = round + 1;
-                                step.extend(self.start_round(round + 1));
-                                progressed = true;
-                            }
+                        Some(false) if round + 1 < self.max_rounds => {
+                            self.current_round = round + 1;
+                            step.extend(self.start_round(round + 1));
+                            progressed = true;
                         }
-                        None => {}
+                        _ => {}
                     }
                 }
             }

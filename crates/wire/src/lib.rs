@@ -447,8 +447,8 @@ mod tests {
         assert_eq!(from_bytes::<u16>(&to_bytes(&1717u16)).unwrap(), 1717);
         assert_eq!(from_bytes::<u32>(&to_bytes(&0xdead_beefu32)).unwrap(), 0xdead_beef);
         assert_eq!(from_bytes::<u64>(&to_bytes(&u64::MAX)).unwrap(), u64::MAX);
-        assert_eq!(from_bytes::<bool>(&to_bytes(&true)).unwrap(), true);
-        assert_eq!(from_bytes::<bool>(&to_bytes(&false)).unwrap(), false);
+        assert!(from_bytes::<bool>(&to_bytes(&true)).unwrap());
+        assert!(!from_bytes::<bool>(&to_bytes(&false)).unwrap());
         assert_eq!(from_bytes::<usize>(&to_bytes(&42usize)).unwrap(), 42);
     }
 

@@ -1,5 +1,7 @@
 //! Cross-crate property and adversarial tests of the substrates, focused on
 //! the security properties the paper's proofs rely on (Definitions 1–4).
+//! Simulation-backed checks run through the shared adversarial harness
+//! (`setupfree-testkit`); algebraic properties run as property tests.
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -8,9 +10,11 @@ use proptest::prelude::*;
 use setupfree::crypto::poly::{shamir_reconstruct, shamir_share};
 use setupfree::crypto::pvss::{PvssParams, PvssScript};
 use setupfree::crypto::scalar::Scalar;
+use setupfree::crypto::SigningKey;
 use setupfree::prelude::*;
 use setupfree_avss::harness::AvssSharing;
 use setupfree_avss::{Avss, AvssShareOutput};
+use setupfree_testkit::{sweep, Adversary, Ensemble};
 use setupfree_wcs::WcsHarness;
 
 fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
@@ -26,25 +30,34 @@ fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
 fn avss_commitment_holds_under_many_schedules() {
     let n = 4;
     let (keyring, secrets) = keys(n, 51);
-    for seed in 0..8u64 {
-        let parties: Vec<BoxedParty<AvssMessage, AvssShareOutput>> = (0..n)
-            .map(|i| {
-                let input = if i == 2 { Some(vec![9u8; 40]) } else { None };
-                Box::new(AvssSharing::new(Avss::new(
-                    Sid::new("prop-avss"),
-                    PartyId(i),
-                    PartyId(2),
-                    keyring.clone(),
-                    secrets[i].clone(),
-                    input,
-                ))) as BoxedParty<AvssMessage, AvssShareOutput>
-            })
-            .collect();
-        let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
-        sim.run(5_000_000);
-        let outs: Vec<AvssShareOutput> = sim.outputs().into_iter().flatten().collect();
-        assert_eq!(outs.len(), n, "totality, seed {seed}");
-        assert!(outs.windows(2).all(|w| w[0].cipher == w[1].cipher), "commitment, seed {seed}");
+    // Eight random schedules plus the structured adversaries; the dealer
+    // (party 2) is also targeted for worst-case delay.
+    let mut adversaries = Adversary::standard_sweep(n, 8);
+    adversaries.push(Adversary::TargetedDelay { targets: vec![2], seed: 77 });
+    let runs = sweep(&adversaries, 5_000_000, |_| {
+        let sid = Sid::new("prop-avss");
+        Ensemble::build(n, |i| {
+            let input = if i.index() == 2 { Some(vec![9u8; 40]) } else { None };
+            Box::new(AvssSharing::new(Avss::new(
+                sid.clone(),
+                i,
+                PartyId(2),
+                keyring.clone(),
+                secrets[i.index()].clone(),
+                input,
+            ))) as BoxedParty<AvssMessage, AvssShareOutput>
+        })
+    });
+    for run in &runs {
+        run.assert_termination();
+        // Commitment: every party ends with the same committed ciphertext
+        // (the shares themselves are per-party evaluation points).
+        let outs = run.honest_outputs();
+        assert!(
+            outs.windows(2).all(|w| w[0].cipher == w[1].cipher),
+            "commitment violated under {}",
+            run.adversary
+        );
     }
 }
 
@@ -69,6 +82,24 @@ proptest! {
         prop_assert_ne!(wrong, secret);
         // f + 1 shares always work.
         prop_assert_eq!(shamir_reconstruct(&shares[..f + 1]), secret);
+    }
+
+    #[test]
+    fn shamir_roundtrips_under_random_thresholds(secret in any::<u64>(), f in 1usize..6, extra in 0usize..4, seed in any::<u64>()) {
+        // The satellite property: share/reconstruct is the identity for any
+        // threshold f and any quorum of f + 1 (or more) shares out of
+        // n = 3f + 1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let secret = Scalar::from_u64(secret);
+        let n = 3 * f + 1;
+        let (poly, shares) = shamir_share(secret, f, n, &mut rng);
+        prop_assert_eq!(shares.len(), n);
+        prop_assert_eq!(poly.eval_at_index(0), secret);
+        let take = (f + 1 + extra).min(n);
+        prop_assert_eq!(shamir_reconstruct(&shares[..take]), secret);
+        // A disjoint quorum reconstructs the same secret.
+        prop_assert_eq!(shamir_reconstruct(&shares[n - (f + 1)..]), secret);
     }
 
     #[test]
@@ -97,8 +128,6 @@ proptest! {
     }
 }
 
-use setupfree::crypto::SigningKey;
-
 // ---------------------------------------------------------------------------
 // WCS: the (f+1)-supporting core-set property (Definition 2), measured.
 // ---------------------------------------------------------------------------
@@ -108,20 +137,19 @@ fn wcs_outputs_contain_a_common_core() {
     let n = 7;
     let f = 2;
     let (keyring, secrets) = keys(n, 52);
-    for seed in 0..6u64 {
+    let runs = sweep(&Adversary::standard_sweep(n, 6), 5_000_000, |_| {
+        let sid = Sid::new("prop-wcs");
         let input: BTreeSet<usize> = (0..n).collect();
-        let parties: Vec<BoxedParty<WcsMessage, Vec<usize>>> = (0..n)
-            .map(|i| {
-                Box::new(WcsHarness::new(
-                    Wcs::new(Sid::new("prop-wcs"), PartyId(i), keyring.clone(), secrets[i].clone()),
-                    input.clone(),
-                )) as BoxedParty<WcsMessage, Vec<usize>>
-            })
-            .collect();
-        let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
-        sim.run(5_000_000);
-        let outs: Vec<Vec<usize>> = sim.outputs().into_iter().flatten().collect();
-        assert_eq!(outs.len(), n);
+        Ensemble::build(n, |i| {
+            Box::new(WcsHarness::new(
+                Wcs::new(sid.clone(), i, keyring.clone(), secrets[i.index()].clone()),
+                input.clone(),
+            )) as BoxedParty<WcsMessage, Vec<usize>>
+        })
+    });
+    for run in &runs {
+        run.assert_termination();
+        let outs = run.honest_outputs();
         // There must exist an (n - f)-sized set contained in at least f + 1
         // outputs.  With full inputs every output is the full set, so check
         // the stronger statement that the intersection of *all* outputs has
@@ -131,7 +159,11 @@ fn wcs_outputs_contain_a_common_core() {
             let s: BTreeSet<usize> = out.iter().copied().collect();
             intersection = intersection.intersection(&s).copied().collect();
         }
-        assert!(intersection.len() >= n - f, "core too small: {intersection:?} (seed {seed})");
+        assert!(
+            intersection.len() >= n - f,
+            "core too small under {}: {intersection:?}",
+            run.adversary
+        );
     }
 }
 
@@ -144,20 +176,21 @@ fn seeding_seeds_differ_across_sessions_and_leaders() {
     let n = 4;
     let (keyring, secrets) = keys(n, 53);
     let run = |sid: &str, leader: usize| {
-        let parties: Vec<BoxedParty<SeedingMessage, [u8; 32]>> = (0..n)
-            .map(|i| {
+        let runs = sweep(&[Adversary::Fifo], 5_000_000, |_| {
+            let sid = Sid::new(sid);
+            Ensemble::build(n, |i| {
                 Box::new(Seeding::new(
-                    Sid::new(sid),
-                    PartyId(i),
+                    sid.clone(),
+                    i,
                     PartyId(leader),
                     keyring.clone(),
-                    secrets[i].clone(),
+                    secrets[i.index()].clone(),
                 )) as BoxedParty<SeedingMessage, [u8; 32]>
             })
-            .collect();
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
-        sim.run(5_000_000);
-        sim.outputs()[0].unwrap()
+        });
+        runs[0].assert_termination();
+        runs[0].assert_agreement();
+        runs[0].first_output()
     };
     let a = run("sess-1", 0);
     let b = run("sess-2", 0);
@@ -177,15 +210,11 @@ fn coin_bits_vary_and_duplicated_traffic_is_harmless() {
     let (keyring, secrets) = keys(n, 54);
     let mut bits = Vec::new();
     for t in 0..5u64 {
-        let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
-            .map(|i| {
-                let coin = Coin::new(
-                    Sid::new(&format!("prop-coin-{t}")),
-                    PartyId(i),
-                    keyring.clone(),
-                    secrets[i].clone(),
-                );
-                if i == 3 {
+        let runs = sweep(&[Adversary::Fifo], 1 << 28, |_| {
+            let sid = Sid::new(&format!("prop-coin-{t}"));
+            Ensemble::build(n, |i| {
+                let coin = Coin::new(sid.clone(), i, keyring.clone(), secrets[i.index()].clone());
+                if i.index() == 3 {
                     // One party duplicates every message it sends; handlers
                     // must be idempotent ("first time" rules in the paper).
                     Box::new(setupfree::net::DuplicatingParty::new(coin))
@@ -194,11 +223,12 @@ fn coin_bits_vary_and_duplicated_traffic_is_harmless() {
                     Box::new(coin) as BoxedParty<CoinMessage, CoinOutput>
                 }
             })
-            .collect();
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
-        let report = sim.run(1 << 28);
-        assert_eq!(report.reason, StopReason::AllOutputs, "trial {t}");
-        bits.push(sim.outputs()[0].clone().unwrap().bit);
+        });
+        runs[0].assert_termination();
+        bits.push(runs[0].first_output().bit);
     }
-    assert!(bits.iter().any(|b| *b) && bits.iter().any(|b| !*b), "bits {bits:?} constant across sessions");
+    assert!(
+        bits.iter().any(|b| *b) && bits.iter().any(|b| !*b),
+        "bits {bits:?} constant across sessions"
+    );
 }

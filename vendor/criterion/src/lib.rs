@@ -1,0 +1,221 @@
+//! A minimal, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched from crates.io.  This vendored stand-in implements the
+//! surface the `setupfree` benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of upstream's statistical analysis.
+//!
+//! Behaviour:
+//!
+//! * `cargo bench` prints `name  median  (min … max)` per benchmark from a
+//!   fixed number of timed batches after a short warm-up.
+//! * When the binary is invoked with `--test` (as `cargo test --benches`
+//!   does), every routine runs exactly once so the target stays fast and
+//!   still smoke-tests the bench code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched setup output is sized (accepted for API compatibility; the
+/// measurement loop treats every variant the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup for every single iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    smoke_test: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(smoke_test: bool) -> Self {
+        Bencher { smoke_test, samples: Vec::new() }
+    }
+
+    /// Measures a routine by running it in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Measures a routine whose input is rebuilt (untimed) for every batch.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.smoke_test {
+            black_box(routine(setup()));
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up, then size batches so one batch takes ≳ 1 ms.
+        let mut per_batch = 1u32;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let once = start.elapsed();
+            if once >= Duration::from_millis(1) || per_batch >= 1 << 20 {
+                break;
+            }
+            per_batch *= 2;
+            if once * per_batch >= Duration::from_millis(1) {
+                break;
+            }
+        }
+        const SAMPLES: usize = 12;
+        for _ in 0..SAMPLES {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / per_batch);
+        }
+    }
+}
+
+/// The benchmark registry/driver (subset of upstream's `Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        Criterion { smoke_test: std::env::args().any(|a| a == "--test") }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.smoke_test);
+        f(&mut b);
+        if self.smoke_test {
+            println!("{id:<40} ok (smoke test)");
+            return self;
+        }
+        b.samples.sort();
+        let median = b.samples[b.samples.len() / 2];
+        let min = b.samples.first().copied().unwrap_or_default();
+        let max = b.samples.last().copied().unwrap_or_default();
+        println!("{id:<40} {median:>12.2?}  ({min:.2?} … {max:.2?})");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks (subset of upstream's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the measurement loop uses its own
+    /// fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; upstream emits summary artifacts).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, like upstream's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmarks.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::__from_cli();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, like upstream's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal constructor used by [`criterion_group!`]; not public API.
+    #[doc(hidden)]
+    pub fn __from_cli() -> Self {
+        Criterion::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke_test: true };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn batched_smoke_calls_setup_and_routine() {
+        let mut c = Criterion { smoke_test: true };
+        let mut made = 0;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    7u64
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(made, 1);
+    }
+}
