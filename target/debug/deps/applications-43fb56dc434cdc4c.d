@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/applications-43fb56dc434cdc4c.d: crates/app/tests/applications.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapplications-43fb56dc434cdc4c.rmeta: crates/app/tests/applications.rs Cargo.toml
+
+crates/app/tests/applications.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

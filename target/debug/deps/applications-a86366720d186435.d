@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/applications-a86366720d186435.d: crates/app/tests/applications.rs
+
+/root/repo/target/debug/deps/applications-a86366720d186435: crates/app/tests/applications.rs
+
+crates/app/tests/applications.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-12705f824542fc34.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-12705f824542fc34.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-cd9ad0fd8843a8c1.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-cd9ad0fd8843a8c1: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

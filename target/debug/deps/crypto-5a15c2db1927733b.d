@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto-5a15c2db1927733b.d: crates/bench/benches/crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto-5a15c2db1927733b.rmeta: crates/bench/benches/crypto.rs Cargo.toml
+
+crates/bench/benches/crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

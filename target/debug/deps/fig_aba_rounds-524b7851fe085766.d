@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_aba_rounds-524b7851fe085766.d: crates/bench/src/bin/fig_aba_rounds.rs
+
+/root/repo/target/debug/deps/fig_aba_rounds-524b7851fe085766: crates/bench/src/bin/fig_aba_rounds.rs
+
+crates/bench/src/bin/fig_aba_rounds.rs:

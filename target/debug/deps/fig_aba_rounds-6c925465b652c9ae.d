@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_aba_rounds-6c925465b652c9ae.d: crates/bench/src/bin/fig_aba_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_aba_rounds-6c925465b652c9ae.rmeta: crates/bench/src/bin/fig_aba_rounds.rs Cargo.toml
+
+crates/bench/src/bin/fig_aba_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_beacon-10e0b009d0311681.d: crates/bench/src/bin/fig_beacon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_beacon-10e0b009d0311681.rmeta: crates/bench/src/bin/fig_beacon.rs Cargo.toml
+
+crates/bench/src/bin/fig_beacon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

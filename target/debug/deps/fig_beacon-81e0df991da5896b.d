@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_beacon-81e0df991da5896b.d: crates/bench/src/bin/fig_beacon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_beacon-81e0df991da5896b.rmeta: crates/bench/src/bin/fig_beacon.rs Cargo.toml
+
+crates/bench/src/bin/fig_beacon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_beacon-f3a99d34b794a1e1.d: crates/bench/src/bin/fig_beacon.rs
+
+/root/repo/target/debug/deps/fig_beacon-f3a99d34b794a1e1: crates/bench/src/bin/fig_beacon.rs
+
+crates/bench/src/bin/fig_beacon.rs:

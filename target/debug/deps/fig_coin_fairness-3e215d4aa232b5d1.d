@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_coin_fairness-3e215d4aa232b5d1.d: crates/bench/src/bin/fig_coin_fairness.rs
+
+/root/repo/target/debug/deps/fig_coin_fairness-3e215d4aa232b5d1: crates/bench/src/bin/fig_coin_fairness.rs
+
+crates/bench/src/bin/fig_coin_fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_coin_fairness-8f58b169ffc5f784.d: crates/bench/src/bin/fig_coin_fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_coin_fairness-8f58b169ffc5f784.rmeta: crates/bench/src/bin/fig_coin_fairness.rs Cargo.toml
+
+crates/bench/src/bin/fig_coin_fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_component_scaling-73ee25a0c6ee6224.d: crates/bench/src/bin/fig_component_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_component_scaling-73ee25a0c6ee6224.rmeta: crates/bench/src/bin/fig_component_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig_component_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

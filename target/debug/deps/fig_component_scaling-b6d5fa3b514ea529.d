@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_component_scaling-b6d5fa3b514ea529.d: crates/bench/src/bin/fig_component_scaling.rs
+
+/root/repo/target/debug/deps/fig_component_scaling-b6d5fa3b514ea529: crates/bench/src/bin/fig_component_scaling.rs
+
+crates/bench/src/bin/fig_component_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_component_scaling-e0fd1138f6c25c8a.d: crates/bench/src/bin/fig_component_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_component_scaling-e0fd1138f6c25c8a.rmeta: crates/bench/src/bin/fig_component_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig_component_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-31bc4bb6f73f7257.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-31bc4bb6f73f7257: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-0c4eb2b6bdc76ccf.d: vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-0c4eb2b6bdc76ccf.rmeta: vendor/proptest/src/lib.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

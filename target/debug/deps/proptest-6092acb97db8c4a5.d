@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6092acb97db8c4a5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-6092acb97db8c4a5: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-cff23b700ec558aa.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cff23b700ec558aa.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cff23b700ec558aa.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

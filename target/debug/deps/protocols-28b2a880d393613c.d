@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocols-28b2a880d393613c.d: crates/bench/benches/protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocols-28b2a880d393613c.rmeta: crates/bench/benches/protocols.rs Cargo.toml
+
+crates/bench/benches/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

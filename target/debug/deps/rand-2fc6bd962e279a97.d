@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2fc6bd962e279a97.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2fc6bd962e279a97.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2fc6bd962e279a97.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

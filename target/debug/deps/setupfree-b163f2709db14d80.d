@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree-b163f2709db14d80.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree-b163f2709db14d80.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

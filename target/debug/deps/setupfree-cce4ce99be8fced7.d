@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree-cce4ce99be8fced7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree-cce4ce99be8fced7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree-cce4ce99be8fced7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree-de787039d91ab958.d: src/lib.rs
+
+/root/repo/target/debug/deps/setupfree-de787039d91ab958: src/lib.rs
+
+src/lib.rs:

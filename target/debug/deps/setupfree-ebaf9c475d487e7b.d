@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree-ebaf9c475d487e7b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree-ebaf9c475d487e7b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

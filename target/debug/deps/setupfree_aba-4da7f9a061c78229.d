@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_aba-4da7f9a061c78229.d: crates/aba/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_aba-4da7f9a061c78229.rmeta: crates/aba/src/lib.rs Cargo.toml
+
+crates/aba/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

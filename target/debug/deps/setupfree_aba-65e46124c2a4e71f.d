@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_aba-65e46124c2a4e71f.d: crates/aba/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_aba-65e46124c2a4e71f.rmeta: crates/aba/src/lib.rs Cargo.toml
+
+crates/aba/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

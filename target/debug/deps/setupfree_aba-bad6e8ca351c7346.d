@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_aba-bad6e8ca351c7346.d: crates/aba/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_aba-bad6e8ca351c7346.rlib: crates/aba/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_aba-bad6e8ca351c7346.rmeta: crates/aba/src/lib.rs
+
+crates/aba/src/lib.rs:

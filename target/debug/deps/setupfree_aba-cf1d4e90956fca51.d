@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_aba-cf1d4e90956fca51.d: crates/aba/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_aba-cf1d4e90956fca51: crates/aba/src/lib.rs
+
+crates/aba/src/lib.rs:

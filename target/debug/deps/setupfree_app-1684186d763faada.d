@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/setupfree_app-1684186d763faada.d: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_app-1684186d763faada.rmeta: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs Cargo.toml
+
+crates/app/src/lib.rs:
+crates/app/src/adkg.rs:
+crates/app/src/beacon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

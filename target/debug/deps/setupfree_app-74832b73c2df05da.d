@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_app-74832b73c2df05da.d: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+/root/repo/target/debug/deps/setupfree_app-74832b73c2df05da: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+crates/app/src/lib.rs:
+crates/app/src/adkg.rs:
+crates/app/src/beacon.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_app-86daaa0e8690acad.d: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+/root/repo/target/debug/deps/libsetupfree_app-86daaa0e8690acad.rlib: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+/root/repo/target/debug/deps/libsetupfree_app-86daaa0e8690acad.rmeta: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+crates/app/src/lib.rs:
+crates/app/src/adkg.rs:
+crates/app/src/beacon.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/setupfree_avss-7979bfb6af4f769f.d: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+/root/repo/target/debug/deps/libsetupfree_avss-7979bfb6af4f769f.rlib: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+/root/repo/target/debug/deps/libsetupfree_avss-7979bfb6af4f769f.rmeta: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+crates/avss/src/lib.rs:
+crates/avss/src/harness.rs:

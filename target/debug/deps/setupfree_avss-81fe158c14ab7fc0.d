@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/setupfree_avss-81fe158c14ab7fc0.d: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+/root/repo/target/debug/deps/setupfree_avss-81fe158c14ab7fc0: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+crates/avss/src/lib.rs:
+crates/avss/src/harness.rs:

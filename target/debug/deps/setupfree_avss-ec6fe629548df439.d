@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/setupfree_avss-ec6fe629548df439.d: crates/avss/src/lib.rs crates/avss/src/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_avss-ec6fe629548df439.rmeta: crates/avss/src/lib.rs crates/avss/src/harness.rs Cargo.toml
+
+crates/avss/src/lib.rs:
+crates/avss/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

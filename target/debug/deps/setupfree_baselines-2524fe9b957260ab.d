@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_baselines-2524fe9b957260ab.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_baselines-2524fe9b957260ab: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_baselines-258eb10ab00eb2ff.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_baselines-258eb10ab00eb2ff.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_baselines-258eb10ab00eb2ff.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_baselines-7b284d6c8ec212a5.d: crates/baselines/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_baselines-7b284d6c8ec212a5.rmeta: crates/baselines/src/lib.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

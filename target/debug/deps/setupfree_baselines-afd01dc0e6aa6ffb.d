@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_baselines-afd01dc0e6aa6ffb.d: crates/baselines/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_baselines-afd01dc0e6aa6ffb.rmeta: crates/baselines/src/lib.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_bench-39d50115a4cb7de1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_bench-39d50115a4cb7de1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_bench-39d50115a4cb7de1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

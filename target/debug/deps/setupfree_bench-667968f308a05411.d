@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_bench-667968f308a05411.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_bench-667968f308a05411.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

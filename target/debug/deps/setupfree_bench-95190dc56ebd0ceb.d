@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_bench-95190dc56ebd0ceb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_bench-95190dc56ebd0ceb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

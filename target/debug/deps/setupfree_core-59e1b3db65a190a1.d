@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_core-59e1b3db65a190a1.d: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+/root/repo/target/debug/deps/setupfree_core-59e1b3db65a190a1: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coin.rs:
+crates/core/src/election.rs:
+crates/core/src/traits.rs:
+crates/core/src/trusted.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/setupfree_core-5b02369119303e3d.d: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+/root/repo/target/debug/deps/libsetupfree_core-5b02369119303e3d.rlib: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+/root/repo/target/debug/deps/libsetupfree_core-5b02369119303e3d.rmeta: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coin.rs:
+crates/core/src/election.rs:
+crates/core/src/traits.rs:
+crates/core/src/trusted.rs:

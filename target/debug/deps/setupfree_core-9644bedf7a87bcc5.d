@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/setupfree_core-9644bedf7a87bcc5.d: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_core-9644bedf7a87bcc5.rmeta: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/coin.rs:
+crates/core/src/election.rs:
+crates/core/src/traits.rs:
+crates/core/src/trusted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/setupfree_crypto-a04d652659d67c8d.d: crates/crypto/src/lib.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/keyring.rs crates/crypto/src/modarith.rs crates/crypto/src/pairing.rs crates/crypto/src/params.rs crates/crypto/src/pedersen.rs crates/crypto/src/poly.rs crates/crypto/src/pvss.rs crates/crypto/src/scalar.rs crates/crypto/src/sig.rs crates/crypto/src/vrf.rs
+
+/root/repo/target/debug/deps/setupfree_crypto-a04d652659d67c8d: crates/crypto/src/lib.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/keyring.rs crates/crypto/src/modarith.rs crates/crypto/src/pairing.rs crates/crypto/src/params.rs crates/crypto/src/pedersen.rs crates/crypto/src/poly.rs crates/crypto/src/pvss.rs crates/crypto/src/scalar.rs crates/crypto/src/sig.rs crates/crypto/src/vrf.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/keyring.rs:
+crates/crypto/src/modarith.rs:
+crates/crypto/src/pairing.rs:
+crates/crypto/src/params.rs:
+crates/crypto/src/pedersen.rs:
+crates/crypto/src/poly.rs:
+crates/crypto/src/pvss.rs:
+crates/crypto/src/scalar.rs:
+crates/crypto/src/sig.rs:
+crates/crypto/src/vrf.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/setupfree_crypto-fcc1ee331aa76225.d: crates/crypto/src/lib.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/keyring.rs crates/crypto/src/modarith.rs crates/crypto/src/pairing.rs crates/crypto/src/params.rs crates/crypto/src/pedersen.rs crates/crypto/src/poly.rs crates/crypto/src/pvss.rs crates/crypto/src/scalar.rs crates/crypto/src/sig.rs crates/crypto/src/vrf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_crypto-fcc1ee331aa76225.rmeta: crates/crypto/src/lib.rs crates/crypto/src/group.rs crates/crypto/src/hash.rs crates/crypto/src/keyring.rs crates/crypto/src/modarith.rs crates/crypto/src/pairing.rs crates/crypto/src/params.rs crates/crypto/src/pedersen.rs crates/crypto/src/poly.rs crates/crypto/src/pvss.rs crates/crypto/src/scalar.rs crates/crypto/src/sig.rs crates/crypto/src/vrf.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/keyring.rs:
+crates/crypto/src/modarith.rs:
+crates/crypto/src/pairing.rs:
+crates/crypto/src/params.rs:
+crates/crypto/src/pedersen.rs:
+crates/crypto/src/poly.rs:
+crates/crypto/src/pvss.rs:
+crates/crypto/src/scalar.rs:
+crates/crypto/src/sig.rs:
+crates/crypto/src/vrf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/setupfree_net-009409c5abb45608.d: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+/root/repo/target/debug/deps/libsetupfree_net-009409c5abb45608.rlib: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+/root/repo/target/debug/deps/libsetupfree_net-009409c5abb45608.rmeta: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+crates/net/src/lib.rs:
+crates/net/src/faults.rs:
+crates/net/src/metrics.rs:
+crates/net/src/party.rs:
+crates/net/src/protocol.rs:
+crates/net/src/scheduler.rs:
+crates/net/src/sim.rs:

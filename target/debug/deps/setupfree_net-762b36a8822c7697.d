@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/setupfree_net-762b36a8822c7697.d: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+/root/repo/target/debug/deps/setupfree_net-762b36a8822c7697: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+crates/net/src/lib.rs:
+crates/net/src/faults.rs:
+crates/net/src/metrics.rs:
+crates/net/src/party.rs:
+crates/net/src/protocol.rs:
+crates/net/src/scheduler.rs:
+crates/net/src/sim.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/setupfree_net-f92987ebeb7e89de.d: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_net-f92987ebeb7e89de.rmeta: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/faults.rs:
+crates/net/src/metrics.rs:
+crates/net/src/party.rs:
+crates/net/src/protocol.rs:
+crates/net/src/scheduler.rs:
+crates/net/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

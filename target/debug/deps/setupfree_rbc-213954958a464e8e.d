@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_rbc-213954958a464e8e.d: crates/rbc/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_rbc-213954958a464e8e: crates/rbc/src/lib.rs
+
+crates/rbc/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_rbc-61c48fff15e11c6f.d: crates/rbc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_rbc-61c48fff15e11c6f.rmeta: crates/rbc/src/lib.rs Cargo.toml
+
+crates/rbc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

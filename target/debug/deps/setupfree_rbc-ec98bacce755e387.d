@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_rbc-ec98bacce755e387.d: crates/rbc/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_rbc-ec98bacce755e387.rlib: crates/rbc/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_rbc-ec98bacce755e387.rmeta: crates/rbc/src/lib.rs
+
+crates/rbc/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_rbc-fe4d695d54f7ec79.d: crates/rbc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_rbc-fe4d695d54f7ec79.rmeta: crates/rbc/src/lib.rs Cargo.toml
+
+crates/rbc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_seeding-05dea6d0d2eac5b5.d: crates/seeding/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_seeding-05dea6d0d2eac5b5.rlib: crates/seeding/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_seeding-05dea6d0d2eac5b5.rmeta: crates/seeding/src/lib.rs
+
+crates/seeding/src/lib.rs:

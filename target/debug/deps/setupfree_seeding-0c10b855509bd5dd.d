@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_seeding-0c10b855509bd5dd.d: crates/seeding/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_seeding-0c10b855509bd5dd: crates/seeding/src/lib.rs
+
+crates/seeding/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_seeding-574e9b6fd8f509c9.d: crates/seeding/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_seeding-574e9b6fd8f509c9.rmeta: crates/seeding/src/lib.rs Cargo.toml
+
+crates/seeding/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

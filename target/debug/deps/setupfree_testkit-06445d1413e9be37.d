@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_testkit-06445d1413e9be37.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_testkit-06445d1413e9be37: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_testkit-36678fba0ffef078.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_testkit-36678fba0ffef078.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_testkit-36678fba0ffef078.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

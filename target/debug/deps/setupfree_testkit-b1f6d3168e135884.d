@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_testkit-b1f6d3168e135884.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_testkit-b1f6d3168e135884.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_testkit-c199e71c09013c92.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_testkit-c199e71c09013c92.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

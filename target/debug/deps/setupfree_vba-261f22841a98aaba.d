@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_vba-261f22841a98aaba.d: crates/vba/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_vba-261f22841a98aaba.rmeta: crates/vba/src/lib.rs Cargo.toml
+
+crates/vba/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_vba-70e6e2b242f4306a.d: crates/vba/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_vba-70e6e2b242f4306a.rlib: crates/vba/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_vba-70e6e2b242f4306a.rmeta: crates/vba/src/lib.rs
+
+crates/vba/src/lib.rs:

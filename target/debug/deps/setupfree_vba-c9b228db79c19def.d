@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_vba-c9b228db79c19def.d: crates/vba/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_vba-c9b228db79c19def: crates/vba/src/lib.rs
+
+crates/vba/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_wcs-3d38a1f3ae41992b.d: crates/wcs/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_wcs-3d38a1f3ae41992b: crates/wcs/src/lib.rs
+
+crates/wcs/src/lib.rs:

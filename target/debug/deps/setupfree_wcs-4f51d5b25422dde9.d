@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_wcs-4f51d5b25422dde9.d: crates/wcs/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_wcs-4f51d5b25422dde9.rlib: crates/wcs/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_wcs-4f51d5b25422dde9.rmeta: crates/wcs/src/lib.rs
+
+crates/wcs/src/lib.rs:

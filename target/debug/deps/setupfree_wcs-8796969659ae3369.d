@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_wcs-8796969659ae3369.d: crates/wcs/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_wcs-8796969659ae3369.rmeta: crates/wcs/src/lib.rs Cargo.toml
+
+crates/wcs/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

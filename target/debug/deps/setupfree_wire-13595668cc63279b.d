@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/setupfree_wire-13595668cc63279b.d: crates/wire/src/lib.rs
+
+/root/repo/target/debug/deps/setupfree_wire-13595668cc63279b: crates/wire/src/lib.rs
+
+crates/wire/src/lib.rs:

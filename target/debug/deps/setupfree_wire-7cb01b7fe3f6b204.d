@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_wire-7cb01b7fe3f6b204.d: crates/wire/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_wire-7cb01b7fe3f6b204.rmeta: crates/wire/src/lib.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

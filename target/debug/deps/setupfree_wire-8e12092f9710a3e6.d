@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/setupfree_wire-8e12092f9710a3e6.d: crates/wire/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_wire-8e12092f9710a3e6.rlib: crates/wire/src/lib.rs
+
+/root/repo/target/debug/deps/libsetupfree_wire-8e12092f9710a3e6.rmeta: crates/wire/src/lib.rs
+
+crates/wire/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/setupfree_wire-f92b1acb21780e1c.d: crates/wire/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsetupfree_wire-f92b1acb21780e1c.rmeta: crates/wire/src/lib.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_properties-346a46622cdc9c82.d: tests/substrate_properties.rs
+
+/root/repo/target/debug/deps/substrate_properties-346a46622cdc9c82: tests/substrate_properties.rs
+
+tests/substrate_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate_properties-6f9b98b65ea94779.d: tests/substrate_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate_properties-6f9b98b65ea94779.rmeta: tests/substrate_properties.rs Cargo.toml
+
+tests/substrate_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5e5320bbfedd8815.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5e5320bbfedd8815: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adkg-a807b492a0e35c51.d: examples/adkg.rs
+
+/root/repo/target/debug/examples/adkg-a807b492a0e35c51: examples/adkg.rs
+
+examples/adkg.rs:

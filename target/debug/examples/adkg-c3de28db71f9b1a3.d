@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adkg-c3de28db71f9b1a3.d: examples/adkg.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadkg-c3de28db71f9b1a3.rmeta: examples/adkg.rs Cargo.toml
+
+examples/adkg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

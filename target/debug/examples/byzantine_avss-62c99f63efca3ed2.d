@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/byzantine_avss-62c99f63efca3ed2.d: examples/byzantine_avss.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbyzantine_avss-62c99f63efca3ed2.rmeta: examples/byzantine_avss.rs Cargo.toml
+
+examples/byzantine_avss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

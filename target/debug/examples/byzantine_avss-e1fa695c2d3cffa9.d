@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_avss-e1fa695c2d3cffa9.d: examples/byzantine_avss.rs
+
+/root/repo/target/debug/examples/byzantine_avss-e1fa695c2d3cffa9: examples/byzantine_avss.rs
+
+examples/byzantine_avss.rs:

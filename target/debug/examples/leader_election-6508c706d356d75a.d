@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/leader_election-6508c706d356d75a.d: examples/leader_election.rs
+
+/root/repo/target/debug/examples/leader_election-6508c706d356d75a: examples/leader_election.rs
+
+examples/leader_election.rs:

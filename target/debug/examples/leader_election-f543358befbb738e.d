@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/leader_election-f543358befbb738e.d: examples/leader_election.rs Cargo.toml
+
+/root/repo/target/debug/examples/libleader_election-f543358befbb738e.rmeta: examples/leader_election.rs Cargo.toml
+
+examples/leader_election.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ca034c3848350f83.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ca034c3848350f83: examples/quickstart.rs
+
+examples/quickstart.rs:

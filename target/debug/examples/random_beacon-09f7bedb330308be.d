@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/random_beacon-09f7bedb330308be.d: examples/random_beacon.rs Cargo.toml
+
+/root/repo/target/debug/examples/librandom_beacon-09f7bedb330308be.rmeta: examples/random_beacon.rs Cargo.toml
+
+examples/random_beacon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_beacon-607bbc2d5e6d40ed.d: examples/random_beacon.rs
+
+/root/repo/target/debug/examples/random_beacon-607bbc2d5e6d40ed: examples/random_beacon.rs
+
+examples/random_beacon.rs:

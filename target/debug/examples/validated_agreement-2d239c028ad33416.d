@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validated_agreement-2d239c028ad33416.d: examples/validated_agreement.rs
+
+/root/repo/target/debug/examples/validated_agreement-2d239c028ad33416: examples/validated_agreement.rs
+
+examples/validated_agreement.rs:

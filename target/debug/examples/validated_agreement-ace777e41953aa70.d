@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/validated_agreement-ace777e41953aa70.d: examples/validated_agreement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalidated_agreement-ace777e41953aa70.rmeta: examples/validated_agreement.rs Cargo.toml
+
+examples/validated_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-c2d05758bbfbfd28.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c2d05758bbfbfd28.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-c2d05758bbfbfd28.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

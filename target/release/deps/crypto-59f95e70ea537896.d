@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto-59f95e70ea537896.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/release/deps/crypto-59f95e70ea537896: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_aba_rounds-3b2781fe3bf171d8.d: crates/bench/src/bin/fig_aba_rounds.rs
+
+/root/repo/target/release/deps/fig_aba_rounds-3b2781fe3bf171d8: crates/bench/src/bin/fig_aba_rounds.rs
+
+crates/bench/src/bin/fig_aba_rounds.rs:

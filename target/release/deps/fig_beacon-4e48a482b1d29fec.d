@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_beacon-4e48a482b1d29fec.d: crates/bench/src/bin/fig_beacon.rs
+
+/root/repo/target/release/deps/fig_beacon-4e48a482b1d29fec: crates/bench/src/bin/fig_beacon.rs
+
+crates/bench/src/bin/fig_beacon.rs:

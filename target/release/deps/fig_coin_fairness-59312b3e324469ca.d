@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_coin_fairness-59312b3e324469ca.d: crates/bench/src/bin/fig_coin_fairness.rs
+
+/root/repo/target/release/deps/fig_coin_fairness-59312b3e324469ca: crates/bench/src/bin/fig_coin_fairness.rs
+
+crates/bench/src/bin/fig_coin_fairness.rs:

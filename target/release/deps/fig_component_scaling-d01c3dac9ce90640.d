@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_component_scaling-d01c3dac9ce90640.d: crates/bench/src/bin/fig_component_scaling.rs
+
+/root/repo/target/release/deps/fig_component_scaling-d01c3dac9ce90640: crates/bench/src/bin/fig_component_scaling.rs
+
+crates/bench/src/bin/fig_component_scaling.rs:

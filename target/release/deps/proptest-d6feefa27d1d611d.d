@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d6feefa27d1d611d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d6feefa27d1d611d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d6feefa27d1d611d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

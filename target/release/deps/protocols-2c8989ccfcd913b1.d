@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocols-2c8989ccfcd913b1.d: crates/bench/benches/protocols.rs
+
+/root/repo/target/release/deps/protocols-2c8989ccfcd913b1: crates/bench/benches/protocols.rs
+
+crates/bench/benches/protocols.rs:

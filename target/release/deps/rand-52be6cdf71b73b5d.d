@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-52be6cdf71b73b5d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-52be6cdf71b73b5d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-52be6cdf71b73b5d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

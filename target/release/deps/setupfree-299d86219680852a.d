@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree-299d86219680852a.d: src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree-299d86219680852a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree-299d86219680852a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_aba-5c070ff857fa1001.d: crates/aba/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_aba-5c070ff857fa1001.rlib: crates/aba/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_aba-5c070ff857fa1001.rmeta: crates/aba/src/lib.rs
+
+crates/aba/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/setupfree_app-e386d00e81607b43.d: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+/root/repo/target/release/deps/libsetupfree_app-e386d00e81607b43.rlib: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+/root/repo/target/release/deps/libsetupfree_app-e386d00e81607b43.rmeta: crates/app/src/lib.rs crates/app/src/adkg.rs crates/app/src/beacon.rs
+
+crates/app/src/lib.rs:
+crates/app/src/adkg.rs:
+crates/app/src/beacon.rs:

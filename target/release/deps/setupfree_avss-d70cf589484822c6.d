@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/setupfree_avss-d70cf589484822c6.d: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+/root/repo/target/release/deps/libsetupfree_avss-d70cf589484822c6.rlib: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+/root/repo/target/release/deps/libsetupfree_avss-d70cf589484822c6.rmeta: crates/avss/src/lib.rs crates/avss/src/harness.rs
+
+crates/avss/src/lib.rs:
+crates/avss/src/harness.rs:

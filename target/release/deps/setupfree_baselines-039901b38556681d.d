@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_baselines-039901b38556681d.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_baselines-039901b38556681d.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_baselines-039901b38556681d.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

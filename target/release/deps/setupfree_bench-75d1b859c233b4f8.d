@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_bench-75d1b859c233b4f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_bench-75d1b859c233b4f8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_bench-75d1b859c233b4f8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/setupfree_core-7b6975ad62e4f328.d: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+/root/repo/target/release/deps/libsetupfree_core-7b6975ad62e4f328.rlib: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+/root/repo/target/release/deps/libsetupfree_core-7b6975ad62e4f328.rmeta: crates/core/src/lib.rs crates/core/src/coin.rs crates/core/src/election.rs crates/core/src/traits.rs crates/core/src/trusted.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coin.rs:
+crates/core/src/election.rs:
+crates/core/src/traits.rs:
+crates/core/src/trusted.rs:

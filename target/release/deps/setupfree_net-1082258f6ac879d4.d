@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/setupfree_net-1082258f6ac879d4.d: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+/root/repo/target/release/deps/libsetupfree_net-1082258f6ac879d4.rlib: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+/root/repo/target/release/deps/libsetupfree_net-1082258f6ac879d4.rmeta: crates/net/src/lib.rs crates/net/src/faults.rs crates/net/src/metrics.rs crates/net/src/party.rs crates/net/src/protocol.rs crates/net/src/scheduler.rs crates/net/src/sim.rs
+
+crates/net/src/lib.rs:
+crates/net/src/faults.rs:
+crates/net/src/metrics.rs:
+crates/net/src/party.rs:
+crates/net/src/protocol.rs:
+crates/net/src/scheduler.rs:
+crates/net/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_rbc-b59c6ccc62145cd7.d: crates/rbc/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_rbc-b59c6ccc62145cd7.rlib: crates/rbc/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_rbc-b59c6ccc62145cd7.rmeta: crates/rbc/src/lib.rs
+
+crates/rbc/src/lib.rs:

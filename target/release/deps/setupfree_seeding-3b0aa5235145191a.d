@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_seeding-3b0aa5235145191a.d: crates/seeding/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_seeding-3b0aa5235145191a.rlib: crates/seeding/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_seeding-3b0aa5235145191a.rmeta: crates/seeding/src/lib.rs
+
+crates/seeding/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_testkit-3456d8a816e6569d.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_testkit-3456d8a816e6569d.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_testkit-3456d8a816e6569d.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

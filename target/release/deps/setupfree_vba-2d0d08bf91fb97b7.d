@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_vba-2d0d08bf91fb97b7.d: crates/vba/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_vba-2d0d08bf91fb97b7.rlib: crates/vba/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_vba-2d0d08bf91fb97b7.rmeta: crates/vba/src/lib.rs
+
+crates/vba/src/lib.rs:

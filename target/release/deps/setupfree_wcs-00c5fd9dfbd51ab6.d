@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_wcs-00c5fd9dfbd51ab6.d: crates/wcs/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_wcs-00c5fd9dfbd51ab6.rlib: crates/wcs/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_wcs-00c5fd9dfbd51ab6.rmeta: crates/wcs/src/lib.rs
+
+crates/wcs/src/lib.rs:

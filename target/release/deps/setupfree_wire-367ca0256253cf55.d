@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/setupfree_wire-367ca0256253cf55.d: crates/wire/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_wire-367ca0256253cf55.rlib: crates/wire/src/lib.rs
+
+/root/repo/target/release/deps/libsetupfree_wire-367ca0256253cf55.rmeta: crates/wire/src/lib.rs
+
+crates/wire/src/lib.rs:

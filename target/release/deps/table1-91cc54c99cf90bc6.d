@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-91cc54c99cf90bc6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-91cc54c99cf90bc6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adkg-987aa9827b74b961.d: examples/adkg.rs
+
+/root/repo/target/release/examples/adkg-987aa9827b74b961: examples/adkg.rs
+
+examples/adkg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/byzantine_avss-5c93b3b6c51972a3.d: examples/byzantine_avss.rs
+
+/root/repo/target/release/examples/byzantine_avss-5c93b3b6c51972a3: examples/byzantine_avss.rs
+
+examples/byzantine_avss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/leader_election-ae87c776ef201822.d: examples/leader_election.rs
+
+/root/repo/target/release/examples/leader_election-ae87c776ef201822: examples/leader_election.rs
+
+examples/leader_election.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ed47945ab416a4a0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ed47945ab416a4a0: examples/quickstart.rs
+
+examples/quickstart.rs:

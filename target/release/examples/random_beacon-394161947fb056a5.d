@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/random_beacon-394161947fb056a5.d: examples/random_beacon.rs
+
+/root/repo/target/release/examples/random_beacon-394161947fb056a5: examples/random_beacon.rs
+
+examples/random_beacon.rs:

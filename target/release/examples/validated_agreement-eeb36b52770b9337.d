@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/validated_agreement-eeb36b52770b9337.d: examples/validated_agreement.rs
+
+/root/repo/target/release/examples/validated_agreement-eeb36b52770b9337: examples/validated_agreement.rs
+
+examples/validated_agreement.rs:

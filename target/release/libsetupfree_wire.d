@@ -1,0 +1,1 @@
+/root/repo/target/release/libsetupfree_wire.rlib: /root/repo/crates/wire/src/lib.rs
