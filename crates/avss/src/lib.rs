@@ -205,6 +205,10 @@ pub struct Avss {
     rec_activated: bool,
     rec_buffer: Vec<(PartyId, AvssMessage)>,
     key_rec_seen: BTreeSet<usize>,
+    /// Arrived-but-unverified key shares `(point, A(point), B(point))`; they
+    /// are batch-verified against the commitment in one RLC check as soon as
+    /// the threshold is reachable.
+    key_rec_pending: Vec<(usize, Scalar, Scalar)>,
     key_rec_shares: Vec<(usize, Scalar)>,
     key_sent: bool,
     key_votes: BTreeMap<u64, BTreeSet<usize>>,
@@ -249,6 +253,7 @@ impl Avss {
             rec_activated: false,
             rec_buffer: Vec::new(),
             key_rec_seen: BTreeSet::new(),
+            key_rec_pending: Vec::new(),
             key_rec_shares: Vec::new(),
             key_sent: false,
             key_votes: BTreeMap::new(),
@@ -566,18 +571,32 @@ impl Avss {
         if !self.key_rec_seen.insert(from.index()) || self.key_sent {
             return Step::none();
         }
-        let Some(cmt) = &self.recorded_commitment else { return Step::none() };
-        let point = from.index() + 1;
-        if !cmt.verify_share(point, share_a, share_b) {
+        let Some(cmt) = self.recorded_commitment.clone() else { return Step::none() };
+        self.key_rec_pending.push((from.index() + 1, share_a, share_b));
+        // Defer the Pedersen opening checks until the pending set could reach
+        // the f + 1 reconstruction threshold, then verify the whole set in
+        // one random-linear-combination check (per-share fallback identifies
+        // any bad shares without losing the good ones).
+        if self.key_rec_shares.len() + self.key_rec_pending.len() <= self.f() {
             return Step::none();
         }
-        self.key_rec_shares.push((point, share_a));
+        let pending = std::mem::take(&mut self.key_rec_pending);
+        // Batch weights come from this party's secret signing key, unknown to
+        // whoever crafted the shares.
+        let flags = cmt.verify_shares_batch(&pending, &self.secrets.sig.batch_entropy());
+        for ((point, a, _), ok) in pending.into_iter().zip(flags) {
+            if ok {
+                self.key_rec_shares.push((point, a));
+            }
+        }
         if self.key_rec_shares.len() > self.f() {
             let points: Vec<(Scalar, Scalar)> = self
                 .key_rec_shares
                 .iter()
                 .map(|(x, y)| (Scalar::from_u64(*x as u64), *y))
                 .collect();
+            // Interpolation over a repeated quorum hits the cached Lagrange
+            // table inside `interpolate_at_zero`.
             let key = interpolate_at_zero(&points);
             self.key_sent = true;
             return Step::multicast(AvssMessage::Key { key });

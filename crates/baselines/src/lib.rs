@@ -12,6 +12,15 @@
 //! * The gather-based core-set variant of the paper's own coin
 //!   ([`setupfree_core::coin::CoreSetMode::RbcGather`]) serves as the
 //!   AJM+21-style ablation and is exercised by the benchmark harness.
+//!
+//! The `n²` AVSS baseline is the heaviest crypto consumer in the workspace
+//! (its `n²` instances each commit, open and reconstruct through the
+//! Pedersen paths), so it rides the `setupfree_crypto::multiexp` engine and
+//! the batched share verification of the AVSS directly: every dealer row
+//! commits through the fixed-base comb tables, reconstruction opening checks
+//! are one random-linear-combination multi-exponentiation per instance, and
+//! all `n²` reconstructions over the same quorum share one cached Lagrange
+//! table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use setupfree_crypto::pvss::{PvssDecryptionKey, PvssParams, PvssScript};
+use setupfree_crypto::pvss::{
+    verify_single_dealer_batch, PvssDecryptionKey, PvssParams, PvssScript,
+};
 use setupfree_crypto::{
     hash::sha256, PedersenCommitment, Polynomial, Scalar, SigningKey, VrfSecretKey,
 };
@@ -21,6 +23,30 @@ fn bench_group(c: &mut Criterion) {
     c.bench_function("group/hash_to_group", |b| {
         b.iter(|| setupfree_crypto::GroupElement::hash_to_group("bench", &[b"input"]))
     });
+}
+
+fn bench_multiexp(c: &mut Criterion) {
+    use setupfree_crypto::multiexp;
+    let mut rng = StdRng::seed_from_u64(9);
+    let k = 22;
+    let bases: Vec<setupfree_crypto::GroupElement> = (0..k)
+        .map(|_| setupfree_crypto::GroupElement::generator().pow(Scalar::random(&mut rng)))
+        .collect();
+    let exps: Vec<Scalar> = (0..k).map(|_| Scalar::random(&mut rng)).collect();
+    c.bench_function("multiexp/pippenger_22", |b| b.iter(|| multiexp::multi_exp(&bases, &exps)));
+    c.bench_function("multiexp/naive_fold_22", |b| {
+        b.iter(|| {
+            bases
+                .iter()
+                .zip(exps.iter())
+                .fold(setupfree_crypto::GroupElement::identity(), |acc, (base, e)| {
+                    acc * base.pow(*e)
+                })
+        })
+    });
+    let e = Scalar::from_u64(0x0123_4567_89ab_cdef);
+    c.bench_function("multiexp/fixed_base_g1", |b| b.iter(|| multiexp::fixed_pow_g1(e)));
+    c.bench_function("multiexp/commit", |b| b.iter(|| multiexp::commit(e, e)));
 }
 
 fn bench_signatures(c: &mut Criterion) {
@@ -83,7 +109,34 @@ fn bench_pvss(c: &mut Criterion) {
     });
     c.bench_function("pvss/verify_n16", |b| b.iter(|| script.verify(&params, &eks, &vks)));
     c.bench_function("pvss/aggregate_n16", |b| b.iter(|| script.aggregate(&script2).unwrap()));
+
+    // Batch verification of a full setup's worth of single-dealer scripts
+    // against the per-transcript loop it replaces.
+    let scripts: Vec<PvssScript> = (0..n)
+        .map(|d| PvssScript::deal(&params, &eks, &sig_keys[d], d, Scalar::from_u64(d as u64), &mut rng))
+        .collect();
+    let entries: Vec<(usize, &PvssScript)> = scripts.iter().enumerate().collect();
+    let entropy = dks[0].batch_entropy();
+    c.bench_function("pvss/verify_setup_n16_per_transcript", |b| {
+        b.iter(|| {
+            entries
+                .iter()
+                .all(|(d, s)| s.verify_single_dealer(&params, &eks, &vks, *d))
+        })
+    });
+    c.bench_function("pvss/verify_setup_n16_batched", |b| {
+        b.iter(|| verify_single_dealer_batch(&params, &eks, &vks, &entries, &entropy))
+    });
 }
 
-criterion_group!(benches, bench_hash, bench_group, bench_signatures, bench_vrf, bench_pedersen, bench_pvss);
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_group,
+    bench_multiexp,
+    bench_signatures,
+    bench_vrf,
+    bench_pedersen,
+    bench_pvss
+);
 criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Records the workspace's end-to-end performance baseline: wall-clock
+//! timings of the coin, AVSS, beacon and ABA through the simulator at
+//! n ∈ {4, 10, 22}, plus the batched-vs-per-transcript PVSS verification
+//! micro-comparison at n = 22.  The results are written to `BENCH_pr2.json`
+//! at the workspace root — the trajectory every later performance PR is
+//! judged against.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr2.json
+//! cargo run --release -p setupfree-bench --bin perf_baseline -- --smoke # tiny n, prints only (CI)
+//! ```
+//!
+//! The `--smoke` mode exists so CI can prove the binary still builds and
+//! runs (no timing assertions, no file written): timings on shared runners
+//! are noise, but bit-rot is not.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setupfree_bench::{measure_avss, measure_beacon, measure_coin, measure_setupfree_aba, Measurement};
+use setupfree_core::coin::CoreSetMode;
+use setupfree_crypto::pvss::{
+    verify_single_dealer_batch, PvssDecryptionKey, PvssParams, PvssScript,
+};
+use setupfree_crypto::{Scalar, SigningKey};
+
+struct Timed {
+    protocol: &'static str,
+    wall_ms: f64,
+    m: Measurement,
+}
+
+fn timed(protocol: &'static str, run: impl FnOnce() -> Measurement) -> Timed {
+    let start = Instant::now();
+    let m = run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  {:<8} n={:<3} {:>10.1} ms   bytes={:<12} msgs={:<8} rounds={}",
+        protocol, m.n, wall_ms, m.honest_bytes, m.honest_messages, m.rounds
+    );
+    Timed { protocol, wall_ms, m }
+}
+
+struct PvssComparison {
+    n: usize,
+    transcripts: usize,
+    per_transcript_ms: f64,
+    batch_ms: f64,
+}
+
+/// Times verifying one full setup's worth of single-dealer transcripts (the
+/// Seeding leader's workload) per-transcript vs batched, asserting along the
+/// way that both paths accept the same scripts.
+fn pvss_comparison(n: usize, reps: u32) -> PvssComparison {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let params = PvssParams::new(n, 2 * ((n - 1) / 3));
+    let mut eks = Vec::new();
+    let mut sig_keys = Vec::new();
+    let mut vks = Vec::new();
+    let mut entropy = [0u8; 32];
+    for i in 0..n {
+        let (dk, ek) = PvssDecryptionKey::generate(&mut rng);
+        eks.push(ek);
+        let sk = SigningKey::generate(&mut rng);
+        vks.push(sk.verifying_key());
+        sig_keys.push(sk);
+        if i == 0 {
+            entropy = dk.batch_entropy();
+        }
+    }
+    let scripts: Vec<PvssScript> = (0..n)
+        .map(|d| {
+            PvssScript::deal(&params, &eks, &sig_keys[d], d, Scalar::from_u64(d as u64 + 1), &mut rng)
+        })
+        .collect();
+    let entries: Vec<(usize, &PvssScript)> = scripts.iter().enumerate().collect();
+
+    // Warm the process-wide caches (Lagrange tables, comb tables) so the
+    // comparison measures the steady state both paths run in.
+    assert!(scripts[0].verify_single_dealer(&params, &eks, &vks, 0));
+    let warm = verify_single_dealer_batch(&params, &eks, &vks, &entries, &entropy);
+    assert_eq!(warm, vec![true; n], "batch verification must accept the honest setup");
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for (d, script) in &entries {
+            assert!(script.verify_single_dealer(&params, &eks, &vks, *d));
+        }
+    }
+    let per_transcript_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let flags = verify_single_dealer_batch(&params, &eks, &vks, &entries, &entropy);
+        assert_eq!(flags.len(), n);
+    }
+    let batch_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+    println!(
+        "  pvss     n={n:<3} per-transcript {per_transcript_ms:.3} ms, batched {batch_ms:.3} ms \
+         ({:.2}x)",
+        per_transcript_ms / batch_ms
+    );
+    PvssComparison { n, transcripts: n, per_transcript_ms, batch_ms }
+}
+
+fn json_escape_free(rows: &[Timed], pvss: &PvssComparison) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"pr\": 2,\n");
+    out.push_str(
+        "  \"description\": \"End-to-end wall-clock baseline after the crypto hot-path engine \
+         (multi-exponentiation + batch PVSS verification). Timings are single-run, release \
+         build, deterministic simulator seeds.\",\n",
+    );
+    out.push_str("  \"end_to_end\": [\n");
+    for (i, t) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"f\": {}, \"wall_ms\": {:.1}, \
+             \"honest_bytes\": {}, \"honest_messages\": {}, \"rounds\": {}, \"deliveries\": {}}}{}",
+            t.protocol,
+            t.m.n,
+            t.m.f,
+            t.wall_ms,
+            t.m.honest_bytes,
+            t.m.honest_messages,
+            t.m.rounds,
+            t.m.deliveries,
+            if i + 1 == rows.len() { "\n" } else { ",\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"pvss_verification\": {{\"n\": {}, \"transcripts\": {}, \"per_transcript_ms\": {:.3}, \
+         \"batch_ms\": {:.3}, \"speedup\": {:.2}}}",
+        pvss.n,
+        pvss.transcripts,
+        pvss.per_transcript_ms,
+        pvss.batch_ms,
+        pvss.per_transcript_ms / pvss.batch_ms
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[4] } else { &[4, 10, 22] };
+    let mut rows: Vec<Timed> = Vec::new();
+
+    println!("perf_baseline — end-to-end wall-clock timings through the simulator");
+    for &n in sizes {
+        rows.push(timed("coin", || measure_coin(n, 7_000 + n as u64, CoreSetMode::Weak)));
+        rows.push(timed("avss", || measure_avss(n, 7_100 + n as u64)));
+        rows.push(timed("beacon", || measure_beacon(n, 2, 7_200 + n as u64).0));
+        rows.push(timed("aba", || measure_setupfree_aba(n, 7_300 + n as u64)));
+    }
+
+    println!("\nPVSS transcript verification: per-transcript vs random-linear-combination batch");
+    let pvss = pvss_comparison(if smoke { 4 } else { 22 }, if smoke { 2 } else { 20 });
+
+    if smoke {
+        println!("\n--smoke: all runners executed; no baseline file written.");
+        return;
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    std::fs::write(path, json_escape_free(&rows, &pvss)).expect("write BENCH_pr2.json");
+    println!("\nwrote {path}");
+}

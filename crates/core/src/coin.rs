@@ -20,7 +20,7 @@
 //!
 //! Complexity: `O(n³)` messages, `O(λn³)` bits, constant rounds (§6.1).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use setupfree_avss::{Avss, AvssMessage};
@@ -179,6 +179,12 @@ pub struct Coin {
     /// Candidates whose evaluator seed is not yet known.
     pending_candidates: Vec<(usize, (u32, VrfOutput, VrfProof))>,
     bottom_candidates: usize,
+    /// Memoised VRF verification verdicts keyed by `(evaluator, output,
+    /// proof)`: with `n − f` candidate messages usually relaying the same
+    /// largest VRF, each distinct tuple is verified (two engine-backed
+    /// exponentiations) once instead of once per sender.  Never iterated, so
+    /// the hash-map order cannot leak into the deterministic execution.
+    vrf_verdicts: HashMap<(usize, VrfOutput, VrfProof), bool>,
     output: Option<CoinOutput>,
 }
 
@@ -249,6 +255,7 @@ impl Coin {
             candidates: BTreeMap::new(),
             pending_candidates: Vec::new(),
             bottom_candidates: 0,
+            vrf_verdicts: HashMap::new(),
             output: None,
         }
     }
@@ -475,25 +482,43 @@ impl Coin {
         step
     }
 
+    /// Verifies the VRF evaluation `(output, proof)` of `evaluator` on its
+    /// seed, memoising the verdict: repeated relays of the same candidate
+    /// tuple (the common case — every party multicasts the largest VRF it
+    /// saw) cost one lookup instead of a fresh DLEQ check.
+    fn verify_vrf_memo(&mut self, evaluator: usize, output: &VrfOutput, proof: &VrfProof) -> bool {
+        let Some(seed) = self.seeds[evaluator] else { return false };
+        let key = (evaluator, *output, *proof);
+        if let Some(ok) = self.vrf_verdicts.get(&key) {
+            return *ok;
+        }
+        let ok = self.keyring.vrf_key(evaluator).verify(&self.vrf_context(), &seed, output, proof);
+        self.vrf_verdicts.insert(key, ok);
+        ok
+    }
+
     fn try_send_candidate(&mut self) -> Option<Step<CoinMessage>> {
-        let s_hat = self.core_set.as_ref()?;
+        let s_hat = self.core_set.clone()?;
         // Wait until every AVSS in Ŝ has been reconstructed locally.
-        for k in s_hat {
+        for k in &s_hat {
             let done = self.avss[*k].as_ref().and_then(|a| a.reconstructed()).is_some();
             if !done {
                 return None;
             }
         }
-        // Verify each revealed VRF against its dealer's seed (line 17).
-        let ctx = self.vrf_context();
+        // Verify each revealed VRF against its dealer's seed (line 17); the
+        // verdicts are memoised so the candidates multicast back to us later
+        // do not pay a second verification.
         let mut best: Option<(usize, VrfOutput, VrfProof)> = None;
-        for k in s_hat {
-            let Some(seed) = self.seeds[*k] else { continue };
+        for k in &s_hat {
+            if self.seeds[*k].is_none() {
+                continue;
+            }
             let Some(bytes) = self.avss[*k].as_ref().and_then(|a| a.reconstructed()) else { continue };
             let Ok((output, proof)) = setupfree_wire::from_bytes::<(VrfOutput, VrfProof)>(bytes) else {
                 continue;
             };
-            if !self.keyring.vrf_key(*k).verify(&ctx, &seed, &output, &proof) {
+            if !self.verify_vrf_memo(*k, &output, &proof) {
                 continue;
             }
             let better = match &best {
@@ -515,8 +540,10 @@ impl Coin {
         if evaluator >= self.n() {
             return;
         }
-        let Some(seed) = self.seeds[evaluator] else { return };
-        if self.keyring.vrf_key(evaluator).verify(&self.vrf_context(), &seed, &output, &proof) {
+        if self.seeds[evaluator].is_none() {
+            return;
+        }
+        if self.verify_vrf_memo(evaluator, &output, &proof) {
             self.candidates.insert(sender, (evaluator, output, proof));
         } else {
             // An invalid candidate still counts towards the n − f arrival

@@ -95,9 +95,21 @@ impl GroupElement {
         }
     }
 
-    /// `g1^a * g2^b` — the Pedersen commitment base operation.
+    /// `g1^a * g2^b` — the Pedersen commitment base operation, computed
+    /// through the fixed-base comb tables of [`crate::multiexp`].
     pub fn commit(a: Scalar, b: Scalar) -> Self {
-        Self::generator().pow(a) * Self::generator2().pow(b)
+        crate::multiexp::commit(a, b)
+    }
+
+    /// Wraps a raw representative (must already be a subgroup member); only
+    /// the exponentiation engine constructs elements this way.
+    pub(crate) fn from_raw(v: u64) -> Self {
+        GroupElement(v)
+    }
+
+    /// The raw representative, for the exponentiation engine.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
     }
 
     /// Canonical 8-byte encoding.
@@ -141,15 +153,14 @@ impl Decode for GroupElement {
 
 /// Multi-exponentiation helper: computes `∏ bases[i]^exps[i]`.
 ///
+/// Delegates to the Pippenger engine in [`crate::multiexp`]; kept here so
+/// existing group-level callers keep a single import.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn multi_exp(bases: &[GroupElement], exps: &[Scalar]) -> GroupElement {
-    assert_eq!(bases.len(), exps.len(), "multi_exp requires equal-length inputs");
-    bases
-        .iter()
-        .zip(exps.iter())
-        .fold(GroupElement::identity(), |acc, (b, e)| acc * b.pow(*e))
+    crate::multiexp::multi_exp(bases, exps)
 }
 
 #[cfg(test)]

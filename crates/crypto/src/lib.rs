@@ -13,6 +13,15 @@
 //!   generation — [`vrf`],
 //! * an aggregatable PVSS over a bilinear group — [`pairing`], [`pvss`].
 //!
+//! All discrete-log hot paths route through the exponentiation engine in
+//! [`multiexp`] (Pippenger multi-exponentiation, fixed-base comb tables for
+//! the two generators, Shamir double exponentiation), and repeated Lagrange
+//! interpolations reuse the cached coefficient tables of [`poly`].  PVSS
+//! transcripts can be verified in bulk via
+//! [`pvss::verify_single_dealer_batch`] (random-linear-combination batching
+//! with a per-transcript fallback); see `ARCHITECTURE.md` §"Crypto hot-path
+//! engine" for the algorithm choices.
+//!
 //! See `DESIGN.md` §2 for the documented substitutions (toy-sized but real
 //! discrete-log group; simulated pairing for the PVSS).
 
@@ -23,6 +32,7 @@ pub mod group;
 pub mod hash;
 pub mod keyring;
 pub mod modarith;
+pub mod multiexp;
 pub mod pairing;
 pub mod params;
 pub mod pedersen;

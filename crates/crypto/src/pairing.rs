@@ -70,6 +70,30 @@ macro_rules! sim_group {
             pub fn is_identity(self) -> bool {
                 self.0.is_zero()
             }
+
+            /// Simultaneous multi-exponentiation `∏ elems[i]^{exps[i]}`.
+            ///
+            /// In the simulated group this is the inner product of the
+            /// stored discrete logs with the exponent vector — the same
+            /// operation a Pippenger engine would perform over a real curve,
+            /// at the cost model of the simulation.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the slices have different lengths.
+            pub fn multi_exp(elems: &[$name], exps: &[Scalar]) -> $name {
+                assert_eq!(
+                    elems.len(),
+                    exps.len(),
+                    "multi_exp requires equal-length inputs"
+                );
+                $name(
+                    elems
+                        .iter()
+                        .zip(exps.iter())
+                        .fold(Scalar::zero(), |acc, (g, e)| acc + g.0 * *e),
+                )
+            }
         }
 
         impl Mul for $name {

@@ -7,6 +7,7 @@
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::group::GroupElement;
+use crate::multiexp;
 use crate::poly::Polynomial;
 use crate::scalar::Scalar;
 
@@ -53,16 +54,66 @@ impl PedersenCommitment {
         lhs == self.eval_in_exponent(index)
     }
 
-    /// Computes `∏_k c_k^{i^k}`, the commitment to the evaluation at `i`.
+    /// Verifies a batch of claimed openings `(index, a_i, b_i)` in one
+    /// random-linear-combination check.
+    ///
+    /// This is *local* verification, so the weights are the powers
+    /// `ρ⁰, ρ¹, …` of a scalar derived from `entropy` — a secret only the
+    /// verifier knows (e.g. [`crate::sig::SigningKey::batch_entropy`]) —
+    /// rather than Fiat–Shamir hashes of the batch: one small hash instead
+    /// of rehashing every share, and a forged batch passes only if a nonzero
+    /// polynomial of degree `< k` vanishes at the secret `ρ`.
+    ///
+    /// The combined equation
+    /// `g1^{Σ ρⁱaᵢ} · g2^{Σ ρⁱbᵢ} = ∏_k c_k^{Σᵢ ρⁱ·xᵢᵏ}` collapses the whole
+    /// batch into a single fixed-base commit plus one multi-exponentiation
+    /// over the `deg + 1` commitment elements, instead of one commit and one
+    /// evaluation per share.  If the combined check fails, falls back to
+    /// per-share verification so callers learn exactly which openings are
+    /// bad.  Returns one flag per input share.
+    pub fn verify_shares_batch(
+        &self,
+        shares: &[(usize, Scalar, Scalar)],
+        entropy: &[u8],
+    ) -> Vec<bool> {
+        if shares.len() < 2 {
+            return shares.iter().map(|(i, a, b)| self.verify_share(*i, *a, *b)).collect();
+        }
+        let rho = Scalar::from_hash(
+            "setupfree/pedersen/batch/rho",
+            &[entropy, &(shares.len() as u64).to_le_bytes()],
+        );
+        let rho = if rho.is_zero() { Scalar::one() } else { rho };
+        let mut lhs_a = Scalar::zero();
+        let mut lhs_b = Scalar::zero();
+        let mut rhs_exps = vec![Scalar::zero(); self.commitments.len()];
+        let mut r = Scalar::one();
+        for (index, a, b) in shares.iter() {
+            lhs_a += r * *a;
+            lhs_b += r * *b;
+            let x = Scalar::from_u64(*index as u64);
+            let mut power = r;
+            for exp in rhs_exps.iter_mut() {
+                *exp += power;
+                power *= x;
+            }
+            r *= rho;
+        }
+        let lhs = GroupElement::commit(lhs_a, lhs_b);
+        let rhs = multiexp::multi_exp(&self.commitments, &rhs_exps);
+        if lhs == rhs {
+            return vec![true; shares.len()];
+        }
+        // The combination failed: at least one opening is bad; identify them.
+        shares.iter().map(|(i, a, b)| self.verify_share(*i, *a, *b)).collect()
+    }
+
+    /// Computes `∏_k c_k^{i^k}`, the commitment to the evaluation at `i`,
+    /// as one multi-exponentiation over the commitment vector.
     pub fn eval_in_exponent(&self, index: usize) -> GroupElement {
         let x = Scalar::from_u64(index as u64);
-        let mut acc = GroupElement::identity();
-        let mut power = Scalar::one();
-        for c in &self.commitments {
-            acc = acc * c.pow(power);
-            power *= x;
-        }
-        acc
+        let powers = multiexp::powers_of(x, self.commitments.len());
+        multiexp::multi_exp(&self.commitments, &powers)
     }
 }
 
@@ -137,6 +188,46 @@ mod tests {
         let (_, _, c) = sample(2, 5);
         let bytes = setupfree_wire::to_bytes(&c);
         assert_eq!(setupfree_wire::from_bytes::<PedersenCommitment>(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn batch_share_verification_accepts_valid_batches() {
+        let (a, b, c) = sample(4, 6);
+        let shares: Vec<(usize, Scalar, Scalar)> =
+            (1..=7).map(|i| (i, a.eval_at_index(i), b.eval_at_index(i))).collect();
+        assert_eq!(c.verify_shares_batch(&shares, b"test-entropy"), vec![true; shares.len()]);
+    }
+
+    #[test]
+    fn batch_share_verification_flags_exactly_the_bad_shares() {
+        let (a, b, c) = sample(3, 7);
+        let mut shares: Vec<(usize, Scalar, Scalar)> =
+            (1..=6).map(|i| (i, a.eval_at_index(i), b.eval_at_index(i))).collect();
+        shares[2].1 += Scalar::one();
+        shares[4].2 += Scalar::from_u64(9);
+        let flags = c.verify_shares_batch(&shares, b"test-entropy");
+        assert_eq!(flags, vec![true, true, false, true, false, true]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_batch_verification_matches_per_share(
+            seed in any::<u64>(),
+            degree in 1usize..5,
+            tamper_mask in 0u8..32,
+        ) {
+            let (a, b, c) = sample(degree, seed);
+            let mut shares: Vec<(usize, Scalar, Scalar)> =
+                (1..=5).map(|i| (i, a.eval_at_index(i), b.eval_at_index(i))).collect();
+            for (bit, share) in shares.iter_mut().enumerate() {
+                if tamper_mask & (1 << bit) != 0 {
+                    share.1 += Scalar::one();
+                }
+            }
+            let per_share: Vec<bool> =
+                shares.iter().map(|(i, x, y)| c.verify_share(*i, *x, *y)).collect();
+            prop_assert_eq!(c.verify_shares_batch(&shares, &seed.to_le_bytes()), per_share);
+        }
     }
 
     #[test]

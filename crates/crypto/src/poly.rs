@@ -5,6 +5,17 @@
 //! aggregatable PVSS (Appendix B): secrets are constant terms of random
 //! polynomials of degree at most `f` (resp. `t`), shares are evaluations at
 //! party-specific points, and reconstruction is Lagrange interpolation at 0.
+//!
+//! Interpolation over a fixed point set is a protocol hot path — every PVSS
+//! verification interpolates over `{1, …, n}` and every reconstruction over
+//! the same quorum of share points — so the barycentric denominators are
+//! precomputed once per point set in a [`LagrangeTable`] and memoised
+//! process-wide by [`lagrange_table`]: the first use of a point set costs
+//! `O(k²)` multiplications (plus one batched inversion), every later
+//! coefficient-vector evaluation costs `O(k)`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::Rng;
 
@@ -90,6 +101,10 @@ impl Polynomial {
 /// Lagrange coefficient `ℓ_j(x)` for the interpolation point set `xs`
 /// evaluated at `x`.
 ///
+/// One coefficient costs `O(k)` multiplications plus an inversion; callers
+/// that need the whole coefficient vector (every interpolation does) should
+/// use a cached [`LagrangeTable`] instead.
+///
 /// # Panics
 ///
 /// Panics if `xs` contains duplicate points.
@@ -108,8 +123,136 @@ pub fn lagrange_coefficient(xs: &[Scalar], j: usize, x: Scalar) -> Scalar {
     num * den.invert()
 }
 
+/// Precomputed barycentric denominators for one interpolation point set.
+///
+/// Construction costs `O(k²)` multiplications and a single (batched)
+/// inversion; every subsequent [`Self::coefficients_at`] call is `O(k)` with
+/// no inversions — the win that makes repeated PVSS verifications and
+/// quorum reconstructions cheap.
+#[derive(Debug, Clone)]
+pub struct LagrangeTable {
+    xs: Vec<Scalar>,
+    /// Barycentric weights `w_j = 1 / ∏_{m≠j} (x_j − x_m)`.
+    weights: Vec<Scalar>,
+}
+
+impl LagrangeTable {
+    /// Builds the table for the point set `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains duplicate points.
+    pub fn new(xs: Vec<Scalar>) -> Self {
+        assert!(!xs.is_empty(), "interpolation requires at least one point");
+        let k = xs.len();
+        let mut weights = Vec::with_capacity(k);
+        for j in 0..k {
+            let mut den = Scalar::one();
+            for m in 0..k {
+                if m != j {
+                    let diff = xs[j] - xs[m];
+                    assert!(!diff.is_zero(), "duplicate interpolation points");
+                    den *= diff;
+                }
+            }
+            weights.push(den);
+        }
+        Scalar::batch_invert(&mut weights);
+        LagrangeTable { xs, weights }
+    }
+
+    /// The interpolation point set.
+    pub fn xs(&self) -> &[Scalar] {
+        &self.xs
+    }
+
+    /// All coefficients `ℓ_0(x), …, ℓ_{k−1}(x)` in `O(k)` via prefix/suffix
+    /// products of `(x − x_m)`.
+    pub fn coefficients_at(&self, x: Scalar) -> Vec<Scalar> {
+        let k = self.xs.len();
+        // At an interpolation point the coefficient vector is an indicator.
+        if let Some(j) = self.xs.iter().position(|xm| *xm == x) {
+            let mut out = vec![Scalar::zero(); k];
+            out[j] = Scalar::one();
+            return out;
+        }
+        let mut prefix = Vec::with_capacity(k + 1);
+        prefix.push(Scalar::one());
+        for xm in &self.xs {
+            let last = *prefix.last().expect("non-empty");
+            prefix.push(last * (x - *xm));
+        }
+        let mut out = vec![Scalar::zero(); k];
+        let mut suffix = Scalar::one();
+        for j in (0..k).rev() {
+            out[j] = prefix[j] * suffix * self.weights[j];
+            suffix *= x - self.xs[j];
+        }
+        out
+    }
+
+    /// Interpolates the polynomial through `(xs[j], ys[j])` and evaluates it
+    /// at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys` has a different length than the point set.
+    pub fn interpolate_at(&self, ys: &[Scalar], x: Scalar) -> Scalar {
+        assert_eq!(ys.len(), self.xs.len(), "one value per interpolation point is required");
+        self.coefficients_at(x)
+            .into_iter()
+            .zip(ys.iter())
+            .fold(Scalar::zero(), |acc, (c, y)| acc + c * *y)
+    }
+}
+
+/// Upper bound on the number of memoised point sets; the cache is cleared
+/// when it fills (protocols cycle through a handful of quorums, so in
+/// practice it never does).
+const LAGRANGE_CACHE_CAP: usize = 256;
+
+static LAGRANGE_CACHE: OnceLock<Mutex<HashMap<Vec<u64>, Arc<LagrangeTable>>>> = OnceLock::new();
+
+/// Returns the process-wide memoised [`LagrangeTable`] for `xs`, building it
+/// on first use.  Repeated reconstructions over the same quorum — the normal
+/// case in AVSS/PVSS — pay the `O(k²)` table setup only once.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains duplicate points.
+pub fn lagrange_table(xs: &[Scalar]) -> Arc<LagrangeTable> {
+    let key: Vec<u64> = xs.iter().map(|x| x.to_u64()).collect();
+    let cache = LAGRANGE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // The critical sections below cannot panic, so a poisoned lock (from a
+    // caller that panicked constructing a table) is safe to recover.
+    if let Some(table) =
+        cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key).cloned()
+    {
+        return table;
+    }
+    // Built outside the lock: construction can panic on duplicate points and
+    // is the expensive part; a racing duplicate build is harmless.
+    let table = Arc::new(LagrangeTable::new(xs.to_vec()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if map.len() >= LAGRANGE_CACHE_CAP {
+        map.clear();
+    }
+    map.insert(key, table.clone());
+    table
+}
+
+/// The canonical share-point table `{1, …, n}` used by the PVSS low-degree
+/// test and by full-quorum reconstructions.
+pub fn share_point_table(n: usize) -> Arc<LagrangeTable> {
+    let xs: Vec<Scalar> = (1..=n).map(|i| Scalar::from_u64(i as u64)).collect();
+    lagrange_table(&xs)
+}
+
 /// Interpolates the unique polynomial through `points` and evaluates it at
 /// `x`.  `points` are `(x_i, y_i)` pairs with distinct `x_i`.
+///
+/// Uses the memoised [`LagrangeTable`] for the point set, so repeated
+/// interpolations over the same quorum are `O(k)` after the first.
 ///
 /// # Panics
 ///
@@ -117,11 +260,8 @@ pub fn lagrange_coefficient(xs: &[Scalar], j: usize, x: Scalar) -> Scalar {
 pub fn interpolate_at(points: &[(Scalar, Scalar)], x: Scalar) -> Scalar {
     assert!(!points.is_empty(), "interpolation requires at least one point");
     let xs: Vec<Scalar> = points.iter().map(|(xi, _)| *xi).collect();
-    let mut acc = Scalar::zero();
-    for (j, (_, yj)) in points.iter().enumerate() {
-        acc += *yj * lagrange_coefficient(&xs, j, x);
-    }
-    acc
+    let ys: Vec<Scalar> = points.iter().map(|(_, yi)| *yi).collect();
+    lagrange_table(&xs).interpolate_at(&ys, x)
 }
 
 /// Interpolates at zero — the common "reconstruct the secret" operation.
@@ -212,6 +352,50 @@ mod tests {
     fn duplicate_points_panic() {
         let pts = vec![(Scalar::from_u64(1), Scalar::from_u64(1)), (Scalar::from_u64(1), Scalar::from_u64(2))];
         interpolate_at_zero(&pts);
+    }
+
+    #[test]
+    fn table_coefficients_match_pointwise_formula() {
+        let xs: Vec<Scalar> = [1u64, 3, 4, 7, 9].iter().map(|v| Scalar::from_u64(*v)).collect();
+        let table = LagrangeTable::new(xs.clone());
+        for x in [0u64, 2, 5, 100] {
+            let x = Scalar::from_u64(x);
+            let coeffs = table.coefficients_at(x);
+            for (j, c) in coeffs.iter().enumerate() {
+                assert_eq!(*c, lagrange_coefficient(&xs, j, x), "x = {x}, j = {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_coefficients_at_an_interpolation_point_are_indicators() {
+        let table = share_point_table(5);
+        let coeffs = table.coefficients_at(Scalar::from_u64(3));
+        for (j, c) in coeffs.iter().enumerate() {
+            let expected = if j == 2 { Scalar::one() } else { Scalar::zero() };
+            assert_eq!(*c, expected);
+        }
+    }
+
+    #[test]
+    fn cached_tables_are_shared() {
+        let xs: Vec<Scalar> = [11u64, 13, 17].iter().map(|v| Scalar::from_u64(*v)).collect();
+        let a = lagrange_table(&xs);
+        let b = lagrange_table(&xs);
+        assert!(Arc::ptr_eq(&a, &b), "the second lookup must hit the cache");
+    }
+
+    #[test]
+    fn batch_invert_matches_individual_inversion() {
+        let mut vals: Vec<Scalar> = [2u64, 3, 5, 7, 11].iter().map(|v| Scalar::from_u64(*v)).collect();
+        let expected: Vec<Scalar> = vals.iter().map(|v| v.invert()).collect();
+        Scalar::batch_invert(&mut vals);
+        assert_eq!(vals, expected);
+        let mut empty: Vec<Scalar> = vec![];
+        Scalar::batch_invert(&mut empty);
+        let mut single = [Scalar::from_u64(9)];
+        Scalar::batch_invert(&mut single);
+        assert_eq!(single[0], Scalar::from_u64(9).invert());
     }
 
     proptest! {

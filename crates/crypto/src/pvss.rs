@@ -18,8 +18,9 @@ use rand::Rng;
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::hash::hash_fields;
+use crate::multiexp::powers_of;
 use crate::pairing::{pairing, G1, G2};
-use crate::poly::{lagrange_coefficient, Polynomial};
+use crate::poly::{lagrange_table, share_point_table, Polynomial};
 use crate::scalar::Scalar;
 use crate::sig::{Signature, SigningKey, VerifyingKey};
 
@@ -65,6 +66,14 @@ impl PvssDecryptionKey {
     pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> (Self, PvssEncryptionKey) {
         let dk = Scalar::random_nonzero(rng);
         (PvssDecryptionKey(dk), PvssEncryptionKey(G2::generator().pow(dk)))
+    }
+
+    /// Secret verifier-side entropy derived from the decryption key, for the
+    /// random challenges of [`verify_single_dealer_batch`].  Never leaves the
+    /// party, so an adversary fixing transcripts cannot predict the batch
+    /// weights derived from it.
+    pub fn batch_entropy(&self) -> [u8; 32] {
+        hash_fields("setupfree/pvss/batch-entropy", &[&self.0.to_bytes()])
     }
 }
 
@@ -214,19 +223,13 @@ impl PvssScript {
             return false;
         }
         // (1) Low-degree consistency at a Fiat–Shamir challenge point α:
-        //     ∏_j A_j^{ℓ_j(α)} must equal ∏_k F_k^{α^k}.
+        //     ∏_j A_j^{ℓ_j(α)} must equal ∏_k F_k^{α^k}.  The coefficient
+        //     vector comes from the cached share-point Lagrange table (O(n)
+        //     after the first use) and both products are single multi-exps.
         let alpha = self.challenge_point();
-        let xs: Vec<Scalar> = (1..=params.n).map(|j| Scalar::from_u64(j as u64)).collect();
-        let mut lhs = G1::identity();
-        for (j, a_j) in self.a_evals.iter().enumerate() {
-            lhs = lhs * a_j.pow(lagrange_coefficient(&xs, j, alpha));
-        }
-        let mut rhs = G1::identity();
-        let mut power = Scalar::one();
-        for f_k in &self.f_coeffs {
-            rhs = rhs * f_k.pow(power);
-            power *= alpha;
-        }
+        let coeffs = share_point_table(params.n).coefficients_at(alpha);
+        let lhs = G1::multi_exp(&self.a_evals, &coeffs);
+        let rhs = G1::multi_exp(&self.f_coeffs, &powers_of(alpha, self.f_coeffs.len()));
         if lhs != rhs {
             return false;
         }
@@ -355,6 +358,7 @@ impl PvssScript {
         pairing(self.a_evals[index], G2::generator()) == pairing(G1::generator(), share.0)
     }
 
+
     /// `AggShares({(j, sh_j)})`: reconstructs the committed secret from
     /// `degree + 1` or more valid shares (Lagrange interpolation in the
     /// exponent).
@@ -383,11 +387,9 @@ impl PvssScript {
         }
         let subset = &valid[..need];
         let xs: Vec<Scalar> = subset.iter().map(|(i, _)| Scalar::from_u64(*i as u64 + 1)).collect();
-        let mut acc = G2::identity();
-        for (j, (_, share)) in subset.iter().enumerate() {
-            acc = acc * share.0.pow(lagrange_coefficient(&xs, j, Scalar::zero()));
-        }
-        Ok(PvssSecret(acc))
+        let coeffs = lagrange_table(&xs).coefficients_at(Scalar::zero());
+        let shares_g2: Vec<G2> = subset.iter().map(|(_, share)| share.0).collect();
+        Ok(PvssSecret(G2::multi_exp(&shares_g2, &coeffs)))
     }
 
     /// `VrfySecret(s, pvss)`: checks `e(F_0, ĥ_1) = e(g_1, s)`.
@@ -399,6 +401,166 @@ impl PvssScript {
     fn challenge_point(&self) -> Scalar {
         let encoded = setupfree_wire::to_bytes(&(self.f_coeffs.clone(), self.a_evals.clone()));
         Scalar::from_hash("setupfree/pvss/alpha", &[&encoded])
+    }
+
+    /// Dimension and weight-vector checks for a fresh single-dealer script —
+    /// the non-algebraic screening a batched verification still performs per
+    /// transcript.
+    fn single_dealer_shape_ok(&self, params: &PvssParams, dealer: usize) -> bool {
+        dealer < params.n
+            && self.f_coeffs.len() == params.degree + 1
+            && self.a_evals.len() == params.n
+            && self.y_encs.len() == params.n
+            && self.c_comms.len() == params.n
+            && self.weights.len() == params.n
+            && self.soks.len() == params.n
+            && self.c_comms[dealer].is_some()
+            && self
+                .weights
+                .iter()
+                .enumerate()
+                .all(|(i, w)| if i == dealer { *w == 1 } else { *w == 0 })
+    }
+
+    /// The dealer's signature-of-knowledge check (signatures cannot be
+    /// folded into a random linear combination, so batching keeps them
+    /// per-transcript).
+    fn dealer_sok_ok(&self, vks: &[VerifyingKey], dealer: usize) -> bool {
+        match (&self.c_comms[dealer], &self.soks[dealer]) {
+            (Some(c_i), Some(sok)) => sok_verify(&vks[dealer], dealer, c_i, sok),
+            _ => false,
+        }
+    }
+}
+
+/// Verifies `n` fresh single-dealer PVSS transcripts — the exact workload a
+/// Seeding leader faces when aggregating an AVSS/coin setup — with one
+/// random-linear-combination check instead of `n` independent
+/// [`PvssScript::verify_single_dealer`] calls.
+///
+/// **Randomness.** This is *local* verification (the verdict is never sent
+/// as a proof), so instead of deriving per-transcript Fiat–Shamir challenges
+/// — which would mean hashing every transcript and is exactly the cost this
+/// function exists to remove — the batch draws its randomness from
+/// `entropy`, a secret only the verifier knows (e.g.
+/// [`PvssDecryptionKey::batch_entropy`]).  A secret scalar `ρ` and challenge
+/// point `α` are derived from `entropy` and the batch's dealer set; the
+/// weights are the powers `ρ⁰, ρ¹, …` (Bellare–Garay–Rabin-style screening),
+/// so a forged batch passes only if a nonzero polynomial of degree `< n`
+/// vanishes at the secret `ρ` — probability `< n/q`.  An adversary who fixed
+/// the transcripts cannot bias this because it never sees `ρ` or `α`.
+///
+/// With weights `ρⁱ`, the per-script algebraic equations collapse into:
+///
+/// * one combined low-degree identity at the shared secret point `α`:
+///   `∏_j (Σᵢ ρⁱ·A_{i,j})^{ℓ_j(α)} = ∏_k (Σᵢ ρⁱ·F_{i,k})^{α^k}`
+///   (written additively in the exponents) — and since `α` is verifier-chosen
+///   the per-transcript challenge hashes disappear entirely,
+/// * one pairing equation `e(∏_i F_{i,0}^{ρⁱ}, û_1) = e(g_1, ∏_i û_{2,i}^{ρⁱ})`
+///   instead of one per transcript,
+/// * two pairings **per receiver** `e(∏_i A_{i,j}^{ρⁱ}, ek_j) =
+///   e(g_1, ∏_i Ŷ_{i,j}^{ρⁱ})` instead of two per receiver *per transcript*
+///   (`2n` total rather than `2n²`),
+/// * one combined contributor-commitment identity
+///   `∏_i C_{i,d_i}^{ρⁱ} = ∏_i F_{i,0}^{ρⁱ}`.
+///
+/// Shape/weight screening and the dealer signatures of knowledge stay
+/// per-transcript (compact Schnorr signatures transmit the challenge, not
+/// the nonce commitment, so they cannot be folded into a linear
+/// combination).  **Fallback:** when the batch has fewer than two
+/// algebraically screenable transcripts, or when any combined check fails,
+/// every surviving transcript is re-verified with the exact per-transcript
+/// path, so the returned flags always equal what `verify_single_dealer`
+/// would report, transcript by transcript.
+///
+/// `entries` are `(dealer, script)` pairs; the result is one flag per entry.
+pub fn verify_single_dealer_batch(
+    params: &PvssParams,
+    eks: &[PvssEncryptionKey],
+    vks: &[VerifyingKey],
+    entries: &[(usize, &PvssScript)],
+    entropy: &[u8],
+) -> Vec<bool> {
+    let mut flags = vec![false; entries.len()];
+    if eks.len() != params.n || vks.len() != params.n {
+        return flags;
+    }
+    let survivors: Vec<usize> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, (dealer, script))| {
+            script.single_dealer_shape_ok(params, *dealer)
+                && script.dealer_sok_ok(vks, *dealer)
+        })
+        .map(|(slot, _)| slot)
+        .collect();
+    let fallback = |flags: &mut Vec<bool>| {
+        for &slot in &survivors {
+            let (dealer, script) = entries[slot];
+            flags[slot] = script.verify_single_dealer(params, eks, vks, dealer);
+        }
+    };
+    if survivors.len() < 2 {
+        fallback(&mut flags);
+        return flags;
+    }
+    // One small hash binds the secret entropy to this batch's dealer set;
+    // everything random below expands from it without touching the (large)
+    // transcripts again.
+    let mut binding = Vec::with_capacity(8 * (survivors.len() + 1));
+    binding.extend_from_slice(&(survivors.len() as u64).to_le_bytes());
+    for &slot in &survivors {
+        binding.extend_from_slice(&(entries[slot].0 as u64).to_le_bytes());
+    }
+    let rho = nonzero(Scalar::from_hash("setupfree/pvss/batch/rho", &[entropy, &binding]));
+    let alpha = nonzero(Scalar::from_hash("setupfree/pvss/batch/alpha", &[entropy, &binding]));
+    let weights = powers_of(rho, survivors.len());
+    // Column accumulators: Σ_i ρⁱ·(component of script i), per position.
+    let mut f_cols = vec![G1::identity(); params.degree + 1];
+    let mut a_cols = vec![G1::identity(); params.n];
+    let mut y_cols = vec![G2::identity(); params.n];
+    let mut u2_combined = G2::identity();
+    let mut c_combined = G1::identity();
+    for (&slot, r) in survivors.iter().zip(weights.iter()) {
+        let (dealer, script) = entries[slot];
+        for (col, f_k) in f_cols.iter_mut().zip(script.f_coeffs.iter()) {
+            *col = *col * f_k.pow(*r);
+        }
+        for (col, a_j) in a_cols.iter_mut().zip(script.a_evals.iter()) {
+            *col = *col * a_j.pow(*r);
+        }
+        for (col, y_j) in y_cols.iter_mut().zip(script.y_encs.iter()) {
+            *col = *col * y_j.pow(*r);
+        }
+        u2_combined = u2_combined * script.u2.pow(*r);
+        c_combined = c_combined * script.c_comms[dealer].expect("shape-checked above").pow(*r);
+    }
+    let coeffs = share_point_table(params.n).coefficients_at(alpha);
+    let lowdeg_lhs = G1::multi_exp(&a_cols, &coeffs);
+    let lowdeg_rhs = G1::multi_exp(&f_cols, &powers_of(alpha, f_cols.len()));
+    let ok = lowdeg_lhs == lowdeg_rhs
+        && pairing(f_cols[0], u1()) == pairing(G1::generator(), u2_combined)
+        && c_combined == f_cols[0]
+        && (0..params.n).all(|j| {
+            pairing(a_cols[j], eks[j].0) == pairing(G1::generator(), y_cols[j])
+        });
+    if ok {
+        for &slot in &survivors {
+            flags[slot] = true;
+        }
+    } else {
+        // At least one transcript is bad: identify it with the exact path.
+        fallback(&mut flags);
+    }
+    flags
+}
+
+/// Maps the zero scalar to one (batch challenges must be non-zero).
+fn nonzero(s: Scalar) -> Scalar {
+    if s.is_zero() {
+        Scalar::one()
+    } else {
+        s
     }
 }
 
@@ -666,6 +828,42 @@ mod tests {
         PvssParams::new(3, 3);
     }
 
+    #[test]
+    fn batch_verification_accepts_a_full_honest_setup() {
+        let n = 7;
+        let fx = fixture(n, 4, 40);
+        let scripts: Vec<PvssScript> =
+            (0..n).map(|d| deal(&fx, d, 100 + d as u64, 50 + d as u64)).collect();
+        let entries: Vec<(usize, &PvssScript)> = scripts.iter().enumerate().collect();
+        let flags = verify_single_dealer_batch(&fx.params, &fx.eks, &fx.vks, &entries, b"test-entropy");
+        assert_eq!(flags, vec![true; n]);
+    }
+
+    #[test]
+    fn batch_verification_flags_exactly_the_tampered_transcript() {
+        let n = 5;
+        let fx = fixture(n, 2, 41);
+        let mut scripts: Vec<PvssScript> =
+            (0..n).map(|d| deal(&fx, d, 7 + d as u64, 60 + d as u64)).collect();
+        // Tamper with one encrypted share of script 2 (an algebraic defect
+        // the shape screening cannot see).
+        scripts[2].y_encs[1] = scripts[2].y_encs[1] * G2::generator();
+        let entries: Vec<(usize, &PvssScript)> = scripts.iter().enumerate().collect();
+        let flags = verify_single_dealer_batch(&fx.params, &fx.eks, &fx.vks, &entries, b"test-entropy");
+        assert_eq!(flags, vec![true, true, false, true, true]);
+    }
+
+    #[test]
+    fn batch_verification_rejects_wrong_dealer_claims() {
+        let fx = fixture(5, 2, 42);
+        let script = deal(&fx, 1, 9, 61);
+        let other = deal(&fx, 2, 10, 62);
+        // Claiming the wrong dealer index fails the weight screening.
+        let entries = vec![(0usize, &script), (2usize, &other)];
+        let flags = verify_single_dealer_batch(&fx.params, &fx.eks, &fx.vks, &entries, b"test-entropy");
+        assert_eq!(flags, vec![false, true]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -704,6 +902,38 @@ mod tests {
                 !script.verify(&fx.params, &fx.eks, &fx.vks),
                 "tamper kind {} (slot {}) went undetected", tamper, slot
             );
+        }
+
+        #[test]
+        fn prop_batch_verification_equals_per_transcript(
+            seed in any::<u64>(),
+            tampered in 0usize..5,
+            tamper_kind in 0usize..4,
+            do_tamper in any::<bool>(),
+        ) {
+            // Batch verification must accept exactly the transcripts the
+            // per-transcript path accepts — for fully honest batches and for
+            // batches with any single tampered transcript.
+            let n = 5;
+            let fx = fixture(n, 2, seed);
+            let mut scripts: Vec<PvssScript> =
+                (0..n).map(|d| deal(&fx, d, seed ^ d as u64, seed.wrapping_add(d as u64))).collect();
+            if do_tamper {
+                let s = &mut scripts[tampered];
+                match tamper_kind {
+                    0 => s.f_coeffs[0] = s.f_coeffs[0] * G1::generator(),
+                    1 => s.u2 = s.u2 * G2::generator(),
+                    2 => s.a_evals[0] = s.a_evals[0] * G1::generator(),
+                    _ => s.y_encs[0] = s.y_encs[0] * G2::generator(),
+                }
+            }
+            let entries: Vec<(usize, &PvssScript)> = scripts.iter().enumerate().collect();
+            let batch = verify_single_dealer_batch(&fx.params, &fx.eks, &fx.vks, &entries, b"test-entropy");
+            let individual: Vec<bool> = entries
+                .iter()
+                .map(|(d, s)| s.verify_single_dealer(&fx.params, &fx.eks, &fx.vks, *d))
+                .collect();
+            prop_assert_eq!(batch, individual);
         }
     }
 

@@ -129,6 +129,36 @@ impl Scalar {
         Scalar(pow_mod(self.0, e, Self::modulus()))
     }
 
+    /// Inverts every element of `values` in place using Montgomery's batch
+    /// trick: `3(k − 1)` multiplications plus a single field inversion,
+    /// instead of `k` inversions.  Used by the Lagrange tables in
+    /// [`crate::poly`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero.
+    pub fn batch_invert(values: &mut [Scalar]) {
+        if values.is_empty() {
+            return;
+        }
+        // prefix[i] = values[0] · … · values[i]
+        let mut prefix = Vec::with_capacity(values.len());
+        let mut acc = Scalar::one();
+        for v in values.iter() {
+            assert!(!v.is_zero(), "attempted to batch-invert zero");
+            acc *= *v;
+            prefix.push(acc);
+        }
+        // Walk back dividing out one element at a time.
+        let mut inv = acc.invert();
+        for i in (1..values.len()).rev() {
+            let v_inv = inv * prefix[i - 1];
+            inv *= values[i];
+            values[i] = v_inv;
+        }
+        values[0] = inv;
+    }
+
     /// Canonical 8-byte little-endian encoding.
     pub fn to_bytes(self) -> [u8; 8] {
         self.0.to_le_bytes()

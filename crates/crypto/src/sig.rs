@@ -14,6 +14,7 @@ use rand::Rng;
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::group::GroupElement;
+use crate::multiexp;
 use crate::scalar::Scalar;
 
 /// Serialized signature length in bytes (challenge + response scalars).
@@ -55,13 +56,22 @@ impl SigningKey {
     /// Builds a key pair from a known secret exponent (used by tests and by
     /// the "maliciously generated key" adversary hooks).
     pub fn from_secret(sk: Scalar) -> Self {
-        let pk = VerifyingKey(GroupElement::generator().pow(sk));
+        let pk = VerifyingKey(multiexp::fixed_pow_g1(sk));
         SigningKey { sk, pk }
     }
 
     /// The corresponding verification key.
     pub fn verifying_key(&self) -> VerifyingKey {
         self.pk
+    }
+
+    /// Secret verifier-side entropy derived from the signing key, for the
+    /// random weights of local batch verifications (e.g.
+    /// [`crate::pedersen::PedersenCommitment::verify_shares_batch`]).  Never
+    /// leaves the party, so an adversary fixing the batched claims cannot
+    /// predict the weights derived from it.
+    pub fn batch_entropy(&self) -> [u8; 32] {
+        crate::hash::hash_fields("setupfree/sig/batch-entropy", &[&self.sk.to_bytes()])
     }
 
     /// Signs `message` under the given domain-separation `context`
@@ -74,7 +84,7 @@ impl SigningKey {
             &[&self.sk.to_bytes(), context, message],
         );
         let k = if k.is_zero() { Scalar::one() } else { k };
-        let r = GroupElement::generator().pow(k);
+        let r = multiexp::fixed_pow_g1(k);
         let c = challenge(&r, &self.pk, context, message);
         let s = k + c * self.sk;
         Signature { c, s }
@@ -84,8 +94,11 @@ impl SigningKey {
 impl VerifyingKey {
     /// Verifies `sig` on `(context, message)`.
     pub fn verify(&self, context: &[u8], message: &[u8], sig: &Signature) -> bool {
-        // R' = g^s * pk^{-c}; valid iff H(R', pk, ctx, m) == c.
-        let r = GroupElement::generator().pow(sig.s) * self.0.pow(sig.c).inverse();
+        // R' = g^s * pk^{-c}; valid iff H(R', pk, ctx, m) == c.  The g-part
+        // uses the fixed-base table and pk^{-c} is a single exponentiation
+        // with the negated scalar (order-q elements satisfy x^{-c} = x^{q-c}),
+        // avoiding the full field inversion the naive form would pay.
+        let r = multiexp::fixed_pow_g1(sig.s) * self.0.pow(sig.c.negate());
         challenge(&r, self, context, message) == sig.c
     }
 

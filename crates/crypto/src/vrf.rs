@@ -19,6 +19,7 @@ use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::hash::{hash_fields, Digest};
 use crate::group::GroupElement;
+use crate::multiexp;
 use crate::scalar::Scalar;
 
 /// VRF output length in bytes.
@@ -70,7 +71,7 @@ impl VrfSecretKey {
 
     /// Builds a key pair from a known secret (used by malicious-key tests).
     pub fn from_secret(sk: Scalar) -> Self {
-        let pk = VrfPublicKey(GroupElement::generator().pow(sk));
+        let pk = VrfPublicKey(multiexp::fixed_pow_g1(sk));
         VrfSecretKey { sk, pk }
     }
 
@@ -87,7 +88,7 @@ impl VrfSecretKey {
         // DLEQ proof that log_g(pk) == log_h(gamma).
         let k = Scalar::from_hash("setupfree/vrf/nonce", &[&self.sk.to_bytes(), context, input]);
         let k = if k.is_zero() { Scalar::one() } else { k };
-        let a = GroupElement::generator().pow(k);
+        let a = multiexp::fixed_pow_g1(k);
         let b = h.pow(k);
         let c = dleq_challenge(&self.pk.0, &h, &gamma, &a, &b, context, input);
         let s = k + c * self.sk;
@@ -101,9 +102,13 @@ impl VrfPublicKey {
     /// this key on `(context, input)` (the paper's `VRF.Verify^ID_i`).
     pub fn verify(&self, context: &[u8], input: &[u8], output: &VrfOutput, proof: &VrfProof) -> bool {
         let h = hash_point(context, input);
-        // Recompute the DLEQ commitments: A = g^s / pk^c, B = h^s / gamma^c.
-        let a = GroupElement::generator().pow(proof.s) * self.0.pow(proof.c).inverse();
-        let b = h.pow(proof.s) * proof.gamma.pow(proof.c).inverse();
+        // Recompute the DLEQ commitments A = g^s·pk^{-c} and B = h^s·γ^{-c}:
+        // the g-part rides the fixed-base table, the h-part is one Shamir
+        // double exponentiation, and both negate the challenge scalar
+        // (x^{-c} = x^{q-c}) instead of inverting group elements.
+        let neg_c = proof.c.negate();
+        let a = multiexp::fixed_pow_g1(proof.s) * self.0.pow(neg_c);
+        let b = multiexp::dual_pow(h, proof.s, proof.gamma, neg_c);
         let c = dleq_challenge(&self.0, &h, &proof.gamma, &a, &b, context, input);
         c == proof.c && output_from_gamma(&proof.gamma) == *output
     }

@@ -24,7 +24,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use setupfree_crypto::hash::sha256;
-use setupfree_crypto::pvss::{PvssParams, PvssScript, PvssSecret, PvssShare};
+use setupfree_crypto::pvss::{
+    verify_single_dealer_batch, PvssParams, PvssScript, PvssSecret, PvssShare,
+};
 use setupfree_crypto::scalar::Scalar;
 use setupfree_crypto::sig::Signature;
 use setupfree_crypto::{Keyring, PartySecrets};
@@ -145,6 +147,10 @@ impl Decode for SeedingMessage {
 /// Leader-side state.
 #[derive(Debug, Default)]
 struct LeaderState {
+    /// Arrived-but-unverified contributions `(dealer, script)`; verified in
+    /// bulk — one random-linear-combination check for the whole pending set —
+    /// once enough have arrived to possibly reach the quorum.
+    pending: Vec<(usize, PvssScript)>,
     contributions: Vec<PvssScript>,
     contributed_by: BTreeSet<usize>,
     aggregated: Option<PvssScript>,
@@ -328,12 +334,30 @@ impl Seeding {
         if ls.agg_sent || ls.contributed_by.contains(&from.index()) {
             return Step::none();
         }
-        // Alg 7 line 19: single-dealer script with weight 1 at `from`.
-        if !script.verify_single_dealer(&params, &eks, &vks, from.index()) {
+        // Alg 7 line 19 requires a single-dealer script with weight 1 at
+        // `from`.  Verification is deferred: contributions are buffered and
+        // checked in bulk once the pending set could complete the quorum —
+        // one random-linear-combination batch check for n transcripts
+        // instead of n independent ones.  Bad transcripts are identified by
+        // the per-transcript fallback inside the batch and discarded, so a
+        // Byzantine contribution never blocks the honest quorum.
+        ls.contributed_by.insert(from.index());
+        ls.pending.push((from.index(), script));
+        if ls.contributions.len() + ls.pending.len() < quorum {
             return Step::none();
         }
-        ls.contributed_by.insert(from.index());
-        ls.contributions.push(script);
+        let pending = std::mem::take(&mut ls.pending);
+        let entries: Vec<(usize, &PvssScript)> = pending.iter().map(|(d, s)| (*d, s)).collect();
+        // The batch challenges come from the leader's secret decryption key:
+        // contributors fixed their transcripts without knowing it, so they
+        // cannot craft scripts that fool the combined check.
+        let entropy = self.secrets.pvss_dk.batch_entropy();
+        let flags = verify_single_dealer_batch(&params, &eks, &vks, &entries, &entropy);
+        for ((_, script), ok) in pending.into_iter().zip(flags) {
+            if ok {
+                ls.contributions.push(script);
+            }
+        }
         if ls.contributions.len() >= quorum {
             let aggregated = PvssScript::aggregate_all(&ls.contributions)
                 .expect("verified single-dealer scripts always aggregate");
@@ -398,25 +422,24 @@ impl Seeding {
 
     fn on_seed_share(&mut self, from: PartyId, share: PvssShare) -> Step<SeedingMessage> {
         let params = self.params;
-        let quorum = self.quorum();
         let Some(ls) = &mut self.leader_state else { return Step::none() };
         if ls.seed_sent || ls.shares_by.contains(&from.index()) {
             return Step::none();
         }
         let Some(agg) = &ls.aggregated else { return Step::none() };
-        if !agg.verify_share(from.index(), &share) {
-            return Step::none();
-        }
+        // Share verification is deferred to `reconstruct` (which validates
+        // every collected share and drops invalid ones), so the honest path
+        // pays one verification per share instead of the former two — once
+        // on arrival and again inside reconstruction.  Invalid shares only
+        // cost re-checks on the (Byzantine-triggered) retry path.
         ls.shares_by.insert(from.index());
         ls.shares.push((from.index(), share));
         if ls.shares.len() >= params.reconstruction_threshold() && ls.commit_sent {
-            let secret = agg
-                .reconstruct(&params, &ls.shares)
-                .expect("enough verified shares reconstruct the secret");
-            ls.seed_sent = true;
-            let quorum_sigs = ls.stored_sigs.clone();
-            let _ = quorum;
-            return Step::multicast(SeedingMessage::Seed { quorum: quorum_sigs, secret });
+            if let Ok(secret) = agg.reconstruct(&params, &ls.shares) {
+                ls.seed_sent = true;
+                let quorum_sigs = ls.stored_sigs.clone();
+                return Step::multicast(SeedingMessage::Seed { quorum: quorum_sigs, secret });
+            }
         }
         Step::none()
     }
