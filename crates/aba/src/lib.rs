@@ -475,7 +475,7 @@ mod tests {
         for value in [false, true] {
             let n = 4;
             let inputs = vec![value; n];
-            let mut sim = Simulation::new(trusted_parties(n, 1, &inputs), Box::new(FifoScheduler));
+            let mut sim = Simulation::new(trusted_parties(n, 1, &inputs), Box::new(FifoScheduler::default()));
             let report = sim.run(1_000_000);
             assert_eq!(report.reason, StopReason::AllOutputs);
             for out in sim.outputs() {

@@ -707,7 +707,7 @@ mod tests {
         let n = 4;
         let (keyring, secrets) = setup(n);
         let parties = sharing_parties(n, b"secret!", &keyring, &secrets);
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
         let report = sim.run(1_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         let outputs: Vec<AvssShareOutput> = sim.outputs().into_iter().flatten().collect();
@@ -785,7 +785,7 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let mut parties = sharing_parties(n, b"unused", &keyring, &secrets);
         parties[0] = Box::new(SilentParty::new());
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
         sim.mark_byzantine(PartyId(0));
         let report = sim.run(100_000);
         assert_eq!(report.reason, StopReason::Quiescent);
@@ -885,7 +885,7 @@ mod tests {
         let measure = |n: usize| {
             let (keyring, secrets) = setup(n);
             let parties = sharing_parties(n, &[5u8; 32], &keyring, &secrets);
-            let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+            let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
             sim.run(5_000_000);
             sim.metrics().honest_bytes as f64
         };

@@ -466,7 +466,7 @@ mod tests {
                 )) as BoxedParty<SquaredCoinMessage, CoinOutput>
             })
             .collect();
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
         let report = sim.run(20_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         let outs: Vec<CoinOutput> = sim.outputs().into_iter().flatten().collect();
@@ -492,7 +492,7 @@ mod tests {
                     )) as BoxedParty<SquaredCoinMessage, CoinOutput>
                 })
                 .collect();
-            let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+            let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
             sim.run(100_000_000);
             sim.metrics().honest_bytes as f64
         };
@@ -505,7 +505,7 @@ mod tests {
                         as BoxedParty<CoinMessage, CoinOutput>
                 })
                 .collect();
-            let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+            let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
             sim.run(100_000_000);
             sim.metrics().honest_bytes as f64
         };

@@ -1,20 +1,23 @@
 //! Records the workspace's end-to-end performance baseline: wall-clock
-//! timings of the coin, AVSS, beacon and ABA through the simulator at
-//! n ∈ {4, 10, 22}, plus the batched-vs-per-transcript PVSS verification
-//! micro-comparison at n = 22.  The results are written to `BENCH_pr2.json`
-//! at the workspace root — the trajectory every later performance PR is
-//! judged against.
+//! timings and delivery throughput of the coin, AVSS, beacon and ABA through
+//! the simulator at n ∈ {4, 10, 22, 40}, plus the batched-vs-per-transcript
+//! PVSS verification micro-comparison at n = 22.  The results are written to
+//! `BENCH_pr3.json` at the workspace root — the trajectory every later
+//! performance PR is judged against.
 //!
 //! Usage:
 //!
 //! ```sh
-//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr2.json
+//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr3.json
 //! cargo run --release -p setupfree-bench --bin perf_baseline -- --smoke # tiny n, prints only (CI)
 //! ```
 //!
-//! The `--smoke` mode exists so CI can prove the binary still builds and
-//! runs (no timing assertions, no file written): timings on shared runners
-//! are noise, but bit-rot is not.
+//! The `--smoke` mode exists so CI can prove the binary still builds, runs,
+//! and — since the delivery-engine overhaul — that **every run still reaches
+//! `AllOutputs` within its delivery budget**: a run that regresses to
+//! `BudgetExhausted` (a liveness bug in the engine or a protocol) fails the
+//! job with a named error instead of producing garbage timings.  Timings on
+//! shared runners are noise, but bit-rot and liveness are not.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -27,6 +30,11 @@ use setupfree_crypto::pvss::{
     verify_single_dealer_batch, PvssDecryptionKey, PvssParams, PvssScript,
 };
 use setupfree_crypto::{Scalar, SigningKey};
+use setupfree_net::StopReason;
+
+/// The ABA wall-clock at n=22 recorded in BENCH_pr2.json — the reference the
+/// delivery-engine overhaul is measured against.
+const PR2_ABA_N22_MS: f64 = 6028.5;
 
 struct Timed {
     protocol: &'static str,
@@ -34,15 +42,28 @@ struct Timed {
     m: Measurement,
 }
 
+impl Timed {
+    fn deliveries_per_sec(&self) -> f64 {
+        self.m.deliveries as f64 / (self.wall_ms / 1e3)
+    }
+}
+
 fn timed(protocol: &'static str, run: impl FnOnce() -> Measurement) -> Timed {
     let start = Instant::now();
     let m = run();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let t = Timed { protocol, wall_ms, m };
     println!(
-        "  {:<8} n={:<3} {:>10.1} ms   bytes={:<12} msgs={:<8} rounds={}",
-        protocol, m.n, wall_ms, m.honest_bytes, m.honest_messages, m.rounds
+        "  {:<8} n={:<3} {:>10.1} ms {:>12.0} deliv/s   bytes={:<12} msgs={:<8} rounds={}",
+        protocol,
+        m.n,
+        wall_ms,
+        t.deliveries_per_sec(),
+        m.honest_bytes,
+        m.honest_messages,
+        m.rounds
     );
-    Timed { protocol, wall_ms, m }
+    t
 }
 
 struct PvssComparison {
@@ -111,22 +132,25 @@ fn pvss_comparison(n: usize, reps: u32) -> PvssComparison {
 fn json_escape_free(rows: &[Timed], pvss: &PvssComparison) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"pr\": 3,\n");
     out.push_str(
-        "  \"description\": \"End-to-end wall-clock baseline after the crypto hot-path engine \
-         (multi-exponentiation + batch PVSS verification). Timings are single-run, release \
-         build, deterministic simulator seeds.\",\n",
+        "  \"description\": \"End-to-end wall-clock baseline after the delivery-engine overhaul \
+         (incremental O(1)-O(log P) schedulers, Arc-shared multicast payloads, decode-once \
+         message cache). Sweep extended to n=40. Timings are single-run, release build, \
+         deterministic simulator seeds identical to BENCH_pr2.json.\",\n",
     );
     out.push_str("  \"end_to_end\": [\n");
     for (i, t) in rows.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"protocol\": \"{}\", \"n\": {}, \"f\": {}, \"wall_ms\": {:.1}, \
-             \"honest_bytes\": {}, \"honest_messages\": {}, \"rounds\": {}, \"deliveries\": {}}}{}",
+             \"deliveries_per_sec\": {:.0}, \"honest_bytes\": {}, \"honest_messages\": {}, \
+             \"rounds\": {}, \"deliveries\": {}}}{}",
             t.protocol,
             t.m.n,
             t.m.f,
             t.wall_ms,
+            t.deliveries_per_sec(),
             t.m.honest_bytes,
             t.m.honest_messages,
             t.m.rounds,
@@ -135,6 +159,15 @@ fn json_escape_free(rows: &[Timed], pvss: &PvssComparison) -> String {
         );
     }
     out.push_str("  ],\n");
+    if let Some(aba22) = rows.iter().find(|t| t.protocol == "aba" && t.m.n == 22) {
+        let _ = writeln!(
+            out,
+            "  \"pr2_comparison\": {{\"protocol\": \"aba\", \"n\": 22, \"pr2_wall_ms\": {PR2_ABA_N22_MS}, \
+             \"pr3_wall_ms\": {:.1}, \"speedup\": {:.2}}},",
+            aba22.wall_ms,
+            PR2_ABA_N22_MS / aba22.wall_ms
+        );
+    }
     let _ = writeln!(
         out,
         "  \"pvss_verification\": {{\"n\": {}, \"transcripts\": {}, \"per_transcript_ms\": {:.3}, \
@@ -151,7 +184,7 @@ fn json_escape_free(rows: &[Timed], pvss: &PvssComparison) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let sizes: &[usize] = if smoke { &[4] } else { &[4, 10, 22] };
+    let sizes: &[usize] = if smoke { &[4] } else { &[4, 10, 22, 40] };
     let mut rows: Vec<Timed> = Vec::new();
 
     println!("perf_baseline — end-to-end wall-clock timings through the simulator");
@@ -162,14 +195,34 @@ fn main() {
         rows.push(timed("aba", || measure_setupfree_aba(n, 7_300 + n as u64)));
     }
 
+    // Liveness gate: a run that regressed to BudgetExhausted is a failure,
+    // not a data point (the measure_* helpers also assert this — the
+    // explicit check keeps the guarantee even if that assert ever moves).
+    let stuck: Vec<String> = rows
+        .iter()
+        .filter(|t| t.m.reason != StopReason::AllOutputs)
+        .map(|t| format!("{} at n={} stopped with {:?}", t.protocol, t.m.n, t.m.reason))
+        .collect();
+    if !stuck.is_empty() {
+        eprintln!("BUDGET REGRESSION: {}", stuck.join("; "));
+        std::process::exit(1);
+    }
+
     println!("\nPVSS transcript verification: per-transcript vs random-linear-combination batch");
     let pvss = pvss_comparison(if smoke { 4 } else { 22 }, if smoke { 2 } else { 20 });
 
     if smoke {
-        println!("\n--smoke: all runners executed; no baseline file written.");
+        println!("\n--smoke: all runners executed and reached AllOutputs; no baseline file written.");
         return;
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
-    std::fs::write(path, json_escape_free(&rows, &pvss)).expect("write BENCH_pr2.json");
+    if let Some(aba22) = rows.iter().find(|t| t.protocol == "aba" && t.m.n == 22) {
+        println!(
+            "\nABA n=22: {:.1} ms (PR 2: {PR2_ABA_N22_MS} ms, {:.2}x speedup)",
+            aba22.wall_ms,
+            PR2_ABA_N22_MS / aba22.wall_ms
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
+    std::fs::write(path, json_escape_free(&rows, &pvss)).expect("write BENCH_pr3.json");
     println!("\nwrote {path}");
 }

@@ -26,7 +26,7 @@ use setupfree_core::traits::ElectionFactory;
 use setupfree_core::TrustedCoinFactory;
 use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
 use setupfree_net::{
-    BoxedParty, PartyId, ProtocolInstance, RandomScheduler, Sid, Simulation, StopReason,
+    BoxedParty, PartyId, ProtocolInstance, RandomScheduler, Scheduler, Sid, Simulation, StopReason,
 };
 use setupfree_rbc::{Rbc, RbcMessage};
 use setupfree_seeding::{Seed, Seeding, SeedingMessage};
@@ -50,6 +50,10 @@ pub struct Measurement {
     pub deliveries: u64,
     /// Whether all honest outputs were identical (when meaningful).
     pub agreed: bool,
+    /// Why the run stopped (always [`StopReason::AllOutputs`] for the
+    /// asserting `measure_*` helpers; recorded so callers like
+    /// `perf_baseline --smoke` can enforce liveness explicitly).
+    pub reason: StopReason,
 }
 
 fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
@@ -73,6 +77,7 @@ where
         rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
         deliveries: report.deliveries,
         agreed: agreed(&sim.outputs()),
+        reason: report.reason,
     }
 }
 
@@ -97,6 +102,13 @@ pub fn measure_rbc(n: usize, payload: usize, seed: u64) -> Measurement {
 
 /// Measures a single AVSS (share + reconstruct) with dealer `P_0`.
 pub fn measure_avss(n: usize, seed: u64) -> Measurement {
+    measure_avss_with(n, seed, Box::new(RandomScheduler::new(seed)))
+}
+
+/// [`measure_avss`] under a caller-chosen delivery schedule (`seed` still
+/// fixes the PKI and session id, so two calls with equal arguments build
+/// byte-identical ensembles).
+pub fn measure_avss_with(n: usize, seed: u64, scheduler: Box<dyn Scheduler>) -> Measurement {
     let (keyring, secrets) = keys(n, seed);
     let parties: Vec<BoxedParty<AvssMessage, Vec<u8>>> = (0..n)
         .map(|i| {
@@ -111,7 +123,7 @@ pub fn measure_avss(n: usize, seed: u64) -> Measurement {
             ))) as BoxedParty<AvssMessage, Vec<u8>>
         })
         .collect();
-    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let sim = Simulation::new(parties, scheduler);
     finish(sim, n, 1 << 26, all_equal)
 }
 
@@ -152,6 +164,16 @@ pub fn measure_seeding(n: usize, seed: u64) -> Measurement {
 /// Measures one instance of the paper's Coin (Alg 4) with the chosen core-set
 /// mode, and whether all honest parties agreed on the bit.
 pub fn measure_coin(n: usize, seed: u64, mode: CoreSetMode) -> Measurement {
+    measure_coin_with(n, seed, mode, Box::new(RandomScheduler::new(seed)))
+}
+
+/// [`measure_coin`] under a caller-chosen delivery schedule.
+pub fn measure_coin_with(
+    n: usize,
+    seed: u64,
+    mode: CoreSetMode,
+    scheduler: Box<dyn Scheduler>,
+) -> Measurement {
     let (keyring, secrets) = keys(n, seed);
     let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
         .map(|i| {
@@ -164,7 +186,7 @@ pub fn measure_coin(n: usize, seed: u64, mode: CoreSetMode) -> Measurement {
             )) as BoxedParty<CoinMessage, CoinOutput>
         })
         .collect();
-    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let sim = Simulation::new(parties, scheduler);
     finish(sim, n, 1 << 28, |outs: &[Option<CoinOutput>]| {
         let bits: Vec<bool> = outs.iter().flatten().map(|o| o.bit).collect();
         bits.windows(2).all(|w| w[0] == w[1])
@@ -194,6 +216,11 @@ pub fn measure_squared_coin(n: usize, seed: u64) -> Measurement {
 /// Measures the paper's full private-setup-free ABA (every round flips the
 /// real Coin) with mixed inputs.
 pub fn measure_setupfree_aba(n: usize, seed: u64) -> Measurement {
+    measure_setupfree_aba_with(n, seed, Box::new(RandomScheduler::new(seed)))
+}
+
+/// [`measure_setupfree_aba`] under a caller-chosen delivery schedule.
+pub fn measure_setupfree_aba_with(n: usize, seed: u64, scheduler: Box<dyn Scheduler>) -> Measurement {
     let (keyring, secrets) = keys(n, seed);
     let parties: Vec<BoxedParty<AbaMessage<CoinMessage>, bool>> = (0..n)
         .map(|i| {
@@ -208,7 +235,7 @@ pub fn measure_setupfree_aba(n: usize, seed: u64) -> Measurement {
             )) as BoxedParty<AbaMessage<CoinMessage>, bool>
         })
         .collect();
-    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let sim = Simulation::new(parties, scheduler);
     finish(sim, n, 1 << 30, all_equal)
 }
 
@@ -264,6 +291,7 @@ pub fn measure_local_coin_aba(n: usize, seed: u64, budget: u64) -> Option<Measur
         rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
         deliveries: report.deliveries,
         agreed: all_equal(&sim.outputs()),
+        reason: report.reason,
     })
 }
 
@@ -324,6 +352,7 @@ pub fn measure_election(n: usize, seed: u64) -> (Measurement, Vec<ElectionOutput
             rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
             deliveries: report.deliveries,
             agreed,
+            reason: report.reason,
         },
         outputs,
     )
@@ -362,6 +391,16 @@ pub fn measure_vba(n: usize, payload: usize, seed: u64) -> Measurement {
 /// trusted-coin ABA inside the per-epoch elections to keep the sweep
 /// tractable; the election itself and its Coin are the real thing).
 pub fn measure_beacon(n: usize, epochs: u32, seed: u64) -> (Measurement, Vec<BeaconEpoch>) {
+    measure_beacon_with(n, epochs, seed, Box::new(RandomScheduler::new(seed)))
+}
+
+/// [`measure_beacon`] under a caller-chosen delivery schedule.
+pub fn measure_beacon_with(
+    n: usize,
+    epochs: u32,
+    seed: u64,
+    scheduler: Box<dyn Scheduler>,
+) -> (Measurement, Vec<BeaconEpoch>) {
     let (keyring, secrets) = keys(n, seed);
     type B = RandomBeacon<MmrAbaFactory<TrustedCoinFactory>>;
     let parties: Vec<BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>> = (0..n)
@@ -377,7 +416,7 @@ pub fn measure_beacon(n: usize, epochs: u32, seed: u64) -> (Measurement, Vec<Bea
             )) as BoxedParty<<B as ProtocolInstance>::Message, Vec<BeaconEpoch>>
         })
         .collect();
-    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let mut sim = Simulation::new(parties, scheduler);
     let report = sim.run(1 << 30);
     assert_eq!(report.reason, StopReason::AllOutputs, "beacon did not terminate");
     let metrics = sim.metrics();
@@ -391,9 +430,79 @@ pub fn measure_beacon(n: usize, epochs: u32, seed: u64) -> (Measurement, Vec<Bea
             rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
             deliveries: report.deliveries,
             agreed: true,
+            reason: report.reason,
         },
         outputs,
     )
+}
+
+/// The scheduler-determinism scenario grid.
+///
+/// PR 3 replaced the delivery engine (incremental schedulers, shared
+/// multicast payloads, decode-once cache) under the contract that delivery
+/// order stays **bit-identical** to the old `Scheduler::select(&[PendingInfo])`
+/// engine under the same seeds.  This module pins that contract: it defines a
+/// protocol × n × adversary grid whose per-run metrics were recorded from the
+/// pre-overhaul engine (see `crates/bench/tests/determinism.rs` for the
+/// recorded table and `src/bin/determinism_golden.rs` for the generator).
+pub mod determinism {
+    use setupfree_core::coin::CoreSetMode;
+    use setupfree_testkit::Adversary;
+
+    use super::{
+        measure_avss_with, measure_beacon_with, measure_coin_with, measure_setupfree_aba_with,
+    };
+
+    /// The metrics a determinism cell pins seed-for-seed: the paper's three
+    /// per-run quantities plus the simulator's delivery count.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Fingerprint {
+        /// Bytes sent by honest parties.
+        pub honest_bytes: u64,
+        /// Messages sent by honest parties.
+        pub honest_messages: u64,
+        /// Asynchronous rounds until every honest party output.
+        pub rounds: u64,
+        /// Deliveries performed by the simulator.
+        pub deliveries: u64,
+    }
+
+    /// Protocols covered by the suite.
+    pub const PROTOCOLS: &[&str] = &["coin", "avss", "beacon", "aba"];
+
+    /// Party counts covered by the suite.
+    pub const SIZES: &[usize] = &[4, 10];
+
+    /// The scheduler × seed grid every `(protocol, n)` cell runs under: one
+    /// of each scheduler family, two random seeds.
+    pub fn adversary_grid(n: usize) -> Vec<Adversary> {
+        vec![
+            Adversary::Fifo,
+            Adversary::Random { seed: 0 },
+            Adversary::Random { seed: 1 },
+            Adversary::TargetedDelay { targets: vec![0], seed: 0xadd },
+            Adversary::Partition { boundary: n / 2, seed: 0xcafe },
+        ]
+    }
+
+    /// Runs one grid cell.  The PKI/session seed is a fixed function of `n`
+    /// so the recorded and replayed runs build byte-identical ensembles.
+    pub fn run_cell(protocol: &str, n: usize, adversary: &Adversary) -> Fingerprint {
+        let seed = 0xD00 + n as u64;
+        let m = match protocol {
+            "coin" => measure_coin_with(n, seed, CoreSetMode::Weak, adversary.scheduler()),
+            "avss" => measure_avss_with(n, seed, adversary.scheduler()),
+            "beacon" => measure_beacon_with(n, 2, seed, adversary.scheduler()).0,
+            "aba" => measure_setupfree_aba_with(n, seed, adversary.scheduler()),
+            other => panic!("unknown determinism protocol {other:?}"),
+        };
+        Fingerprint {
+            honest_bytes: m.honest_bytes,
+            honest_messages: m.honest_messages,
+            rounds: m.rounds,
+            deliveries: m.deliveries,
+        }
+    }
 }
 
 /// Fits the slope of `log(value)` against `log(n)` — the empirical scaling

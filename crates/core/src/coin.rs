@@ -710,7 +710,7 @@ mod tests {
         let n = 4;
         let (keyring, secrets) = setup(n, 1);
         let mut sim =
-            Simulation::new(coin_parties(n, "coin-fifo", &keyring, &secrets), Box::new(FifoScheduler));
+            Simulation::new(coin_parties(n, "coin-fifo", &keyring, &secrets), Box::new(FifoScheduler::default()));
         let report = sim.run(10_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         let outs: Vec<CoinOutput> = sim.outputs().into_iter().flatten().collect();
@@ -783,7 +783,7 @@ mod tests {
             let sid = format!("coin-bits-{t}");
             let mut sim = Simulation::new(
                 coin_parties(n, &sid, &keyring, &secrets),
-                Box::new(FifoScheduler),
+                Box::new(FifoScheduler::default()),
             );
             sim.run(10_000_000);
             bits.push(sim.outputs()[0].clone().unwrap().bit);

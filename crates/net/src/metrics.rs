@@ -17,6 +17,10 @@ pub struct Metrics {
     pub byzantine_messages: u64,
     /// Messages actually delivered.
     pub delivered_messages: u64,
+    /// Messages purged undelivered because their receiver crashed (dropped
+    /// at send time or withdrawn from flight when the receiver crashed).
+    /// `sent == delivered + purged + still-in-flight` at every point.
+    pub purged_messages: u64,
     /// Per-party bytes sent (indexed by party id), honest and corrupted.
     pub per_party_bytes: Vec<u64>,
     /// Per-party messages sent.
@@ -70,6 +74,12 @@ impl Metrics {
     pub fn record_delivery(&mut self, depth: u64) {
         self.delivered_messages += 1;
         self.max_depth = self.max_depth.max(depth);
+    }
+
+    /// Records a message that left the network undelivered (receiver
+    /// crashed).
+    pub fn record_purge(&mut self) {
+        self.purged_messages += 1;
     }
 
     /// Records the causal depth at which a party first produced output.

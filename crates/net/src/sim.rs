@@ -2,16 +2,44 @@
 //!
 //! The simulator executes one protocol instance per party, routes every
 //! outgoing message through the wire codec (charging its exact byte length to
-//! the sender), hands the set of in-flight messages to an adversarial
+//! the sender), feeds every in-flight message to an adversarial
 //! [`Scheduler`](crate::scheduler::Scheduler) that decides delivery order,
 //! and tracks causal depth ("asynchronous rounds", §3).
 //!
 //! Fault injection: parties can be marked *byzantine* (their traffic is not
 //! charged to the protocol's communication complexity and their state machine
 //! may be an arbitrary implementation) or *crashed* (they stop sending and
-//! processing).
+//! processing; undelivered traffic to them is purged so it never consumes
+//! scheduler picks or delivery budget).
+//!
+//! # Delivery engine
+//!
+//! Three properties keep per-delivery cost independent of both the number of
+//! in-flight messages and the multicast fan-out:
+//!
+//! * **Incremental scheduling** — every send is pushed into the scheduler
+//!   once ([`Scheduler::on_enqueue`]); each delivery is one
+//!   [`Scheduler::select_next`] call (O(1)–O(log P)) instead of
+//!   materialising an O(P) snapshot of the pending pool per delivery.
+//! * **Shared payloads** — a multicast is encoded once into an
+//!   `Arc<[u8]>` shared by all `n` in-flight copies; each destination is
+//!   still charged the exact per-destination byte length.
+//! * **Decode-once cache** — the first delivery of a payload decodes it;
+//!   the remaining recipients of the *same send* receive clones
+//!   (`M: Clone`), eliminating n−1 redundant decodes (group-element
+//!   decompression included) per multicast.  The cache lives in per-send
+//!   shared state whose allocation is its own key, so two sends never
+//!   share an entry even when their bytes are equal — a Byzantine sender
+//!   that sends different (or equal) unicasts to different recipients
+//!   cannot poison another recipient's decode.  In debug builds every
+//!   cached clone is checked to re-encode to the exact wire bytes.
 
-use setupfree_wire::{from_bytes, to_bytes};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use setupfree_wire::{from_bytes, to_shared_bytes};
 
 use crate::metrics::Metrics;
 use crate::party::PartyId;
@@ -33,12 +61,28 @@ struct PartySlot<M, O> {
     output_recorded: bool,
 }
 
-struct Pending {
+struct Pending<M> {
     from: PartyId,
     to: PartyId,
-    bytes: Vec<u8>,
+    /// The send this copy belongs to (shared by all its in-flight copies).
+    payload: Rc<PayloadState<M>>,
     depth: u64,
     seq: u64,
+}
+
+/// Per-send shared state: the encoded bytes (one allocation per send, not
+/// per recipient) and the decode-once cache.  The `Rc` allocation itself is
+/// the cache key — two sends never share one, even with equal bytes — and
+/// the state is freed with the last in-flight copy, no bookkeeping map
+/// needed.
+struct PayloadState<M> {
+    /// Encoded payload, shared by every in-flight copy of the same send.
+    bytes: Arc<[u8]>,
+    /// In-flight copies not yet delivered or purged.
+    outstanding: Cell<usize>,
+    /// Decoded value, populated at the first delivery that leaves further
+    /// copies in flight.
+    decoded: RefCell<Option<M>>,
 }
 
 /// Why a simulation run stopped.
@@ -69,12 +113,29 @@ where
     O: Clone + std::fmt::Debug,
 {
     parties: Vec<PartySlot<M, O>>,
-    pending: Vec<Pending>,
+    /// In-flight messages in a free-list slab: only live messages occupy a
+    /// slot, so memory is O(max in-flight) even under starvation schedulers
+    /// that keep the oldest message undelivered for the whole run.
+    slots: Vec<Option<Pending<M>>>,
+    /// Free slot ids available for reuse.
+    free: Vec<u32>,
+    /// seq → slot-id ring: position `i` maps `seq == base + i` to its slab
+    /// slot ([`EMPTY`] once delivered or purged).  Direct indexing keeps the
+    /// per-delivery cost hash-free; holes cost 4 bytes, and the front sheds
+    /// as the oldest messages drain.
+    index: VecDeque<u32>,
+    /// First seq still tracked by `index`.
+    base: u64,
+    /// Number of messages in flight.
+    in_flight: usize,
     scheduler: Box<dyn Scheduler>,
     metrics: Metrics,
     seq: u64,
     activated: bool,
 }
+
+/// `index` marker for a seq that is no longer in flight.
+const EMPTY: u32 = u32::MAX;
 
 impl<M, O> Simulation<M, O>
 where
@@ -96,7 +157,18 @@ where
                 output_recorded: false,
             })
             .collect();
-        Simulation { parties, pending: Vec::new(), scheduler, metrics: Metrics::new(n), seq: 0, activated: false }
+        Simulation {
+            parties,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: VecDeque::new(),
+            base: 0,
+            in_flight: 0,
+            scheduler,
+            metrics: Metrics::new(n),
+            seq: 0,
+            activated: false,
+        }
     }
 
     /// Number of parties.
@@ -113,9 +185,50 @@ where
     }
 
     /// Crashes a party: it stops processing and sending from now on.
+    ///
+    /// Undelivered messages to the party are purged immediately (and later
+    /// sends to it are dropped at send time), so traffic to a crashed party
+    /// never consumes a scheduler pick or a delivery-budget unit.  Senders
+    /// are still charged for such messages — a sender cannot know its peer
+    /// is gone.
     pub fn crash(&mut self, party: PartyId) {
         self.parties[party.index()].crashed = true;
         self.metrics.exclude(party);
+        // Sorted so the scheduler sees removals in a deterministic
+        // ascending-seq order (slab order is not seq order after free-list
+        // reuse).  O(in-flight), but crashes are rare events, not
+        // per-delivery work.
+        let mut doomed: Vec<u64> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.as_ref())
+            .filter(|p| p.to == party)
+            .map(|p| p.seq)
+            .collect();
+        doomed.sort_unstable();
+        for seq in doomed {
+            let msg = self.take_pending(seq);
+            self.scheduler.on_remove(seq);
+            // Drop the copy's payload reference without decoding.
+            msg.payload.outstanding.set(msg.payload.outstanding.get() - 1);
+            self.metrics.record_purge();
+        }
+    }
+
+    /// Removes the in-flight message with this seq from the slab.
+    fn take_pending(&mut self, seq: u64) -> Pending<M> {
+        let idx = (seq - self.base) as usize;
+        let slot = std::mem::replace(&mut self.index[idx], EMPTY);
+        debug_assert_ne!(slot, EMPTY, "message is not in flight");
+        let msg = self.slots[slot as usize].take().expect("index points at an empty slot");
+        self.free.push(slot);
+        self.in_flight -= 1;
+        // Shed drained positions so the index tracks the live seq window.
+        while self.index.front() == Some(&EMPTY) {
+            self.index.pop_front();
+            self.base += 1;
+        }
+        msg
     }
 
     /// Marks a party honest-but-crash-faulty (e.g. wrapped in
@@ -177,20 +290,25 @@ where
         if !self.activated {
             self.activate_all();
         }
+        let delivered_before = self.metrics.delivered_messages;
         let mut deliveries = 0;
-        loop {
+        let reason = loop {
             if self.all_honest_output() {
-                return RunReport { reason: StopReason::AllOutputs, deliveries };
+                break StopReason::AllOutputs;
             }
-            if self.pending.is_empty() {
-                return RunReport { reason: StopReason::Quiescent, deliveries };
+            if self.in_flight == 0 {
+                break StopReason::Quiescent;
             }
             if deliveries >= max_deliveries {
-                return RunReport { reason: StopReason::BudgetExhausted, deliveries };
+                break StopReason::BudgetExhausted;
             }
             self.deliver_one();
             deliveries += 1;
-        }
+        };
+        // Budget reconciliation: every budget unit is an actual delivery —
+        // messages to crashed parties are purged, never "delivered".
+        debug_assert_eq!(deliveries, self.metrics.delivered_messages - delivered_before);
+        RunReport { reason, deliveries }
     }
 
     /// Runs until no messages remain in flight (or the budget is exhausted).
@@ -199,13 +317,15 @@ where
         if !self.activated {
             self.activate_all();
         }
+        let delivered_before = self.metrics.delivered_messages;
         let mut deliveries = 0;
-        while !self.pending.is_empty() && deliveries < max_deliveries {
+        while self.in_flight > 0 && deliveries < max_deliveries {
             self.deliver_one();
             deliveries += 1;
         }
         let reason =
-            if self.pending.is_empty() { StopReason::Quiescent } else { StopReason::BudgetExhausted };
+            if self.in_flight == 0 { StopReason::Quiescent } else { StopReason::BudgetExhausted };
+        debug_assert_eq!(deliveries, self.metrics.delivered_messages - delivered_before);
         RunReport { reason, deliveries }
     }
 
@@ -220,61 +340,77 @@ where
 
     /// Number of messages currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.pending.len()
+        self.in_flight
     }
 
     fn enqueue(&mut self, from: PartyId, step: Step<M>) {
         let sender_depth = self.parties[from.index()].depth;
         let honest = self.parties[from.index()].honest;
         for out in step.outgoing {
-            let bytes = to_bytes(&out.msg);
+            // One encoding per send, shared by every in-flight copy.
+            let payload = Rc::new(PayloadState {
+                bytes: to_shared_bytes(&out.msg),
+                outstanding: Cell::new(0),
+                decoded: RefCell::new(None),
+            });
             match out.dest {
                 Dest::All => {
                     for to in 0..self.parties.len() {
-                        self.metrics.record_send(from, bytes.len(), honest);
-                        self.pending.push(Pending {
-                            from,
-                            to: PartyId(to),
-                            bytes: bytes.clone(),
-                            depth: sender_depth + 1,
-                            seq: self.seq,
-                        });
-                        self.seq += 1;
+                        self.push_pending(from, PartyId(to), &payload, sender_depth, honest);
                     }
                 }
                 Dest::One(to) => {
-                    self.metrics.record_send(from, bytes.len(), honest);
-                    self.pending.push(Pending {
-                        from,
-                        to,
-                        bytes,
-                        depth: sender_depth + 1,
-                        seq: self.seq,
-                    });
-                    self.seq += 1;
+                    self.push_pending(from, to, &payload, sender_depth, honest);
                 }
             }
         }
     }
 
-    fn deliver_one(&mut self) {
-        let infos: Vec<PendingInfo> = self
-            .pending
-            .iter()
-            .map(|p| PendingInfo { from: p.from, to: p.to, len: p.bytes.len(), seq: p.seq })
-            .collect();
-        let idx = self.scheduler.select(&infos);
-        assert!(idx < self.pending.len(), "scheduler returned an out-of-range index");
-        let msg = self.pending.swap_remove(idx);
-        let to = msg.to;
-        let slot = &mut self.parties[to.index()];
-        if slot.crashed {
+    /// Charges and enqueues one copy of a send; copies to crashed
+    /// destinations are dropped (the sender is still charged — it cannot
+    /// know its peer is gone).
+    fn push_pending(
+        &mut self,
+        from: PartyId,
+        to: PartyId,
+        payload: &Rc<PayloadState<M>>,
+        sender_depth: u64,
+        honest: bool,
+    ) {
+        self.metrics.record_send(from, payload.bytes.len(), honest);
+        if self.parties[to.index()].crashed {
+            self.metrics.record_purge();
             return;
         }
+        let seq = self.seq;
+        self.seq += 1;
+        payload.outstanding.set(payload.outstanding.get() + 1);
+        self.scheduler.on_enqueue(PendingInfo { from, to, len: payload.bytes.len(), seq });
+        let msg =
+            Pending { from, to, payload: Rc::clone(payload), depth: sender_depth + 1, seq };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(msg);
+                slot
+            }
+            None => {
+                self.slots.push(Some(msg));
+                u32::try_from(self.slots.len() - 1).expect("more than u32::MAX messages in flight")
+            }
+        };
+        self.index.push_back(slot);
+        self.in_flight += 1;
+    }
+
+    fn deliver_one(&mut self) {
+        let seq = self.scheduler.select_next();
+        let msg = self.take_pending(seq);
+        let to = msg.to;
+        debug_assert!(!self.parties[to.index()].crashed, "traffic to crashed parties is purged");
         self.metrics.record_delivery(msg.depth);
+        let decoded = take_decoded(&msg.payload);
+        let slot = &mut self.parties[to.index()];
         slot.depth = slot.depth.max(msg.depth);
-        let decoded: M = from_bytes(&msg.bytes)
-            .expect("message failed to decode: wire codec and message construction must agree");
         let step = slot.machine.on_message(msg.from, decoded);
         self.enqueue(to, step);
         self.check_output(to);
@@ -287,6 +423,44 @@ where
             let depth = slot.depth;
             self.metrics.record_output(party, depth);
         }
+    }
+}
+
+/// Consumes one in-flight reference to a send and returns the decoded
+/// message: a clone of the cached decode while further copies remain in
+/// flight, the cached value itself (or a fresh decode, for unicasts) for the
+/// last copy.
+fn take_decoded<M>(payload: &PayloadState<M>) -> M
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+{
+    let decode = || -> M {
+        from_bytes(&payload.bytes)
+            .expect("message failed to decode: wire codec and message construction must agree")
+    };
+    let left = payload.outstanding.get() - 1;
+    payload.outstanding.set(left);
+    if left == 0 {
+        match payload.decoded.borrow_mut().take() {
+            Some(value) => value,
+            None => decode(),
+        }
+    } else {
+        let mut cached = payload.decoded.borrow_mut();
+        if cached.is_none() {
+            *cached = Some(decode());
+        }
+        let value = cached.as_ref().expect("decode cache just populated").clone();
+        // Clone-transparency check (debug builds only): a cached clone must
+        // re-encode to the exact wire bytes a fresh decode would have
+        // consumed.  Every protocol test exercises this for its own message
+        // type.
+        debug_assert_eq!(
+            setupfree_wire::to_bytes(&value)[..],
+            payload.bytes[..],
+            "cached decode is not clone-transparent for this message type"
+        );
+        value
     }
 }
 
@@ -338,7 +512,7 @@ mod tests {
 
     #[test]
     fn all_parties_reach_output_under_fifo() {
-        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
         let report = sim.run(10_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         for out in sim.outputs() {
@@ -361,7 +535,7 @@ mod tests {
 
     #[test]
     fn crashed_parties_are_excluded_from_termination() {
-        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
         sim.crash(PartyId(3));
         let report = sim.run(10_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
@@ -371,7 +545,7 @@ mod tests {
 
     #[test]
     fn quorum_larger_than_live_parties_stalls() {
-        let mut sim = Simulation::new(echo_parties(4, 4), Box::new(FifoScheduler));
+        let mut sim = Simulation::new(echo_parties(4, 4), Box::new(FifoScheduler::default()));
         sim.crash(PartyId(0));
         let report = sim.run(10_000);
         // Only 3 parties ever speak, so a quorum of 4 is unreachable; the
@@ -382,7 +556,7 @@ mod tests {
 
     #[test]
     fn byzantine_traffic_not_charged() {
-        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
         sim.mark_byzantine(PartyId(0));
         sim.run(10_000);
         assert_eq!(sim.metrics().honest_messages, 12);
@@ -397,7 +571,7 @@ mod tests {
         // round metric.
         let mut parties = echo_parties(4, 3);
         parties[0] = Box::new(CrashAfter::new(Echo::new(3), 1));
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
         sim.mark_crash_faulty(PartyId(0));
         let report = sim.run(10_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
@@ -409,7 +583,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_reported() {
-        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
         let report = sim.run(1);
         assert_eq!(report.reason, StopReason::BudgetExhausted);
     }
@@ -417,8 +591,212 @@ mod tests {
     #[test]
     #[should_panic(expected = "activate_all may only be called once")]
     fn double_activation_panics() {
-        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler));
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
         sim.activate_all();
         sim.activate_all();
+    }
+
+    #[test]
+    fn crash_purges_in_flight_traffic_and_budget_reconciles() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
+        sim.activate_all();
+        assert_eq!(sim.in_flight(), 16);
+        // Crashing P3 withdraws the 4 undelivered copies addressed to it.
+        sim.crash(PartyId(3));
+        assert_eq!(sim.in_flight(), 12);
+        assert_eq!(sim.metrics().purged_messages, 4);
+        let report = sim.run(10_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        // Every budget unit was an actual delivery: nothing was burned on
+        // the crashed receiver, and the books balance exactly.
+        assert_eq!(report.deliveries, sim.metrics().delivered_messages);
+        let sent = sim.metrics().honest_messages + sim.metrics().byzantine_messages;
+        assert_eq!(
+            sent,
+            sim.metrics().delivered_messages
+                + sim.metrics().purged_messages
+                + sim.in_flight() as u64
+        );
+    }
+
+    #[test]
+    fn sends_to_already_crashed_parties_charge_sender_but_burn_no_budget() {
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
+        sim.crash(PartyId(0));
+        let report = sim.run(10_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        // The three live parties each multicast to all four destinations:
+        // senders are charged for the copies to P0 (they cannot know it is
+        // gone) but those copies are dropped at send time.
+        assert_eq!(sim.metrics().honest_messages, 12);
+        assert_eq!(sim.metrics().purged_messages, 3);
+        assert_eq!(report.deliveries, sim.metrics().delivered_messages);
+    }
+
+    /// A machine that unicasts a per-destination payload to every other
+    /// party on activation and outputs exactly what it received from whom.
+    #[derive(Debug)]
+    struct Gossip {
+        me: usize,
+        n: usize,
+        payloads: Vec<Vec<u8>>,
+        received: std::collections::BTreeMap<usize, Vec<u8>>,
+    }
+
+    type GossipParty = BoxedParty<Vec<u8>, Vec<(usize, Vec<u8>)>>;
+
+    impl Gossip {
+        fn ensemble(n: usize, payload_for: impl Fn(usize, usize) -> Vec<u8>) -> Vec<GossipParty> {
+            (0..n)
+                .map(|me| {
+                    Box::new(Gossip {
+                        me,
+                        n,
+                        payloads: (0..n).map(|to| payload_for(me, to)).collect(),
+                        received: Default::default(),
+                    }) as GossipParty
+                })
+                .collect()
+        }
+    }
+
+    impl ProtocolInstance for Gossip {
+        type Message = Vec<u8>;
+        type Output = Vec<(usize, Vec<u8>)>;
+
+        fn on_activation(&mut self) -> Step<Vec<u8>> {
+            let mut step = Step::none();
+            for to in 0..self.n {
+                if to != self.me {
+                    step.push_send(PartyId(to), self.payloads[to].clone());
+                }
+            }
+            step
+        }
+
+        fn on_message(&mut self, from: PartyId, msg: Vec<u8>) -> Step<Vec<u8>> {
+            self.received.insert(from.index(), msg);
+            Step::none()
+        }
+
+        fn output(&self) -> Option<Vec<(usize, Vec<u8>)>> {
+            (self.received.len() == self.n - 1)
+                .then(|| self.received.iter().map(|(&k, v)| (k, v.clone())).collect())
+        }
+    }
+
+    #[test]
+    fn byzantine_equivocating_unicasts_cannot_poison_other_recipients() {
+        // P0 equivocates: it sends a *different* payload to every peer
+        // (while P2/P3 get byte-identical ones, to stress aliasing).  Each
+        // recipient must decode its own copy — a cache shared across sends,
+        // or keyed by byte equality, could hand P2 the message meant for
+        // P1.  Per-send payload ids make that impossible.
+        let n = 4;
+        let payload_for = |me: usize, to: usize| -> Vec<u8> {
+            if me == 0 {
+                if to >= 2 { vec![9, 9] } else { vec![to as u8] }
+            } else {
+                vec![me as u8; 3]
+            }
+        };
+        for seed in 0..5 {
+            let mut sim =
+                Simulation::new(Gossip::ensemble(n, payload_for), Box::new(RandomScheduler::new(seed)));
+            sim.mark_byzantine(PartyId(0));
+            let report = sim.run(10_000);
+            assert_eq!(report.reason, StopReason::AllOutputs, "seed {seed}");
+            // The Byzantine sender itself is not awaited and may not have
+            // output; every party that did must hold unpoisoned payloads.
+            for (to, out) in sim.outputs().into_iter().enumerate() {
+                for (from, got) in out.into_iter().flatten() {
+                    assert_eq!(got, payload_for(from, to), "P{to} poisoned by P{from}'s copy");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_unicast_recipient_gets_its_own_payload() {
+        let n = 4;
+        let payload_for = |me: usize, to: usize| -> Vec<u8> { vec![me as u8, to as u8, 7] };
+        let mut sim =
+            Simulation::new(Gossip::ensemble(n, payload_for), Box::new(RandomScheduler::new(11)));
+        let report = sim.run(10_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        for (to, out) in sim.outputs().into_iter().enumerate() {
+            let got = out.unwrap();
+            assert_eq!(got.len(), n - 1);
+            for (from, payload) in got {
+                assert_eq!(payload, payload_for(from, to));
+            }
+        }
+    }
+
+    /// A machine where one designated sender multicasts a payload and every
+    /// recipient records the decoded value.
+    #[derive(Debug)]
+    struct Broadcast<T: Clone + std::fmt::Debug> {
+        is_sender: bool,
+        payload: T,
+        received: Option<T>,
+    }
+
+    impl<T> ProtocolInstance for Broadcast<T>
+    where
+        T: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static,
+    {
+        type Message = T;
+        type Output = T;
+
+        fn on_activation(&mut self) -> Step<T> {
+            if self.is_sender {
+                Step::multicast(self.payload.clone())
+            } else {
+                Step::none()
+            }
+        }
+
+        fn on_message(&mut self, _from: PartyId, msg: T) -> Step<T> {
+            self.received = Some(msg);
+            Step::none()
+        }
+
+        fn output(&self) -> Option<T> {
+            self.received.clone()
+        }
+    }
+
+    type GossipMsg = (u64, Vec<u8>, Option<String>);
+
+    proptest::proptest! {
+        #[test]
+        fn cached_multicast_decodes_equal_fresh_decodes(
+            word in proptest::any::<u64>(),
+            blob in proptest::collection::vec(proptest::any::<u8>(), 0..64),
+            tag in proptest::option::of(".*"),
+            seed in 0u64..8,
+        ) {
+            use proptest::prelude::*;
+            let payload: GossipMsg = (word, blob, tag);
+            let n = 5;
+            let parties: Vec<BoxedParty<GossipMsg, GossipMsg>> = (0..n)
+                .map(|i| {
+                    Box::new(Broadcast { is_sender: i == 0, payload: payload.clone(), received: None })
+                        as BoxedParty<GossipMsg, GossipMsg>
+                })
+                .collect();
+            let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+            let report = sim.run(1_000);
+            prop_assert_eq!(report.reason, StopReason::AllOutputs);
+            // Every recipient — first (fresh decode) and later (cached
+            // clone) alike — must hold exactly what a fresh `from_bytes`
+            // of the wire encoding yields.
+            let fresh: GossipMsg =
+                setupfree_wire::from_bytes(&setupfree_wire::to_bytes(&payload)).unwrap();
+            for out in sim.outputs().into_iter().flatten() {
+                prop_assert_eq!(&out, &fresh);
+            }
+        }
     }
 }

@@ -28,7 +28,7 @@
 //!             as setupfree_net::BoxedParty<RbcMessage, Vec<u8>>
 //!     })
 //!     .collect();
-//! let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+//! let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
 //! sim.run(100_000);
 //! assert!(sim.outputs().iter().all(|o| o.as_deref() == Some(&b"hello"[..])));
 //! ```
@@ -283,7 +283,7 @@ mod tests {
     fn honest_sender_all_deliver() {
         for n in [4usize, 7, 10] {
             let f = (n - 1) / 3;
-            let mut sim = Simulation::new(make_parties(n, f, b"value"), Box::new(FifoScheduler));
+            let mut sim = Simulation::new(make_parties(n, f, b"value"), Box::new(FifoScheduler::default()));
             let report = sim.run(1_000_000);
             assert_eq!(report.reason, StopReason::AllOutputs);
             for out in sim.outputs() {
@@ -358,7 +358,7 @@ mod tests {
                     as BoxedParty<RbcMessage, Vec<u8>>
             })
             .collect();
-        let mut sim = Simulation::new(parties, Box::new(FifoScheduler));
+        let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));
         let report = sim.run(10_000);
         assert_eq!(report.reason, StopReason::Quiescent);
         assert!(sim.outputs().iter().all(Option::is_none));
@@ -412,7 +412,7 @@ mod tests {
         // factor between n=4 and n=8 is ≈ 4 (within slack).
         let measure = |n: usize| {
             let f = (n - 1) / 3;
-            let mut sim = Simulation::new(make_parties(n, f, &[7u8; 64]), Box::new(FifoScheduler));
+            let mut sim = Simulation::new(make_parties(n, f, &[7u8; 64]), Box::new(FifoScheduler::default()));
             sim.run(1_000_000);
             sim.metrics().honest_bytes as f64
         };

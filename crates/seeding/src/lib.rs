@@ -568,7 +568,7 @@ mod tests {
         let n = 4;
         let (keyring, secrets) = setup(n);
         let mut sim =
-            Simulation::new(parties(n, 0, &keyring, &secrets), Box::new(FifoScheduler));
+            Simulation::new(parties(n, 0, &keyring, &secrets), Box::new(FifoScheduler::default()));
         let report = sim.run(1_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         let outs: Vec<Seed> = sim.outputs().into_iter().flatten().collect();
@@ -598,7 +598,7 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let run = |leader: usize| {
             let mut sim =
-                Simulation::new(parties(n, leader, &keyring, &secrets), Box::new(FifoScheduler));
+                Simulation::new(parties(n, leader, &keyring, &secrets), Box::new(FifoScheduler::default()));
             sim.run(1_000_000);
             sim.outputs()[0].unwrap()
         };
@@ -611,7 +611,7 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let mut ps = parties(n, 0, &keyring, &secrets);
         ps[0] = Box::new(SilentLeader);
-        let mut sim = Simulation::new(ps, Box::new(FifoScheduler));
+        let mut sim = Simulation::new(ps, Box::new(FifoScheduler::default()));
         sim.mark_byzantine(PartyId(0));
         let report = sim.run(200_000);
         assert_eq!(report.reason, StopReason::Quiescent);
@@ -663,7 +663,7 @@ mod tests {
         let measure = |n: usize| {
             let (keyring, secrets) = setup(n);
             let mut sim =
-                Simulation::new(parties(n, 0, &keyring, &secrets), Box::new(FifoScheduler));
+                Simulation::new(parties(n, 0, &keyring, &secrets), Box::new(FifoScheduler::default()));
             sim.run(5_000_000);
             sim.metrics().honest_bytes as f64
         };

@@ -105,7 +105,7 @@ impl Adversary {
     /// Instantiates the described scheduler.
     pub fn scheduler(&self) -> Box<dyn Scheduler> {
         match self {
-            Adversary::Fifo => Box::new(FifoScheduler),
+            Adversary::Fifo => Box::new(FifoScheduler::default()),
             Adversary::Random { seed } => Box::new(RandomScheduler::new(*seed)),
             Adversary::TargetedDelay { targets, seed } => Box::new(TargetedDelayScheduler::new(
                 targets.iter().map(|&i| PartyId(i)).collect(),
@@ -366,6 +366,16 @@ where
         .map(|adversary| {
             let (mut sim, honest, awaited) = make(adversary).into_simulation(adversary);
             let report = sim.run(budget);
+            // Budget reconciliation: the delivery engine purges traffic to
+            // crashed parties, so every consumed budget unit must be an
+            // actual delivery.  Enforced here so every harness user checks
+            // it on every run for free.
+            assert_eq!(
+                report.deliveries,
+                sim.metrics().delivered_messages,
+                "budget/delivery mismatch under {adversary}: the engine burned budget on \
+                 undeliverable messages"
+            );
             SweepRun {
                 adversary: adversary.clone(),
                 report,
@@ -493,6 +503,12 @@ mod tests {
         });
         runs[0].assert_termination();
         assert!(runs[0].outputs[2].is_none());
+        // The three live parties' copies to the crashed party are charged
+        // to the senders but purged by the engine, never delivered — and
+        // the budget books balance exactly (also asserted inside `sweep`).
+        assert_eq!(runs[0].metrics.purged_messages, 3);
+        assert_eq!(runs[0].report.deliveries, runs[0].metrics.delivered_messages);
+        assert_eq!(runs[0].metrics.honest_messages, 12);
     }
 
     #[test]

@@ -613,7 +613,7 @@ mod tests {
         let n = 4;
         let inputs: Vec<Vec<u8>> = (0..n).map(|i| format!("proposal-{i}").into_bytes()).collect();
         let mut sim =
-            Simulation::new(make_parties(n, inputs.clone(), accept_all(), 1), Box::new(FifoScheduler));
+            Simulation::new(make_parties(n, inputs.clone(), accept_all(), 1), Box::new(FifoScheduler::default()));
         let report = sim.run(50_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         check_agreement(&sim.outputs(), n, &inputs);

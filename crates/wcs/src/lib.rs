@@ -363,7 +363,7 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let inputs = vec![full_set(n); n];
         let mut sim =
-            Simulation::new(harness_parties(n, inputs, &keyring, &secrets), Box::new(FifoScheduler));
+            Simulation::new(harness_parties(n, inputs, &keyring, &secrets), Box::new(FifoScheduler::default()));
         let report = sim.run(1_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         for out in sim.outputs() {
@@ -503,7 +503,7 @@ mod tests {
             let (keyring, secrets) = setup(n);
             let mut sim = Simulation::new(
                 harness_parties(n, vec![full_set(n); n], &keyring, &secrets),
-                Box::new(FifoScheduler),
+                Box::new(FifoScheduler::default()),
             );
             sim.run(5_000_000);
             (sim.metrics().honest_bytes as f64, sim.metrics().rounds_to_all_outputs().unwrap())

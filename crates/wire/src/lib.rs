@@ -143,6 +143,13 @@ impl Writer {
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
+
+    /// Consumes the writer and returns the encoded bytes behind a shared,
+    /// immutable allocation — the payload representation the simulator hands
+    /// to all `n` recipients of a multicast without copying.
+    pub fn into_shared(self) -> std::sync::Arc<[u8]> {
+        self.buf.into()
+    }
 }
 
 /// Incremental reader used by [`Decode`] implementations.
@@ -246,6 +253,17 @@ pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     let mut w = Writer::new();
     value.encode(&mut w);
     w.into_bytes()
+}
+
+/// Encodes `value` once into a shared, immutable allocation.
+///
+/// A multicast payload encoded this way is shared by every in-flight copy
+/// (one `Arc` clone per recipient instead of one buffer copy), while each
+/// recipient is still charged the exact per-destination byte length.
+pub fn to_shared_bytes<T: Encode + ?Sized>(value: &T) -> std::sync::Arc<[u8]> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_shared()
 }
 
 /// Decodes a value of type `T` from `bytes`, requiring that all bytes are
@@ -501,6 +519,17 @@ mod tests {
     fn encoded_len_matches_to_bytes() {
         let v = (vec![1u32, 2, 3], String::from("abc"), Some(7u64));
         assert_eq!(v.encoded_len(), to_bytes(&v).len());
+    }
+
+    #[test]
+    fn shared_bytes_match_owned_encoding() {
+        let v = (vec![9u64, 8, 7], String::from("shared"), Some(3u32));
+        let shared = to_shared_bytes(&v);
+        assert_eq!(&shared[..], &to_bytes(&v)[..]);
+        // Cloning the Arc shares the allocation instead of copying bytes.
+        let alias = shared.clone();
+        assert!(std::sync::Arc::ptr_eq(&shared, &alias));
+        assert_eq!(from_bytes::<(Vec<u64>, String, Option<u32>)>(&alias).unwrap(), v);
     }
 
     #[test]
