@@ -16,6 +16,12 @@
 //!    coin, decide `b`; otherwise adopt the candidate (or the coin when both
 //!    values survived) as the next round's estimate.
 //!
+//! The per-round coins are mounted in a session [`Router`] at path kind
+//! [`K_COIN`], keyed by round number — the router's bounded pre-activation
+//! buffer holds coin traffic for rounds whose Aux quorum has not completed
+//! locally (replacing the former hand-rolled per-round `coin_buffer`).  The
+//! ABA's own `BVal`/`Aux`/`Finish` messages travel at the root path.
+//!
 //! With the paper's `(n, f, 2f+1, 1/3)`-coin plugged in, the protocol
 //! terminates in expected `O(1)` rounds and expected `O(λn³)` bits — the
 //! coin's cost dominates (Theorem 4).  With the idealised
@@ -32,13 +38,17 @@ use std::sync::Arc;
 use setupfree_core::coin::CoinOutput;
 use setupfree_core::traits::{AbaFactory, CoinFactory};
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
+use setupfree_net::mux::{composite_cap, decode_payload, Envelope, InstancePath};
+use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
-/// Messages of one ABA instance, generic over the plugged coin's message
-/// type.
-#[derive(Debug, Clone)]
-pub enum AbaMessage<CM> {
+/// Path kind of the per-round coin instances (keyed by round number).
+pub const K_COIN: u8 = 0;
+
+/// The ABA's *local* messages (root instance path); per-round coin traffic
+/// travels under [`K_COIN`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbaMessage {
     /// Binary-value broadcast for `(round, value)`.
     BVal {
         /// Round number.
@@ -53,13 +63,6 @@ pub enum AbaMessage<CM> {
         /// The announced value.
         value: bool,
     },
-    /// Wrapped common-coin traffic for `round`.
-    Coin {
-        /// Round number.
-        round: u32,
-        /// The wrapped coin message.
-        inner: CM,
-    },
     /// Termination gadget: the sender has decided `value`.
     Finish {
         /// The decided value.
@@ -67,7 +70,7 @@ pub enum AbaMessage<CM> {
     },
 }
 
-impl<CM: Encode> Encode for AbaMessage<CM> {
+impl Encode for AbaMessage {
     fn encode(&self, w: &mut Writer) {
         match self {
             AbaMessage::BVal { round, value } => {
@@ -80,59 +83,36 @@ impl<CM: Encode> Encode for AbaMessage<CM> {
                 w.write_u32(*round);
                 value.encode(w);
             }
-            AbaMessage::Coin { round, inner } => {
-                w.write_u8(2);
-                w.write_u32(*round);
-                inner.encode(w);
-            }
             AbaMessage::Finish { value } => {
-                w.write_u8(3);
+                w.write_u8(2);
                 value.encode(w);
             }
         }
     }
 }
 
-impl<CM: Decode> Decode for AbaMessage<CM> {
+impl Decode for AbaMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.read_u8()? {
             0 => Ok(AbaMessage::BVal { round: r.read_u32()?, value: bool::decode(r)? }),
             1 => Ok(AbaMessage::Aux { round: r.read_u32()?, value: bool::decode(r)? }),
-            2 => Ok(AbaMessage::Coin { round: r.read_u32()?, inner: CM::decode(r)? }),
-            3 => Ok(AbaMessage::Finish { value: bool::decode(r)? }),
+            2 => Ok(AbaMessage::Finish { value: bool::decode(r)? }),
             tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "AbaMessage" }),
         }
     }
 }
 
-/// Per-round protocol state.
-struct RoundState<C: ProtocolInstance> {
+/// Per-round protocol state (the round's coin lives in the coin router).
+#[derive(Debug, Default)]
+struct RoundState {
     bval_sent: [bool; 2],
     bval_from: [BTreeSet<usize>; 2],
     bin_values: [bool; 2],
     aux_sent: bool,
     /// Aux sender → value.
     aux_from: BTreeMap<usize, bool>,
-    coin: Option<C>,
-    coin_buffer: Vec<(PartyId, C::Message)>,
     coin_value: Option<bool>,
     advanced: bool,
-}
-
-impl<C: ProtocolInstance> Default for RoundState<C> {
-    fn default() -> Self {
-        RoundState {
-            bval_sent: [false; 2],
-            bval_from: [BTreeSet::new(), BTreeSet::new()],
-            bin_values: [false; 2],
-            aux_sent: false,
-            aux_from: BTreeMap::new(),
-            coin: None,
-            coin_buffer: Vec::new(),
-            coin_value: None,
-            advanced: false,
-        }
-    }
 }
 
 /// One party's state machine for a single ABA instance, generic over the
@@ -145,7 +125,8 @@ pub struct MmrAba<F: CoinFactory> {
     coin_factory: F,
     est: bool,
     round: u32,
-    rounds: BTreeMap<u32, RoundState<F::Instance>>,
+    rounds: BTreeMap<u32, RoundState>,
+    coins: Router<F::Instance>,
     finish_sent: bool,
     finish_from: [BTreeSet<usize>; 2],
     output: Option<bool>,
@@ -178,6 +159,7 @@ impl<F: CoinFactory> MmrAba<F> {
             est: input,
             round: 0,
             rounds: BTreeMap::new(),
+            coins: Router::with_cap(K_COIN, composite_cap(n)),
             finish_sent: false,
             finish_from: [BTreeSet::new(), BTreeSet::new()],
             output: None,
@@ -190,30 +172,36 @@ impl<F: CoinFactory> MmrAba<F> {
         self.round
     }
 
+    /// Number of envelopes currently held in the per-round coin router's
+    /// pre-activation buffer (diagnostics / the flooding regression test).
+    pub fn buffered_coin_messages(&self) -> usize {
+        self.coins.buffered()
+    }
+
     fn quorum(&self) -> usize {
         self.n - self.f
     }
 
-    fn wrap_coin(round: u32, step: Step<CoinMsg<F>>) -> Step<AbaMessage<CoinMsg<F>>> {
-        step.map(move |inner| AbaMessage::Coin { round, inner })
+    fn local(msg: &AbaMessage) -> Envelope {
+        Envelope::seal(InstancePath::root(), msg)
     }
 
-    fn round_state(&mut self, round: u32) -> &mut RoundState<F::Instance> {
+    fn round_state(&mut self, round: u32) -> &mut RoundState {
         self.rounds.entry(round).or_default()
     }
 
-    fn start_round(&mut self, round: u32) -> Step<AbaMessage<CoinMsg<F>>> {
+    fn start_round(&mut self, round: u32) -> Step<Envelope> {
         let est = self.est;
         let state = self.round_state(round);
         let mut step = Step::none();
         if !state.bval_sent[est as usize] {
             state.bval_sent[est as usize] = true;
-            step.push_multicast(AbaMessage::BVal { round, value: est });
+            step.push_multicast(Self::local(&AbaMessage::BVal { round, value: est }));
         }
         step
     }
 
-    fn on_bval(&mut self, round: u32, from: PartyId, value: bool) -> Step<AbaMessage<CoinMsg<F>>> {
+    fn on_bval(&mut self, round: u32, from: PartyId, value: bool) -> Step<Envelope> {
         let f = self.f;
         let state = self.round_state(round);
         state.bval_from[value as usize].insert(from.index());
@@ -221,20 +209,20 @@ impl<F: CoinFactory> MmrAba<F> {
         let mut step = Step::none();
         if count > f && !state.bval_sent[value as usize] {
             state.bval_sent[value as usize] = true;
-            step.push_multicast(AbaMessage::BVal { round, value });
+            step.push_multicast(Self::local(&AbaMessage::BVal { round, value }));
         }
         if count > 2 * f && !state.bin_values[value as usize] {
             state.bin_values[value as usize] = true;
             if !state.aux_sent {
                 state.aux_sent = true;
-                step.push_multicast(AbaMessage::Aux { round, value });
+                step.push_multicast(Self::local(&AbaMessage::Aux { round, value }));
             }
         }
         step.extend(self.try_invoke_coin(round));
         step
     }
 
-    fn on_aux(&mut self, round: u32, from: PartyId, value: bool) -> Step<AbaMessage<CoinMsg<F>>> {
+    fn on_aux(&mut self, round: u32, from: PartyId, value: bool) -> Step<Envelope> {
         let state = self.round_state(round);
         state.aux_from.entry(from.index()).or_insert(value);
         self.try_invoke_coin(round)
@@ -242,10 +230,13 @@ impl<F: CoinFactory> MmrAba<F> {
 
     /// Invokes the round's coin once `n − f` Aux messages carrying bin values
     /// have been collected.
-    fn try_invoke_coin(&mut self, round: u32) -> Step<AbaMessage<CoinMsg<F>>> {
+    fn try_invoke_coin(&mut self, round: u32) -> Step<Envelope> {
         let quorum = self.quorum();
+        if self.coins.contains(round as usize) {
+            return Step::none();
+        }
         let state = self.round_state(round);
-        if state.coin.is_some() || !state.aux_sent {
+        if !state.aux_sent {
             return Step::none();
         }
         let supported = state
@@ -257,27 +248,24 @@ impl<F: CoinFactory> MmrAba<F> {
             return Step::none();
         }
         let sid = self.sid.derive("coin", round as usize);
-        let mut coin = self.coin_factory.create(sid);
-        let mut step = Self::wrap_coin(round, coin.on_activation());
-        let state = self.round_state(round);
-        for (from, msg) in std::mem::take(&mut state.coin_buffer) {
-            step.extend(Self::wrap_coin(round, coin.on_message(from, msg)));
-        }
-        state.coin = Some(coin);
+        let coin = self.coin_factory.create(sid);
+        // Mounting the round's coin replays buffered coin traffic for it.
+        let mut step = self.coins.insert(round as usize, coin);
         step.extend(self.after_coin(round));
         step
     }
 
     /// Processes the coin result and moves to the next round (MMR decision
     /// rule).
-    fn after_coin(&mut self, round: u32) -> Step<AbaMessage<CoinMsg<F>>> {
+    fn after_coin(&mut self, round: u32) -> Step<Envelope> {
         let quorum = self.quorum();
+        let coin_output = self.coins.get(round as usize).and_then(|c| c.output());
         let state = self.round_state(round);
         if state.advanced {
             return Step::none();
         }
         if state.coin_value.is_none() {
-            if let Some(out) = state.coin.as_ref().and_then(|c| c.output()) {
+            if let Some(out) = coin_output {
                 state.coin_value = Some(out.bit);
             }
         }
@@ -307,7 +295,7 @@ impl<F: CoinFactory> MmrAba<F> {
                     self.output = Some(b);
                     if !self.finish_sent {
                         self.finish_sent = true;
-                        step.push_multicast(AbaMessage::Finish { value: b });
+                        step.push_multicast(Self::local(&AbaMessage::Finish { value: b }));
                     }
                 }
             }
@@ -320,36 +308,21 @@ impl<F: CoinFactory> MmrAba<F> {
         step
     }
 
-    fn on_finish(&mut self, from: PartyId, value: bool) -> Step<AbaMessage<CoinMsg<F>>> {
+    fn on_finish(&mut self, from: PartyId, value: bool) -> Step<Envelope> {
         self.finish_from[value as usize].insert(from.index());
         let count = self.finish_from[value as usize].len();
         let mut step = Step::none();
         if count > self.f && !self.finish_sent {
             self.finish_sent = true;
-            step.push_multicast(AbaMessage::Finish { value });
+            step.push_multicast(Self::local(&AbaMessage::Finish { value }));
         }
         if count > 2 * self.f && self.output.is_none() {
             self.output = Some(value);
         }
         step
     }
-}
 
-/// Shorthand for the plugged coin's message type.
-type CoinMsg<F> = <<F as CoinFactory>::Instance as ProtocolInstance>::Message;
-
-impl<F: CoinFactory> ProtocolInstance for MmrAba<F> {
-    type Message = AbaMessage<CoinMsg<F>>;
-    type Output = bool;
-
-    fn on_activation(&mut self) -> Step<Self::Message> {
-        self.start_round(0)
-    }
-
-    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
-        if from.index() >= self.n {
-            return Step::none();
-        }
+    fn on_local(&mut self, from: PartyId, msg: AbaMessage) -> Step<Envelope> {
         match msg {
             AbaMessage::BVal { round, value } => {
                 if round >= self.max_rounds {
@@ -363,27 +336,63 @@ impl<F: CoinFactory> ProtocolInstance for MmrAba<F> {
                 }
                 self.on_aux(round, from, value)
             }
-            AbaMessage::Coin { round, inner } => {
-                if round >= self.max_rounds {
+            AbaMessage::Finish { value } => self.on_finish(from, value),
+        }
+    }
+}
+
+impl<F: CoinFactory> MuxNode for MmrAba<F> {
+    type Output = bool;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        self.start_round(0)
+    }
+
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        if from.index() >= self.n {
+            return Step::none();
+        }
+        match path.split_first() {
+            None => match decode_payload::<AbaMessage>(payload) {
+                Some(msg) => self.on_local(from, msg),
+                None => Step::none(),
+            },
+            Some((seg, rest)) => {
+                let round = seg.index as u32;
+                if seg.kind != K_COIN || round >= self.max_rounds {
                     return Step::none();
                 }
-                let state = self.round_state(round);
-                let mut step = match state.coin.as_mut() {
-                    Some(coin) => Self::wrap_coin(round, coin.on_message(from, inner)),
-                    None => {
-                        state.coin_buffer.push((from, inner));
-                        Step::none()
-                    }
-                };
+                let mut step = self.coins.route(from, seg.index, rest, payload);
                 step.extend(self.after_coin(round));
                 step
             }
-            AbaMessage::Finish { value } => self.on_finish(from, value),
         }
     }
 
     fn output(&self) -> Option<bool> {
         self.output
+    }
+}
+
+impl<F: CoinFactory> ProtocolInstance for MmrAba<F> {
+    type Message = Envelope;
+    type Output = bool;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<bool> {
+        MuxNode::output(self)
     }
 }
 
@@ -446,9 +455,8 @@ mod tests {
     use setupfree_net::{BoxedParty, FifoScheduler, RandomScheduler, SilentParty, Simulation, StopReason};
 
     type TrustedAba = MmrAba<TrustedCoinFactory>;
-    type TrustedMsg = AbaMessage<u8>;
 
-    fn trusted_parties(n: usize, f: usize, inputs: &[bool]) -> Vec<BoxedParty<TrustedMsg, bool>> {
+    fn trusted_parties(n: usize, f: usize, inputs: &[bool]) -> Vec<BoxedParty<Envelope, bool>> {
         (0..n)
             .map(|i| {
                 Box::new(TrustedAba::new(
@@ -458,7 +466,7 @@ mod tests {
                     f,
                     inputs[i],
                     TrustedCoinFactory,
-                )) as BoxedParty<TrustedMsg, bool>
+                )) as BoxedParty<Envelope, bool>
             })
             .collect()
     }
@@ -539,14 +547,12 @@ mod tests {
         let keyring = Arc::new(keyring);
         let secrets: Vec<Arc<PartySecrets>> = secrets.into_iter().map(Arc::new).collect();
         let inputs = [true, false, true, false];
-        let parties: Vec<
-            BoxedParty<AbaMessage<setupfree_core::coin::CoinMessage>, bool>,
-        > = (0..n)
+        let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
             .map(|i| {
                 let factory =
                     setupfree_core::coin::CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
                 Box::new(MmrAba::new(Sid::new("aba-full"), PartyId(i), n, 1, inputs[i], factory))
-                    as BoxedParty<AbaMessage<setupfree_core::coin::CoinMessage>, bool>
+                    as BoxedParty<Envelope, bool>
             })
             .collect();
         let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(3)));
@@ -557,17 +563,19 @@ mod tests {
 
     #[test]
     fn message_wire_roundtrip() {
-        let msgs: Vec<TrustedMsg> = vec![
+        let msgs: Vec<AbaMessage> = vec![
             AbaMessage::BVal { round: 3, value: true },
             AbaMessage::Aux { round: 0, value: false },
-            AbaMessage::Coin { round: 9, inner: 7 },
             AbaMessage::Finish { value: true },
         ];
         for msg in msgs {
-            let bytes = setupfree_wire::to_bytes(&msg);
-            let decoded: TrustedMsg = setupfree_wire::from_bytes(&bytes).unwrap();
-            assert_eq!(setupfree_wire::to_bytes(&decoded), bytes);
+            let env = Envelope::seal(InstancePath::root(), &msg);
+            let bytes = setupfree_wire::to_bytes(&env);
+            let decoded: Envelope = setupfree_wire::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, env);
+            assert_eq!(decoded.open::<AbaMessage>(), Some(msg));
         }
+        assert!(setupfree_wire::from_bytes::<AbaMessage>(&[9]).is_err());
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! its key share from it.  The resulting threshold key has public commitment
 //! `F_0 = g^{s}` with `s` the aggregated secret, reconstructible from any
 //! `f + 1` shares.
+//!
+//! The single VBA instance is mounted in a session [`Router`] at path kind
+//! [`K_VBA`] (created once `n − f` contributions are collected; earlier VBA
+//! traffic waits in the router's bounded pre-activation buffer, which
+//! replaced the hand-rolled `vba_buffer`).  The ADKG's own `Pvss`
+//! contribution messages travel at the root path.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,9 +28,13 @@ use setupfree_crypto::pairing::G1;
 use setupfree_crypto::pvss::{PvssParams, PvssScript, PvssShare};
 use setupfree_crypto::scalar::Scalar;
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
-use setupfree_vba::{Predicate, Vba, VbaMessage};
+use setupfree_net::mux::{composite_cap, decode_payload, Envelope, InstancePath};
+use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
+use setupfree_vba::{Predicate, Vba};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Path kind of the single VBA instance.
+pub const K_VBA: u8 = 0;
 
 /// The key material each party obtains from the ADKG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,48 +47,36 @@ pub struct AdkgOutput {
     pub contributors: usize,
 }
 
-/// Messages of the ADKG: PVSS dissemination plus wrapped VBA traffic.
+/// The ADKG's *local* messages: PVSS dissemination (VBA traffic travels
+/// under [`K_VBA`]).
 #[derive(Debug, Clone)]
-pub enum AdkgMessage<EM, AM> {
+pub enum AdkgMessage {
     /// A party's PVSS contribution.
     Pvss {
         /// The contributed script.
         script: PvssScript,
     },
-    /// Wrapped VBA traffic.
-    Vba(VbaMessage<EM, AM>),
 }
 
-impl<EM: Encode, AM: Encode> Encode for AdkgMessage<EM, AM> {
+impl Encode for AdkgMessage {
     fn encode(&self, w: &mut Writer) {
         match self {
             AdkgMessage::Pvss { script } => {
                 w.write_u8(0);
                 script.encode(w);
             }
-            AdkgMessage::Vba(inner) => {
-                w.write_u8(1);
-                inner.encode(w);
-            }
         }
     }
 }
 
-impl<EM: Decode, AM: Decode> Decode for AdkgMessage<EM, AM> {
+impl Decode for AdkgMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.read_u8()? {
             0 => Ok(AdkgMessage::Pvss { script: PvssScript::decode(r)? }),
-            1 => Ok(AdkgMessage::Vba(VbaMessage::<EM, AM>::decode(r)?)),
             tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "AdkgMessage" }),
         }
     }
 }
-
-type EMsg<EF> = <<EF as ElectionFactory>::Instance as ProtocolInstance>::Message;
-type AMsg<AF> = <<AF as AbaFactory>::Instance as ProtocolInstance>::Message;
-/// VBA messages buffered (with their sender) until the local VBA instance
-/// exists.
-type VbaBuffer<EF, AF> = Vec<(PartyId, VbaMessage<EMsg<EF>, AMsg<AF>>)>;
 
 /// One party's ADKG state machine.
 pub struct Adkg<EF: ElectionFactory, AF: AbaFactory> {
@@ -90,8 +88,7 @@ pub struct Adkg<EF: ElectionFactory, AF: AbaFactory> {
     election_factory: Option<EF>,
     aba_factory: Option<AF>,
     contributions: BTreeMap<usize, PvssScript>,
-    vba: Option<Vba<EF, AF>>,
-    vba_buffer: VbaBuffer<EF, AF>,
+    vba: Router<Vba<EF, AF>>,
     output: Option<AdkgOutput>,
 }
 
@@ -117,6 +114,7 @@ impl<EF: ElectionFactory, AF: AbaFactory> Adkg<EF, AF> {
         aba_factory: AF,
     ) -> Self {
         let params = PvssParams::new(keyring.n(), keyring.f());
+        let n = keyring.n();
         Adkg {
             sid,
             me,
@@ -126,8 +124,7 @@ impl<EF: ElectionFactory, AF: AbaFactory> Adkg<EF, AF> {
             election_factory: Some(election_factory),
             aba_factory: Some(aba_factory),
             contributions: BTreeMap::new(),
-            vba: None,
-            vba_buffer: Vec::new(),
+            vba: Router::with_cap(K_VBA, composite_cap(n)),
             output: None,
         }
     }
@@ -153,19 +150,15 @@ impl<EF: ElectionFactory, AF: AbaFactory> Adkg<EF, AF> {
         })
     }
 
-    fn wrap_vba(step: Step<VbaMessage<EMsg<EF>, AMsg<AF>>>) -> Step<AdkgMessage<EMsg<EF>, AMsg<AF>>> {
-        step.map(AdkgMessage::Vba)
-    }
-
-    fn advance(&mut self) -> Step<AdkgMessage<EMsg<EF>, AMsg<AF>>> {
+    fn advance(&mut self) -> Step<Envelope> {
         let mut step = Step::none();
         // Once n − f contributions are collected, aggregate and propose.
-        if self.vba.is_none() && self.contributions.len() >= self.quorum() {
+        if !self.vba.contains(0) && self.contributions.len() >= self.quorum() {
             let scripts: Vec<PvssScript> = self.contributions.values().cloned().collect();
             let aggregate = PvssScript::aggregate_all(&scripts[..self.quorum()])
                 .expect("verified contributions aggregate");
             let proposal = setupfree_wire::to_bytes(&aggregate);
-            let mut vba = Vba::new(
+            let vba = Vba::new(
                 self.sid.derive("vba", 0),
                 self.me,
                 self.keyring.clone(),
@@ -175,15 +168,13 @@ impl<EF: ElectionFactory, AF: AbaFactory> Adkg<EF, AF> {
                 self.election_factory.take().expect("factory available before VBA creation"),
                 self.aba_factory.take().expect("factory available before VBA creation"),
             );
-            step.extend(Self::wrap_vba(vba.on_activation()));
-            for (from, msg) in std::mem::take(&mut self.vba_buffer) {
-                step.extend(Self::wrap_vba(vba.on_message(from, msg)));
-            }
-            self.vba = Some(vba);
+            // Mounting the VBA replays whatever traffic the router buffered
+            // before this party had gathered its quorum of contributions.
+            step.extend(self.vba.insert(0, vba));
         }
         // Once the VBA decides, decrypt our share.
         if self.output.is_none() {
-            if let Some(bytes) = self.vba.as_ref().and_then(|v| v.output()) {
+            if let Some(bytes) = self.vba.get(0).and_then(MuxNode::output) {
                 let script = setupfree_wire::from_bytes::<PvssScript>(&bytes)
                     .expect("the VBA's external validity guarantees a well-formed script");
                 let share = script.decrypt_share(self.me.index(), &self.secrets.pvss_dk);
@@ -198,11 +189,10 @@ impl<EF: ElectionFactory, AF: AbaFactory> Adkg<EF, AF> {
     }
 }
 
-impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Adkg<EF, AF> {
-    type Message = AdkgMessage<EMsg<EF>, AMsg<AF>>;
+impl<EF: ElectionFactory, AF: AbaFactory> MuxNode for Adkg<EF, AF> {
     type Output = AdkgOutput;
 
-    fn on_activation(&mut self) -> Step<Self::Message> {
+    fn on_activation(&mut self) -> Step<Envelope> {
         // Deal our contribution with a derandomized secret.
         let mut seed_bytes = self.sid.as_bytes().to_vec();
         seed_bytes.extend_from_slice(&self.me.index().to_le_bytes());
@@ -221,36 +211,41 @@ impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Adkg<EF, AF> {
             secret,
             &mut rng,
         );
-        let mut step = Step::multicast(AdkgMessage::Pvss { script });
+        let mut step =
+            Step::multicast(Envelope::seal(InstancePath::root(), &AdkgMessage::Pvss { script }));
         step.extend(self.advance());
         step
     }
 
-    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
         if from.index() >= self.n() {
             return Step::none();
         }
-        let mut step = match msg {
-            AdkgMessage::Pvss { script } => {
-                if !self.contributions.contains_key(&from.index())
-                    && script.verify_single_dealer(
-                        &self.params,
-                        &self.keyring.pvss_eks(),
-                        &self.keyring.sig_keys(),
-                        from.index(),
-                    )
-                {
-                    self.contributions.insert(from.index(), script);
+        let mut step = match path.split_first() {
+            None => {
+                if let Some(AdkgMessage::Pvss { script }) = decode_payload::<AdkgMessage>(payload) {
+                    if !self.contributions.contains_key(&from.index())
+                        && script.verify_single_dealer(
+                            &self.params,
+                            &self.keyring.pvss_eks(),
+                            &self.keyring.sig_keys(),
+                            from.index(),
+                        )
+                    {
+                        self.contributions.insert(from.index(), script);
+                    }
                 }
                 Step::none()
             }
-            AdkgMessage::Vba(inner) => match self.vba.as_mut() {
-                Some(vba) => Self::wrap_vba(vba.on_message(from, inner)),
-                None => {
-                    self.vba_buffer.push((from, inner));
-                    Step::none()
-                }
-            },
+            Some((seg, rest)) if seg.kind == K_VBA && seg.index == 0 => {
+                self.vba.route(from, seg.index, rest, payload)
+            }
+            Some(_) => Step::none(),
         };
         step.extend(self.advance());
         step
@@ -258,5 +253,22 @@ impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Adkg<EF, AF> {
 
     fn output(&self) -> Option<AdkgOutput> {
         self.output.clone()
+    }
+}
+
+impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Adkg<EF, AF> {
+    type Message = Envelope;
+    type Output = AdkgOutput;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<AdkgOutput> {
+        MuxNode::output(self)
     }
 }

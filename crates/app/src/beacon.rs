@@ -8,18 +8,29 @@
 //! beacons, no distributed key generation is needed to bootstrap, so parties
 //! can join or leave between epochs.
 //!
-//! Parties keep participating in earlier epochs after they finish them
-//! (asynchronous stragglers still need their messages), so the per-epoch
-//! election instances are retained until the whole beacon run completes.
+//! The per-epoch elections are mounted in a session [`Router`] at path kind
+//! [`K_ELECTION`], keyed by epoch; an epoch's election is created lazily
+//! when this party reaches the epoch or when a faster peer's traffic for it
+//! arrives.  Parties keep participating in earlier epochs after they finish
+//! them (asynchronous stragglers still need their messages), so the
+//! per-epoch election instances are retained until the whole beacon run
+//! completes.
+//!
+//! For the *pipelined* variant — all epochs running concurrently over one
+//! network — host one election per epoch in a
+//! [`SessionHost`](setupfree_net::SessionHost) instead; the
+//! concurrent-session benchmarks do exactly that.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use setupfree_core::election::{Election, ElectionMessage, ElectionOutput};
+use setupfree_core::election::{Election, ElectionOutput};
 use setupfree_core::traits::AbaFactory;
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
-use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+use setupfree_net::mux::{composite_cap, Envelope, InstancePath};
+use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
+
+/// Path kind of the per-epoch election instances (keyed by epoch).
+pub const K_ELECTION: u8 = 0;
 
 /// The outcome of one beacon epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,30 +44,6 @@ pub struct BeaconEpoch {
     pub leader: PartyId,
 }
 
-/// Messages of the beacon: election traffic tagged by epoch.
-#[derive(Debug, Clone)]
-pub struct BeaconMessage<AM> {
-    /// The epoch this message belongs to.
-    pub epoch: u32,
-    /// The wrapped election message.
-    pub inner: ElectionMessage<AM>,
-}
-
-impl<AM: Encode> Encode for BeaconMessage<AM> {
-    fn encode(&self, w: &mut Writer) {
-        w.write_u32(self.epoch);
-        self.inner.encode(w);
-    }
-}
-
-impl<AM: Decode> Decode for BeaconMessage<AM> {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(BeaconMessage { epoch: r.read_u32()?, inner: ElectionMessage::<AM>::decode(r)? })
-    }
-}
-
-type AbaMsg<F> = <<F as AbaFactory>::Instance as ProtocolInstance>::Message;
-
 /// One party's beacon state machine, running `epochs` consecutive elections.
 pub struct RandomBeacon<F: AbaFactory + Clone> {
     sid: Sid,
@@ -66,7 +53,7 @@ pub struct RandomBeacon<F: AbaFactory + Clone> {
     aba_factory: F,
     epochs: u32,
     current: u32,
-    elections: BTreeMap<u32, Election<F>>,
+    elections: Router<Election<F>>,
     results: Vec<BeaconEpoch>,
     output: Option<Vec<BeaconEpoch>>,
 }
@@ -86,7 +73,7 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
     ///
     /// # Panics
     ///
-    /// Panics if `epochs == 0`.
+    /// Panics if `epochs == 0` or `epochs` exceeds the path-segment width.
     pub fn new(
         sid: Sid,
         me: PartyId,
@@ -96,6 +83,8 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
         epochs: u32,
     ) -> Self {
         assert!(epochs > 0, "the beacon needs at least one epoch");
+        assert!(epochs <= u16::MAX as u32, "epoch count exceeds the path-segment width");
+        let n = keyring.n();
         RandomBeacon {
             sid,
             me,
@@ -104,7 +93,7 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
             aba_factory,
             epochs,
             current: 0,
-            elections: BTreeMap::new(),
+            elections: Router::with_cap(K_ELECTION, composite_cap(n)),
             results: Vec::new(),
             output: None,
         }
@@ -115,7 +104,7 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
         &self.results
     }
 
-    fn start_epoch(&mut self, epoch: u32) -> Step<BeaconMessage<AbaMsg<F>>> {
+    fn start_epoch(&mut self, epoch: u32) -> Step<Envelope> {
         let election = Election::new(
             self.sid.derive("beacon-epoch", epoch as usize),
             self.me,
@@ -123,27 +112,24 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
             self.secrets.clone(),
             self.aba_factory.clone(),
         );
-        self.elections.insert(epoch, election);
-        let step = self
-            .elections
-            .get_mut(&epoch)
-            .expect("just inserted")
-            .on_activation();
-        step.map(move |inner| BeaconMessage { epoch, inner })
+        self.elections.insert(epoch as usize, election)
     }
 
-    fn advance(&mut self) -> Step<BeaconMessage<AbaMsg<F>>> {
+    fn advance(&mut self) -> Step<Envelope> {
         let mut step = Step::none();
         while self.output.is_none() {
-            let Some(election) = self.elections.get(&self.current) else { break };
-            let Some(out) = election.output() else { break };
+            let Some(out) =
+                self.elections.get(self.current as usize).and_then(MuxNode::output)
+            else {
+                break;
+            };
             let ElectionOutput { leader, winning_vrf, by_default } = out;
             let value = if by_default { None } else { winning_vrf.map(|v| v.beacon_value()) };
             self.results.push(BeaconEpoch { epoch: self.current, value, leader });
             self.current += 1;
             if self.current >= self.epochs {
                 self.output = Some(self.results.clone());
-            } else if !self.elections.contains_key(&self.current) {
+            } else if !self.elections.contains(self.current as usize) {
                 step.extend(self.start_epoch(self.current));
             }
         }
@@ -151,35 +137,59 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
     }
 }
 
-impl<F: AbaFactory + Clone> ProtocolInstance for RandomBeacon<F> {
-    type Message = BeaconMessage<AbaMsg<F>>;
+impl<F: AbaFactory + Clone> MuxNode for RandomBeacon<F> {
     type Output = Vec<BeaconEpoch>;
 
-    fn on_activation(&mut self) -> Step<Self::Message> {
+    fn on_activation(&mut self) -> Step<Envelope> {
         let mut step = self.start_epoch(0);
         step.extend(self.advance());
         step
     }
 
-    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
-        let epoch = msg.epoch;
-        if epoch >= self.epochs {
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        let Some((seg, rest)) = path.split_first() else {
+            // The beacon has no local messages.
+            return Step::none();
+        };
+        let epoch = seg.index as u32;
+        if seg.kind != K_ELECTION || epoch >= self.epochs {
             return Step::none();
         }
         // Lazily create the epoch's election if a faster peer is already
         // there, and keep finished epochs alive so stragglers still get our
         // responses.
         let mut step = Step::none();
-        if !self.elections.contains_key(&epoch) {
+        if !self.elections.contains(epoch as usize) {
             step.extend(self.start_epoch(epoch));
         }
-        let election = self.elections.get_mut(&epoch).expect("present");
-        step.extend(election.on_message(from, msg.inner).map(move |inner| BeaconMessage { epoch, inner }));
+        step.extend(self.elections.route(from, seg.index, rest, payload));
         step.extend(self.advance());
         step
     }
 
     fn output(&self) -> Option<Vec<BeaconEpoch>> {
         self.output.clone()
+    }
+}
+
+impl<F: AbaFactory + Clone> ProtocolInstance for RandomBeacon<F> {
+    type Message = Envelope;
+    type Output = Vec<BeaconEpoch>;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<Vec<BeaconEpoch>> {
+        MuxNode::output(self)
     }
 }

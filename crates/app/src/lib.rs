@@ -14,4 +14,4 @@ pub mod adkg;
 pub mod beacon;
 
 pub use adkg::{Adkg, AdkgMessage, AdkgOutput};
-pub use beacon::{BeaconEpoch, BeaconMessage, RandomBeacon};
+pub use beacon::{BeaconEpoch, RandomBeacon};

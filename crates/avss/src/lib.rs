@@ -30,7 +30,7 @@ use setupfree_crypto::poly::{interpolate_at_zero, Polynomial};
 use setupfree_crypto::scalar::Scalar;
 use setupfree_crypto::sig::Signature;
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, Sid, Step};
+use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
 const CIPHER_DOMAIN: &str = "setupfree/avss/cipher";
@@ -558,6 +558,33 @@ impl Avss {
     pub fn reconstruction_started(&self) -> bool {
         self.rec_activated
     }
+}
+
+/// [`ProtocolInstance`] for a bare AVSS: activation distributes the dealer's
+/// key shares, messages go through [`Avss::handle`], and the output is the
+/// reconstructed secret.  This is what lets an AVSS instance sit directly in
+/// a session-router tree (`Leaf<Avss>` inside the Coin); parents drive the
+/// phase transition explicitly via [`Avss::start_reconstruction`].  For
+/// stand-alone runs with automatic reconstruction see
+/// [`harness::AvssEndToEnd`].
+impl ProtocolInstance for Avss {
+    type Message = AvssMessage;
+    type Output = Vec<u8>;
+
+    fn on_activation(&mut self) -> Step<AvssMessage> {
+        self.activate()
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: AvssMessage) -> Step<AvssMessage> {
+        self.handle(from, msg)
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        self.reconstructed().map(<[u8]>::to_vec)
+    }
+}
+
+impl Avss {
 
     fn handle_rec(&mut self, from: PartyId, msg: AvssMessage) -> Step<AvssMessage> {
         match msg {
@@ -912,6 +939,6 @@ mod tests {
         let (keyring, secrets) = setup(4);
         let mut avss =
             Avss::new(Sid::new("x"), PartyId(1), PartyId(0), keyring, secrets[1].clone(), None);
-        avss.start_reconstruction();
+        let _ = avss.start_reconstruction();
     }
 }

@@ -94,10 +94,10 @@ impl LocalCoinFactory {
 }
 
 impl CoinFactory for LocalCoinFactory {
-    type Instance = LocalCoin;
+    type Instance = setupfree_net::Leaf<LocalCoin>;
 
-    fn create(&self, sid: Sid) -> LocalCoin {
-        LocalCoin::new(sid, self.me)
+    fn create(&self, sid: Sid) -> Self::Instance {
+        setupfree_net::Leaf::new(LocalCoin::new(sid, self.me))
     }
 }
 
@@ -423,10 +423,10 @@ impl SquaredAvssCoinFactory {
 }
 
 impl CoinFactory for SquaredAvssCoinFactory {
-    type Instance = SquaredAvssCoin;
+    type Instance = setupfree_net::Leaf<SquaredAvssCoin>;
 
-    fn create(&self, sid: Sid) -> SquaredAvssCoin {
-        SquaredAvssCoin::new(sid, self.me, self.keyring.clone(), self.secrets.clone())
+    fn create(&self, sid: Sid) -> Self::Instance {
+        setupfree_net::Leaf::new(SquaredAvssCoin::new(sid, self.me, self.keyring.clone(), self.secrets.clone()))
     }
 }
 
@@ -446,7 +446,7 @@ mod tests {
         let mut bits = BTreeSet::new();
         for i in 0..16 {
             let mut c = LocalCoin::new(Sid::new("x"), PartyId(i));
-            c.on_activation();
+            let _ = c.on_activation();
             bits.insert(c.output().unwrap().bit);
         }
         assert_eq!(bits.len(), 2, "local coins must disagree across parties");
@@ -497,12 +497,13 @@ mod tests {
             sim.metrics().honest_bytes as f64
         };
         let measure_paper = |n: usize| {
-            use setupfree_core::coin::{Coin, CoinMessage};
+            use setupfree_core::coin::Coin;
+            use setupfree_net::Envelope;
             let (keyring, secrets) = setup(n);
-            let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+            let parties: Vec<BoxedParty<Envelope, CoinOutput>> = (0..n)
                 .map(|i| {
                     Box::new(Coin::new(Sid::new("paper-cost"), PartyId(i), keyring.clone(), secrets[i].clone()))
-                        as BoxedParty<CoinMessage, CoinOutput>
+                        as BoxedParty<Envelope, CoinOutput>
                 })
                 .collect();
             let mut sim = Simulation::new(parties, Box::new(FifoScheduler::default()));

@@ -1,0 +1,52 @@
+//! Concurrent-session throughput: `k` full setup-free ABA sessions (every
+//! round flips the real Coin) multiplexed over ONE simulated network by the
+//! session router's `SessionHost`, plus the pipelined multi-epoch beacon.
+//!
+//! This is the workload the PR 4 session-router refactor opens up — many
+//! top-level sessions sharing a network, routed by a leading path segment —
+//! and the criterion companion to the `aba-x{k}` / `beacon-pipe4` rows of
+//! `BENCH_pr4.json` (which measures the larger n ∈ {10, 22, 40} grid
+//! single-shot).  CI runs this with `--test` (one pass per routine) purely
+//! to keep the workload from bit-rotting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setupfree_bench::{measure_concurrent_abas, measure_pipelined_beacon};
+
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_sessions");
+    group.sample_size(10);
+    let n = 10;
+    for &k in &[4usize, 8] {
+        // Print the per-iteration workload once so deliveries/sec can be
+        // read off the criterion time.
+        let m = measure_concurrent_abas(n, k, 0xC0);
+        println!(
+            "concurrent_sessions/aba_x{k}_n{n}: {} deliveries, {} honest bytes per iteration",
+            m.deliveries, m.honest_bytes
+        );
+        group.bench_function(&format!("aba_x{k}_n{n}"), |b| {
+            let mut seed = 0xC0;
+            b.iter(|| {
+                seed += 1;
+                measure_concurrent_abas(n, k, seed)
+            })
+        });
+    }
+    let epochs = 4;
+    let m = measure_pipelined_beacon(n, epochs, 0xBE);
+    println!(
+        "concurrent_sessions/beacon_pipe{epochs}_n{n}: {} deliveries per iteration",
+        m.deliveries
+    );
+    group.bench_function(&format!("beacon_pipe{epochs}_n{n}"), |b| {
+        let mut seed = 0xBE;
+        b.iter(|| {
+            seed += 1;
+            measure_pipelined_beacon(n, epochs, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_sessions);
+criterion_main!(benches);

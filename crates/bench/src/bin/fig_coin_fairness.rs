@@ -12,7 +12,8 @@
 use std::collections::BTreeMap;
 
 use setupfree_bench::measure_election;
-use setupfree_core::coin::{Coin, CoinMessage, CoinOutput, CoreSetMode};
+use setupfree_core::coin::{Coin, CoinOutput, CoreSetMode};
+use setupfree_net::Envelope;
 use setupfree_crypto::generate_pki;
 use setupfree_net::{BoxedParty, PartyId, RandomScheduler, Sid, Simulation};
 use std::sync::Arc;
@@ -21,7 +22,7 @@ fn coin_trial(n: usize, trial: u64, mode: CoreSetMode) -> Vec<CoinOutput> {
     let (keyring, secrets) = generate_pki(n, 99);
     let keyring = Arc::new(keyring);
     let secrets: Vec<_> = secrets.into_iter().map(Arc::new).collect();
-    let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+    let parties: Vec<BoxedParty<Envelope, CoinOutput>> = (0..n)
         .map(|i| {
             Box::new(Coin::with_core_mode(
                 Sid::new(&format!("fairness-{trial}")),
@@ -29,7 +30,7 @@ fn coin_trial(n: usize, trial: u64, mode: CoreSetMode) -> Vec<CoinOutput> {
                 keyring.clone(),
                 secrets[i].clone(),
                 mode,
-            )) as BoxedParty<CoinMessage, CoinOutput>
+            )) as BoxedParty<Envelope, CoinOutput>
         })
         .collect();
     let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(trial)));

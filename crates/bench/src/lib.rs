@@ -15,18 +15,20 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use setupfree_aba::{AbaMessage, MmrAba, MmrAbaFactory};
+use setupfree_aba::{MmrAba, MmrAbaFactory};
 use setupfree_app::beacon::{BeaconEpoch, RandomBeacon};
 use setupfree_avss::harness::AvssEndToEnd;
 use setupfree_avss::{Avss, AvssMessage};
 use setupfree_baselines::{LocalCoinFactory, SquaredAvssCoin, SquaredCoinMessage};
-use setupfree_core::coin::{Coin, CoinMessage, CoinOutput, CoinProtocolFactory, CoreSetMode};
+use setupfree_core::coin::{Coin, CoinOutput, CoinProtocolFactory, CoreSetMode};
 use setupfree_core::election::{Election, ElectionOutput};
 use setupfree_core::traits::ElectionFactory;
 use setupfree_core::TrustedCoinFactory;
 use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
 use setupfree_net::{
-    BoxedParty, PartyId, ProtocolInstance, RandomScheduler, Scheduler, Sid, Simulation, StopReason,
+    BoxedParty, Envelope, PartyId, ProtocolInstance, RandomScheduler, Scheduler, SessionHost, Sid,
+    Simulation,
+    StopReason,
 };
 use setupfree_rbc::{Rbc, RbcMessage};
 use setupfree_seeding::{Seed, Seeding, SeedingMessage};
@@ -175,7 +177,7 @@ pub fn measure_coin_with(
     scheduler: Box<dyn Scheduler>,
 ) -> Measurement {
     let (keyring, secrets) = keys(n, seed);
-    let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+    let parties: Vec<BoxedParty<Envelope, CoinOutput>> = (0..n)
         .map(|i| {
             Box::new(Coin::with_core_mode(
                 Sid::new(&format!("bench-coin-{seed}")),
@@ -183,7 +185,7 @@ pub fn measure_coin_with(
                 keyring.clone(),
                 secrets[i].clone(),
                 mode,
-            )) as BoxedParty<CoinMessage, CoinOutput>
+            )) as BoxedParty<Envelope, CoinOutput>
         })
         .collect();
     let sim = Simulation::new(parties, scheduler);
@@ -222,7 +224,7 @@ pub fn measure_setupfree_aba(n: usize, seed: u64) -> Measurement {
 /// [`measure_setupfree_aba`] under a caller-chosen delivery schedule.
 pub fn measure_setupfree_aba_with(n: usize, seed: u64, scheduler: Box<dyn Scheduler>) -> Measurement {
     let (keyring, secrets) = keys(n, seed);
-    let parties: Vec<BoxedParty<AbaMessage<CoinMessage>, bool>> = (0..n)
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
         .map(|i| {
             let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
             Box::new(MmrAba::new(
@@ -232,7 +234,7 @@ pub fn measure_setupfree_aba_with(n: usize, seed: u64, scheduler: Box<dyn Schedu
                 keyring.f(),
                 i % 2 == 0,
                 factory,
-            )) as BoxedParty<AbaMessage<CoinMessage>, bool>
+            )) as BoxedParty<Envelope, bool>
         })
         .collect();
     let sim = Simulation::new(parties, scheduler);
@@ -244,7 +246,7 @@ pub fn measure_setupfree_aba_with(n: usize, seed: u64, scheduler: Box<dyn Schedu
 /// free).
 pub fn measure_trusted_aba(n: usize, seed: u64) -> Measurement {
     let f = (n - 1) / 3;
-    let parties: Vec<BoxedParty<AbaMessage<u8>, bool>> = (0..n)
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
         .map(|i| {
             Box::new(MmrAba::new(
                 Sid::new(&format!("bench-taba-{seed}")),
@@ -253,7 +255,7 @@ pub fn measure_trusted_aba(n: usize, seed: u64) -> Measurement {
                 f,
                 i % 2 == 0,
                 TrustedCoinFactory,
-            )) as BoxedParty<AbaMessage<u8>, bool>
+            )) as BoxedParty<Envelope, bool>
         })
         .collect();
     let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
@@ -265,7 +267,7 @@ pub fn measure_trusted_aba(n: usize, seed: u64) -> Measurement {
 /// larger `n` — that is the point of the comparison).
 pub fn measure_local_coin_aba(n: usize, seed: u64, budget: u64) -> Option<Measurement> {
     let f = (n - 1) / 3;
-    let parties: Vec<BoxedParty<AbaMessage<u8>, bool>> = (0..n)
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
         .map(|i| {
             Box::new(MmrAba::new(
                 Sid::new(&format!("bench-laba-{seed}")),
@@ -274,7 +276,7 @@ pub fn measure_local_coin_aba(n: usize, seed: u64, budget: u64) -> Option<Measur
                 f,
                 i % 2 == 0,
                 LocalCoinFactory::new(PartyId(i)),
-            )) as BoxedParty<AbaMessage<u8>, bool>
+            )) as BoxedParty<Envelope, bool>
         })
         .collect();
     let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
@@ -434,6 +436,76 @@ pub fn measure_beacon_with(
         },
         outputs,
     )
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-session workloads (PR 4): many top-level sessions over ONE
+// simulated network, hosted by the session router's `SessionHost`.
+// ---------------------------------------------------------------------------
+
+/// Measures `k` **concurrent** full setup-free ABA sessions (every round of
+/// every session flips the real Coin) multiplexed over one network by a
+/// [`SessionHost`] per party — the workload studied for concurrent
+/// asynchronous BA (Cohen et al., arXiv:2312.14506).  Session `s` gets input
+/// `(i + s) % 2 == 0` at party `i`, so every session has mixed inputs.
+pub fn measure_concurrent_abas(n: usize, k: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<Envelope, Vec<bool>>> = (0..n)
+        .map(|i| {
+            let sessions: Vec<MmrAba<CoinProtocolFactory>> = (0..k)
+                .map(|s| {
+                    let factory =
+                        CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+                    MmrAba::new(
+                        Sid::new(&format!("bench-kaba-{seed}-{s}")),
+                        PartyId(i),
+                        n,
+                        keyring.f(),
+                        (i + s) % 2 == 0,
+                        factory,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 32, all_equal)
+}
+
+/// Measures a **pipelined** beacon: `epochs` per-epoch elections all running
+/// concurrently over one network (instead of the sequential epoch-at-a-time
+/// [`RandomBeacon`]), hosted by a [`SessionHost`] per party.  Matches
+/// [`measure_beacon`]'s configuration (real Election + Coin per epoch,
+/// trusted-coin ABA inside) so the two are directly comparable.
+pub fn measure_pipelined_beacon(n: usize, epochs: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    type E = Election<MmrAbaFactory<TrustedCoinFactory>>;
+    let parties: Vec<BoxedParty<Envelope, Vec<ElectionOutput>>> = (0..n)
+        .map(|i| {
+            let sessions: Vec<E> = (0..epochs)
+                .map(|e| {
+                    let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+                    Election::new(
+                        Sid::new(&format!("bench-pipe-beacon-{seed}")).derive("epoch", e),
+                        PartyId(i),
+                        keyring.clone(),
+                        secrets[i].clone(),
+                        aba,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<ElectionOutput>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 32, |outs: &[Option<Vec<ElectionOutput>>]| {
+        let all: Vec<&Vec<ElectionOutput>> = outs.iter().flatten().collect();
+        all.windows(2).all(|w| {
+            w[0].len() == w[1].len()
+                && w[0].iter().zip(w[1].iter()).all(|(a, b)| a.leader == b.leader)
+        })
+    })
 }
 
 /// The scheduler-determinism scenario grid.

@@ -15,6 +15,14 @@
 //! 4. **Largest-VRF amplification** (lines 25–31): after `n − f` candidates,
 //!    output the lowest bit of the largest verified VRF.
 //!
+//! The sub-protocol instances — the paper's `⟨ID, j⟩` composition — are
+//! mounted in session [`Router`]s: Seeding at path kind [`K_SEEDING`], AVSS
+//! at [`K_AVSS`] (created lazily when the dealer's seed arrives, with the
+//! router's bounded pre-activation buffer replacing the former hand-rolled
+//! `avss_buffers`), WCS at [`K_WCS`] and the gather-ablation RBCs at
+//! [`K_GATHER`].  The coin's own `RecRequest`/`Candidate` messages travel at
+//! the root path as [`CoinMessage`].
+//!
 //! The output also carries the speculative largest VRF (`max_vrf`), which is
 //! exactly what the Election protocol (Alg 5 line 2) consumes.
 //!
@@ -23,14 +31,24 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use setupfree_avss::{Avss, AvssMessage};
+use setupfree_avss::Avss;
 use setupfree_crypto::vrf::{VrfOutput, VrfProof};
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
-use setupfree_rbc::{Rbc, RbcMessage};
-use setupfree_seeding::{Seed, Seeding, SeedingMessage};
-use setupfree_wcs::{Wcs, WcsMessage};
+use setupfree_net::mux::{decode_payload, sealed_step, Envelope, InstancePath, PathSeg};
+use setupfree_net::{Leaf, MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
+use setupfree_rbc::Rbc;
+use setupfree_seeding::{Seed, Seeding};
+use setupfree_wcs::Wcs;
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Path kind of the per-leader Seeding instances.
+pub const K_SEEDING: u8 = 0;
+/// Path kind of the per-dealer AVSS instances.
+pub const K_AVSS: u8 = 1;
+/// Path kind of the weak core-set selection.
+pub const K_WCS: u8 = 2;
+/// Path kind of the gather-ablation RBC instances.
+pub const K_GATHER: u8 = 3;
 
 /// How the coin selects its core set of completed AVSS instances.
 ///
@@ -50,34 +68,10 @@ pub enum CoreSetMode {
     RbcGather,
 }
 
-/// Messages of one Coin instance: wrapped sub-protocol traffic plus the
-/// coin's own `RecRequest`/`Candidate` messages.
+/// The coin's *local* messages (root instance path); all sub-protocol
+/// traffic travels under the path kinds above.
 #[derive(Debug, Clone)]
 pub enum CoinMessage {
-    /// Traffic of the Seeding instance led by `leader`.
-    Seeding {
-        /// The Seeding leader (instance index).
-        leader: u32,
-        /// The wrapped Seeding message.
-        inner: SeedingMessage,
-    },
-    /// Traffic of the AVSS instance dealt by `dealer`.
-    Avss {
-        /// The AVSS dealer (instance index).
-        dealer: u32,
-        /// The wrapped AVSS message.
-        inner: AvssMessage,
-    },
-    /// Traffic of the weak core-set selection.
-    Wcs(WcsMessage),
-    /// Traffic of the gather-based core-set selection (ablation baseline,
-    /// [`CoreSetMode::RbcGather`]).
-    Gather {
-        /// The broadcasting party (instance index).
-        sender: u32,
-        /// The wrapped RBC message.
-        inner: RbcMessage,
-    },
     /// Request to reconstruct the AVSS with the given dealer index
     /// (Alg 4 line 14).
     RecRequest {
@@ -95,32 +89,13 @@ pub enum CoinMessage {
 impl Encode for CoinMessage {
     fn encode(&self, w: &mut Writer) {
         match self {
-            CoinMessage::Seeding { leader, inner } => {
-                w.write_u8(0);
-                w.write_u32(*leader);
-                inner.encode(w);
-            }
-            CoinMessage::Avss { dealer, inner } => {
-                w.write_u8(1);
-                w.write_u32(*dealer);
-                inner.encode(w);
-            }
-            CoinMessage::Wcs(inner) => {
-                w.write_u8(2);
-                inner.encode(w);
-            }
             CoinMessage::RecRequest { index } => {
-                w.write_u8(3);
+                w.write_u8(0);
                 w.write_u32(*index);
             }
             CoinMessage::Candidate { candidate } => {
-                w.write_u8(4);
+                w.write_u8(1);
                 candidate.encode(w);
-            }
-            CoinMessage::Gather { sender, inner } => {
-                w.write_u8(5);
-                w.write_u32(*sender);
-                inner.encode(w);
             }
         }
     }
@@ -129,14 +104,10 @@ impl Encode for CoinMessage {
 impl Decode for CoinMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.read_u8()? {
-            0 => Ok(CoinMessage::Seeding { leader: r.read_u32()?, inner: SeedingMessage::decode(r)? }),
-            1 => Ok(CoinMessage::Avss { dealer: r.read_u32()?, inner: AvssMessage::decode(r)? }),
-            2 => Ok(CoinMessage::Wcs(WcsMessage::decode(r)?)),
-            3 => Ok(CoinMessage::RecRequest { index: r.read_u32()? }),
-            4 => Ok(CoinMessage::Candidate {
+            0 => Ok(CoinMessage::RecRequest { index: r.read_u32()? }),
+            1 => Ok(CoinMessage::Candidate {
                 candidate: Option::<(u32, VrfOutput, VrfProof)>::decode(r)?,
             }),
-            5 => Ok(CoinMessage::Gather { sender: r.read_u32()?, inner: RbcMessage::decode(r)? }),
             tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "CoinMessage" }),
         }
     }
@@ -155,19 +126,18 @@ pub struct CoinOutput {
 
 /// One party's state machine for a single Coin instance.
 pub struct Coin {
-    sid: Sid,
-    me: PartyId,
+    pub(crate) sid: Sid,
+    pub(crate) me: PartyId,
     keyring: Arc<Keyring>,
     secrets: Arc<PartySecrets>,
-    seedings: Vec<Seeding>,
+    seedings: Router<Leaf<Seeding>>,
     seeds: Vec<Option<Seed>>,
-    avss: Vec<Option<Avss>>,
-    avss_buffers: Vec<Vec<(PartyId, AvssMessage)>>,
+    avss: Router<Leaf<Avss>>,
     completed_sharings: BTreeSet<usize>,
     core_mode: CoreSetMode,
     wcs: Wcs,
     wcs_started: bool,
-    gather_rbcs: Vec<Rbc>,
+    gather_rbcs: Router<Leaf<Rbc>>,
     gather_outputs: BTreeMap<usize, Vec<u32>>,
     core_set: Option<BTreeSet<usize>>,
     rec_requests_sent: bool,
@@ -217,35 +187,20 @@ impl Coin {
         core_mode: CoreSetMode,
     ) -> Self {
         let n = keyring.n();
-        let seedings = (0..n)
-            .map(|j| {
-                Seeding::new(
-                    sid.derive("seeding", j),
-                    me,
-                    PartyId(j),
-                    keyring.clone(),
-                    secrets.clone(),
-                )
-            })
-            .collect();
         let wcs = Wcs::new(sid.derive("wcs", 0), me, keyring.clone(), secrets.clone());
-        let gather_rbcs = (0..n)
-            .map(|j| Rbc::new(sid.derive("gather", j), me, n, keyring.f(), PartyId(j), None))
-            .collect();
         Coin {
             sid,
             me,
-            keyring: keyring.clone(),
+            keyring,
             secrets,
-            seedings,
+            seedings: Router::new(K_SEEDING),
             seeds: vec![None; n],
-            avss: (0..n).map(|_| None).collect(),
-            avss_buffers: vec![Vec::new(); n],
+            avss: Router::new(K_AVSS),
             completed_sharings: BTreeSet::new(),
             core_mode,
             wcs,
             wcs_started: false,
-            gather_rbcs,
+            gather_rbcs: Router::new(K_GATHER),
             gather_outputs: BTreeMap::new(),
             core_set: None,
             rec_requests_sent: false,
@@ -290,25 +245,17 @@ impl Coin {
         ctx
     }
 
-    fn wrap_seeding(leader: usize, step: Step<SeedingMessage>) -> Step<CoinMessage> {
-        step.map(|inner| CoinMessage::Seeding { leader: leader as u32, inner })
+    fn wcs_seg() -> PathSeg {
+        PathSeg::new(K_WCS, 0)
     }
 
-    fn wrap_avss(dealer: usize, step: Step<AvssMessage>) -> Step<CoinMessage> {
-        step.map(|inner| CoinMessage::Avss { dealer: dealer as u32, inner })
-    }
-
-    fn wrap_wcs(step: Step<WcsMessage>) -> Step<CoinMessage> {
-        step.map(CoinMessage::Wcs)
-    }
-
-    fn wrap_gather(sender: usize, step: Step<RbcMessage>) -> Step<CoinMessage> {
-        step.map(move |inner| CoinMessage::Gather { sender: sender as u32, inner })
+    fn local(msg: &CoinMessage) -> Envelope {
+        Envelope::seal(InstancePath::root(), msg)
     }
 
     /// Runs all "upon"-style pending conditions of Alg 4 until no further
     /// progress is possible, collecting any messages generated along the way.
-    fn advance(&mut self) -> Step<CoinMessage> {
+    fn advance(&mut self) -> Step<Envelope> {
         let mut step = Step::none();
         loop {
             let mut progressed = false;
@@ -317,12 +264,12 @@ impl Coin {
             // instance (as dealer of our own, as participant otherwise).
             for j in 0..self.n() {
                 if self.seeds[j].is_none() {
-                    if let Some(seed) = self.seedings[j].seed() {
+                    if let Some(seed) = self.seedings.get(j).and_then(|s| s.inner().seed()) {
                         self.seeds[j] = Some(seed);
                         progressed = true;
                     }
                 }
-                if self.seeds[j].is_some() && self.avss[j].is_none() {
+                if self.seeds[j].is_some() && !self.avss.contains(j) {
                     step.extend(self.spawn_avss(j));
                     progressed = true;
                 }
@@ -331,14 +278,15 @@ impl Coin {
             // Lines 9–12: record completed sharings, feed the core-set
             // selection, start it at n − f completions.
             for j in 0..self.n() {
-                let completed = self.avss[j]
-                    .as_ref()
-                    .map(|a| a.sharing_output().is_some())
+                let completed = self
+                    .avss
+                    .get(j)
+                    .map(|a| a.inner().sharing_output().is_some())
                     .unwrap_or(false);
                 if completed && !self.completed_sharings.contains(&j) {
                     self.completed_sharings.insert(j);
                     if self.core_mode == CoreSetMode::Weak {
-                        step.extend(Self::wrap_wcs(self.wcs.add_index(j)));
+                        step.extend(sealed_step(Self::wcs_seg(), self.wcs.add_index(j)));
                     }
                     progressed = true;
                 }
@@ -346,13 +294,22 @@ impl Coin {
             if !self.wcs_started && self.completed_sharings.len() >= self.quorum() {
                 self.wcs_started = true;
                 match self.core_mode {
-                    CoreSetMode::Weak => step.extend(Self::wrap_wcs(self.wcs.start())),
+                    CoreSetMode::Weak => {
+                        step.extend(sealed_step(Self::wcs_seg(), self.wcs.start()));
+                    }
                     CoreSetMode::RbcGather => {
                         let me = self.me.index();
                         let set: Vec<u32> =
                             self.completed_sharings.iter().map(|i| *i as u32).collect();
                         let bytes = setupfree_wire::to_bytes(&set);
-                        step.extend(Self::wrap_gather(me, self.gather_rbcs[me].provide_input(bytes)));
+                        let seg = self.gather_rbcs.seg(me);
+                        let rbc_step = self
+                            .gather_rbcs
+                            .get_mut(me)
+                            .expect("own gather RBC exists from activation")
+                            .inner_mut()
+                            .provide_input(bytes);
+                        step.extend(sealed_step(seg, rbc_step));
                     }
                 }
                 progressed = true;
@@ -373,7 +330,7 @@ impl Coin {
                             if self.gather_outputs.contains_key(&j) {
                                 continue;
                             }
-                            if let Some(bytes) = self.gather_rbcs[j].output() {
+                            if let Some(bytes) = self.gather_rbcs.get(j).and_then(|r| r.inner().output()) {
                                 if let Ok(set) = setupfree_wire::from_bytes::<Vec<u32>>(&bytes) {
                                     if set.len() >= self.quorum()
                                         && set.iter().all(|i| (*i as usize) < self.n())
@@ -400,7 +357,9 @@ impl Coin {
                 if !self.rec_requests_sent {
                     self.rec_requests_sent = true;
                     for k in &s_hat {
-                        step.push_multicast(CoinMessage::RecRequest { index: *k as u32 });
+                        step.push_multicast(Self::local(&CoinMessage::RecRequest {
+                            index: *k as u32,
+                        }));
                     }
                     progressed = true;
                 }
@@ -410,9 +369,11 @@ impl Coin {
             // preconditions hold (Ŝ fixed and the sharing completed locally).
             if self.core_set.is_some() {
                 for k in self.requested_indices.clone() {
-                    if let Some(avss) = self.avss[k].as_mut() {
+                    let seg = self.avss.seg(k);
+                    if let Some(avss) = self.avss.get_mut(k) {
+                        let avss = avss.inner_mut();
                         if avss.sharing_output().is_some() && !avss.reconstruction_started() {
-                            step.extend(Self::wrap_avss(k, avss.start_reconstruction()));
+                            step.extend(sealed_step(seg, avss.start_reconstruction()));
                             progressed = true;
                         }
                     }
@@ -456,7 +417,7 @@ impl Coin {
         step
     }
 
-    fn spawn_avss(&mut self, dealer: usize) -> Step<CoinMessage> {
+    fn spawn_avss(&mut self, dealer: usize) -> Step<Envelope> {
         let seed = self.seeds[dealer].expect("spawn_avss requires the dealer's seed");
         let secret = if dealer == self.me.index() {
             // Line 6: evaluate our VRF on our own seed and share it.
@@ -465,7 +426,7 @@ impl Coin {
         } else {
             None
         };
-        let mut avss = Avss::new(
+        let avss = Avss::new(
             self.sid.derive("avss", dealer),
             self.me,
             PartyId(dealer),
@@ -473,13 +434,9 @@ impl Coin {
             self.secrets.clone(),
             secret,
         );
-        let mut step = Self::wrap_avss(dealer, avss.activate());
-        // Drain any traffic that arrived before the seed was known.
-        for (from, msg) in std::mem::take(&mut self.avss_buffers[dealer]) {
-            step.extend(Self::wrap_avss(dealer, avss.handle(from, msg)));
-        }
-        self.avss[dealer] = Some(avss);
-        step
+        // Line 7–8: traffic that arrived before the seed was known sits in
+        // the router's pre-activation buffer and is replayed here.
+        self.avss.insert(dealer, Leaf::new(avss))
     }
 
     /// Verifies the VRF evaluation `(output, proof)` of `evaluator` on its
@@ -497,11 +454,11 @@ impl Coin {
         ok
     }
 
-    fn try_send_candidate(&mut self) -> Option<Step<CoinMessage>> {
+    fn try_send_candidate(&mut self) -> Option<Step<Envelope>> {
         let s_hat = self.core_set.clone()?;
         // Wait until every AVSS in Ŝ has been reconstructed locally.
         for k in &s_hat {
-            let done = self.avss[*k].as_ref().and_then(|a| a.reconstructed()).is_some();
+            let done = self.avss.get(*k).and_then(|a| a.inner().reconstructed()).is_some();
             if !done {
                 return None;
             }
@@ -514,10 +471,12 @@ impl Coin {
             if self.seeds[*k].is_none() {
                 continue;
             }
-            let Some(bytes) = self.avss[*k].as_ref().and_then(|a| a.reconstructed()) else { continue };
-            let Ok((output, proof)) = setupfree_wire::from_bytes::<(VrfOutput, VrfProof)>(bytes) else {
-                continue;
-            };
+            let decoded = self
+                .avss
+                .get(*k)
+                .and_then(|a| a.inner().reconstructed())
+                .and_then(|bytes| setupfree_wire::from_bytes::<(VrfOutput, VrfProof)>(bytes).ok());
+            let Some((output, proof)) = decoded else { continue };
             if !self.verify_vrf_memo(*k, &output, &proof) {
                 continue;
             }
@@ -531,7 +490,7 @@ impl Coin {
         }
         self.candidate_sent = true;
         let candidate = best.map(|(k, o, p)| (k as u32, o, p));
-        Some(Step::multicast(CoinMessage::Candidate { candidate }))
+        Some(Step::multicast(Self::local(&CoinMessage::Candidate { candidate })))
     }
 
     fn accept_candidate(&mut self, sender: usize, cand: (u32, VrfOutput, VrfProof)) {
@@ -561,63 +520,14 @@ impl Coin {
         let bit = best.as_ref().map(|(_, output, _)| output.lowest_bit()).unwrap_or(false);
         self.output = Some(CoinOutput { bit, max_vrf: best });
     }
-}
 
-impl ProtocolInstance for Coin {
-    type Message = CoinMessage;
-    type Output = CoinOutput;
-
-    fn on_activation(&mut self) -> Step<CoinMessage> {
-        // Line 3: activate all Seeding instances (leading our own).
-        let mut step = Step::none();
-        for j in 0..self.n() {
-            step.extend(Self::wrap_seeding(j, self.seedings[j].on_activation()));
-        }
-        step.extend(self.advance());
-        step
-    }
-
-    fn on_message(&mut self, from: PartyId, msg: CoinMessage) -> Step<CoinMessage> {
-        if from.index() >= self.n() {
-            return Step::none();
-        }
-        let mut step = match msg {
-            CoinMessage::Seeding { leader, inner } => {
-                let leader = leader as usize;
-                if leader >= self.n() {
-                    return Step::none();
-                }
-                Self::wrap_seeding(leader, self.seedings[leader].on_message(from, inner))
-            }
-            CoinMessage::Avss { dealer, inner } => {
-                let dealer = dealer as usize;
-                if dealer >= self.n() {
-                    return Step::none();
-                }
-                match self.avss[dealer].as_mut() {
-                    Some(avss) => Self::wrap_avss(dealer, avss.handle(from, inner)),
-                    None => {
-                        // Line 7–8: we only join the AVSS after its dealer's
-                        // seed is known; buffer until then.
-                        self.avss_buffers[dealer].push((from, inner));
-                        Step::none()
-                    }
-                }
-            }
-            CoinMessage::Wcs(inner) => Self::wrap_wcs(self.wcs.handle(from, inner)),
-            CoinMessage::Gather { sender, inner } => {
-                let sender = sender as usize;
-                if sender >= self.n() {
-                    return Step::none();
-                }
-                Self::wrap_gather(sender, self.gather_rbcs[sender].on_message(from, inner))
-            }
+    fn on_local(&mut self, from: PartyId, msg: CoinMessage) {
+        match msg {
             CoinMessage::RecRequest { index } => {
                 let index = index as usize;
                 if index < self.n() {
                     self.requested_indices.insert(index);
                 }
-                Step::none()
             }
             CoinMessage::Candidate { candidate } => {
                 if self.candidate_senders.insert(from.index()) {
@@ -634,7 +544,77 @@ impl ProtocolInstance for Coin {
                         }
                     }
                 }
+            }
+        }
+    }
+}
+
+impl MuxNode for Coin {
+    type Output = CoinOutput;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        // Line 3: mount and activate all Seeding instances (leading our own)
+        // and the gather RBCs of the ablation mode (quiescent under Weak).
+        let mut step = Step::none();
+        for j in 0..self.n() {
+            let seeding = Seeding::new(
+                self.sid.derive("seeding", j),
+                self.me,
+                PartyId(j),
+                self.keyring.clone(),
+                self.secrets.clone(),
+            );
+            step.extend(self.seedings.insert(j, Leaf::new(seeding)));
+        }
+        for j in 0..self.n() {
+            let rbc = Rbc::new(
+                self.sid.derive("gather", j),
+                self.me,
+                self.n(),
+                self.keyring.f(),
+                PartyId(j),
+                None,
+            );
+            step.extend(self.gather_rbcs.insert(j, Leaf::new(rbc)));
+        }
+        step.extend(self.advance());
+        step
+    }
+
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        if from.index() >= self.n() {
+            return Step::none();
+        }
+        let mut step = match path.split_first() {
+            None => {
+                if let Some(msg) = decode_payload::<CoinMessage>(payload) {
+                    self.on_local(from, msg);
+                }
                 Step::none()
+            }
+            Some((seg, rest)) => {
+                let index = seg.index as usize;
+                match seg.kind {
+                    K_SEEDING if index < self.n() => {
+                        self.seedings.route(from, seg.index, rest, payload)
+                    }
+                    K_AVSS if index < self.n() => self.avss.route(from, seg.index, rest, payload),
+                    K_WCS if rest.is_root() && index == 0 => {
+                        match decode_payload(payload) {
+                            Some(msg) => sealed_step(Self::wcs_seg(), self.wcs.handle(from, msg)),
+                            None => Step::none(),
+                        }
+                    }
+                    K_GATHER if index < self.n() => {
+                        self.gather_rbcs.route(from, seg.index, rest, payload)
+                    }
+                    _ => Step::none(),
+                }
             }
         };
         step.extend(self.advance());
@@ -643,6 +623,23 @@ impl ProtocolInstance for Coin {
 
     fn output(&self) -> Option<CoinOutput> {
         self.output.clone()
+    }
+}
+
+impl ProtocolInstance for Coin {
+    type Message = Envelope;
+    type Output = CoinOutput;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<CoinOutput> {
+        MuxNode::output(self)
     }
 }
 
@@ -696,11 +693,11 @@ mod tests {
         sid: &str,
         keyring: &Arc<Keyring>,
         secrets: &[Arc<PartySecrets>],
-    ) -> Vec<BoxedParty<CoinMessage, CoinOutput>> {
+    ) -> Vec<BoxedParty<Envelope, CoinOutput>> {
         (0..n)
             .map(|i| {
                 Box::new(Coin::new(Sid::new(sid), PartyId(i), keyring.clone(), secrets[i].clone()))
-                    as BoxedParty<CoinMessage, CoinOutput>
+                    as BoxedParty<Envelope, CoinOutput>
             })
             .collect()
     }
@@ -709,8 +706,10 @@ mod tests {
     fn all_honest_parties_output_under_fifo() {
         let n = 4;
         let (keyring, secrets) = setup(n, 1);
-        let mut sim =
-            Simulation::new(coin_parties(n, "coin-fifo", &keyring, &secrets), Box::new(FifoScheduler::default()));
+        let mut sim = Simulation::new(
+            coin_parties(n, "coin-fifo", &keyring, &secrets),
+            Box::new(FifoScheduler::default()),
+        );
         let report = sim.run(10_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         let outs: Vec<CoinOutput> = sim.outputs().into_iter().flatten().collect();
@@ -795,21 +794,33 @@ mod tests {
     fn message_wire_roundtrip() {
         let (keyring, secrets) = setup(4, 6);
         let mut coin = Coin::new(Sid::new("wire"), PartyId(0), keyring, secrets[0].clone());
-        let step = coin.on_activation();
+        let step = MuxNode::on_activation(&mut coin);
         assert!(!step.is_empty());
         for o in step.outgoing.iter().take(10) {
             let bytes = setupfree_wire::to_bytes(&o.msg);
-            let decoded = setupfree_wire::from_bytes::<CoinMessage>(&bytes).unwrap();
+            let decoded = setupfree_wire::from_bytes::<Envelope>(&bytes).unwrap();
             // Round-trip must preserve the encoding exactly.
             assert_eq!(setupfree_wire::to_bytes(&decoded), bytes);
+            assert_eq!(decoded, o.msg);
         }
-        let rr = CoinMessage::RecRequest { index: 3 };
-        assert_eq!(
-            setupfree_wire::to_bytes(
-                &setupfree_wire::from_bytes::<CoinMessage>(&setupfree_wire::to_bytes(&rr)).unwrap()
-            ),
-            setupfree_wire::to_bytes(&rr)
-        );
+        let rr = Coin::local(&CoinMessage::RecRequest { index: 3 });
+        assert_eq!(setupfree_wire::from_bytes::<Envelope>(&setupfree_wire::to_bytes(&rr)).unwrap(), rr);
+    }
+
+    #[test]
+    fn misrouted_and_malformed_envelopes_are_dropped() {
+        let (keyring, secrets) = setup(4, 8);
+        let mut coin = Coin::new(Sid::new("drop"), PartyId(0), keyring, secrets[0].clone());
+        let _ = MuxNode::on_activation(&mut coin);
+        // Unknown kind.
+        let stray = Envelope::seal(InstancePath::of(PathSeg::new(200, 0)), &1u8);
+        assert!(coin.on_envelope(PartyId(1), stray.path, &stray.payload).is_empty());
+        // Out-of-range seeding index.
+        let oob = Envelope::seal(InstancePath::of(PathSeg::new(K_SEEDING, 99)), &1u8);
+        assert!(coin.on_envelope(PartyId(1), oob.path, &oob.payload).is_empty());
+        // Malformed local payload.
+        let junk: Arc<[u8]> = vec![99u8, 1, 2].into();
+        assert!(coin.on_envelope(PartyId(1), InstancePath::root(), &junk).is_empty());
     }
 
     #[test]

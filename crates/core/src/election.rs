@@ -10,7 +10,11 @@
 //!
 //! The construction is generic over the binary agreement through
 //! [`AbaFactory`], demonstrating the paper's claim that the election is
-//! pluggable with any existing ABA.
+//! pluggable with any existing ABA.  Sub-instances are mounted in the
+//! session-router tree: the Coin at path kind [`K_COIN`], the `n` RBCs at
+//! [`K_RBC`], and the single ABA at [`K_ABA`] (created when the ballot is
+//! cast; earlier ABA traffic waits in the router's bounded pre-activation
+//! buffer, which replaced the hand-rolled `aba_buffer`).
 //!
 //! Complexity: expected `O(n³)` messages, `O(λn³)` bits, expected `O(1)`
 //! rounds (§7.1).
@@ -20,60 +24,19 @@ use std::sync::Arc;
 
 use setupfree_crypto::vrf::{VrfOutput, VrfProof};
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
-use setupfree_rbc::{Rbc, RbcMessage};
-use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+use setupfree_net::mux::{composite_cap, sealed_step, Envelope, InstancePath, PathSeg};
+use setupfree_net::{Leaf, MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
+use setupfree_rbc::Rbc;
 
-use crate::coin::{Coin, CoinMessage};
+use crate::coin::Coin;
 use crate::traits::AbaFactory;
 
-/// Messages of one Election instance, generic over the plugged ABA's message
-/// type.
-#[derive(Debug, Clone)]
-pub enum ElectionMessage<AM> {
-    /// Traffic of the embedded Coin.
-    Coin(CoinMessage),
-    /// Traffic of the reliable broadcast with the given sender.
-    Rbc {
-        /// The RBC sender (instance index).
-        sender: u32,
-        /// The wrapped RBC message.
-        inner: RbcMessage,
-    },
-    /// Traffic of the single ABA instance.
-    Aba(AM),
-}
-
-impl<AM: Encode> Encode for ElectionMessage<AM> {
-    fn encode(&self, w: &mut Writer) {
-        match self {
-            ElectionMessage::Coin(inner) => {
-                w.write_u8(0);
-                inner.encode(w);
-            }
-            ElectionMessage::Rbc { sender, inner } => {
-                w.write_u8(1);
-                w.write_u32(*sender);
-                inner.encode(w);
-            }
-            ElectionMessage::Aba(inner) => {
-                w.write_u8(2);
-                inner.encode(w);
-            }
-        }
-    }
-}
-
-impl<AM: Decode> Decode for ElectionMessage<AM> {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        match r.read_u8()? {
-            0 => Ok(ElectionMessage::Coin(CoinMessage::decode(r)?)),
-            1 => Ok(ElectionMessage::Rbc { sender: r.read_u32()?, inner: RbcMessage::decode(r)? }),
-            2 => Ok(ElectionMessage::Aba(AM::decode(r)?)),
-            tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "ElectionMessage" }),
-        }
-    }
-}
+/// Path kind of the embedded Coin.
+pub const K_COIN: u8 = 0;
+/// Path kind of the per-broadcaster RBC instances.
+pub const K_RBC: u8 = 1;
+/// Path kind of the single ABA instance.
+pub const K_ABA: u8 = 2;
 
 /// The election's output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,17 +58,17 @@ pub struct Election<F: AbaFactory> {
     me: PartyId,
     keyring: Arc<Keyring>,
     coin: Coin,
-    rbcs: Vec<Rbc>,
+    rbcs: Router<Leaf<Rbc>>,
     own_vrf_broadcast: bool,
     /// Verified RBC outputs: broadcaster → (evaluator, output, proof).
     g: BTreeMap<usize, (usize, VrfOutput, VrfProof)>,
-    /// RBC outputs awaiting the evaluator's seed for verification.
+    /// RBC outputs awaiting the evaluator's seed for verification (bounded:
+    /// at most one entry per broadcaster, gated by `processed_rbc`).
     pending_rbc: Vec<(usize, (u32, VrfOutput, VrfProof))>,
     processed_rbc: BTreeSet<usize>,
     aba_factory: F,
     ballot_cast: bool,
-    aba: Option<F::Instance>,
-    aba_buffer: Vec<(PartyId, <F::Instance as ProtocolInstance>::Message)>,
+    aba: Router<F::Instance>,
     aba_result: Option<bool>,
     output: Option<ElectionOutput>,
 }
@@ -132,25 +95,21 @@ impl<F: AbaFactory> Election<F> {
         secrets: Arc<PartySecrets>,
         aba_factory: F,
     ) -> Self {
+        let coin = Coin::new(sid.derive("coin", 0), me, keyring.clone(), secrets);
         let n = keyring.n();
-        let coin = Coin::new(sid.derive("coin", 0), me, keyring.clone(), secrets.clone());
-        let rbcs = (0..n)
-            .map(|j| Rbc::new(sid.derive("rbc", j), me, n, keyring.f(), PartyId(j), None))
-            .collect();
         Election {
             sid,
             me,
             keyring,
             coin,
-            rbcs,
+            rbcs: Router::new(K_RBC),
             own_vrf_broadcast: false,
             g: BTreeMap::new(),
             pending_rbc: Vec::new(),
             processed_rbc: BTreeSet::new(),
             aba_factory,
             ballot_cast: false,
-            aba: None,
-            aba_buffer: Vec::new(),
+            aba: Router::with_cap(K_ABA, composite_cap(n)),
             aba_result: None,
             output: None,
         }
@@ -164,6 +123,10 @@ impl<F: AbaFactory> Election<F> {
         self.keyring.quorum()
     }
 
+    fn coin_seg() -> PathSeg {
+        PathSeg::new(K_COIN, 0)
+    }
+
     /// Read access to the embedded coin (used by tests and by the random
     /// beacon application).
     pub fn coin(&self) -> &Coin {
@@ -175,18 +138,6 @@ impl<F: AbaFactory> Election<F> {
         self.output.as_ref()
     }
 
-    fn wrap_coin(step: Step<CoinMessage>) -> Step<ElectionMessage<AbaMsg<F>>> {
-        step.map(ElectionMessage::Coin)
-    }
-
-    fn wrap_rbc(sender: usize, step: Step<RbcMessage>) -> Step<ElectionMessage<AbaMsg<F>>> {
-        step.map(move |inner| ElectionMessage::Rbc { sender: sender as u32, inner })
-    }
-
-    fn wrap_aba(step: Step<AbaMsg<F>>) -> Step<ElectionMessage<AbaMsg<F>>> {
-        step.map(ElectionMessage::Aba)
-    }
-
     fn vrf_context(&self) -> Vec<u8> {
         // Must match the context the Coin used for VRF evaluation.
         let mut ctx = self.sid.derive("coin", 0).as_bytes().to_vec();
@@ -194,7 +145,7 @@ impl<F: AbaFactory> Election<F> {
         ctx
     }
 
-    fn advance(&mut self) -> Step<ElectionMessage<AbaMsg<F>>> {
+    fn advance(&mut self) -> Step<Envelope> {
         let mut step = Step::none();
         loop {
             let mut progressed = false;
@@ -207,7 +158,14 @@ impl<F: AbaFactory> Election<F> {
                         out.max_vrf.as_ref().map(|(p, o, pr)| (p.index() as u32, *o, *pr));
                     let bytes = setupfree_wire::to_bytes(&payload);
                     let me = self.me.index();
-                    step.extend(Self::wrap_rbc(me, self.rbcs[me].provide_input(bytes)));
+                    let seg = self.rbcs.seg(me);
+                    let rbc_step = self
+                        .rbcs
+                        .get_mut(me)
+                        .expect("own RBC exists from activation")
+                        .inner_mut()
+                        .provide_input(bytes);
+                    step.extend(sealed_step(seg, rbc_step));
                     progressed = true;
                 }
             }
@@ -217,7 +175,7 @@ impl<F: AbaFactory> Election<F> {
                 if self.processed_rbc.contains(&j) {
                     continue;
                 }
-                if let Some(bytes) = self.rbcs[j].output() {
+                if let Some(bytes) = self.rbcs.get(j).and_then(|r| r.inner().output()) {
                     self.processed_rbc.insert(j);
                     progressed = true;
                     if let Ok(Some(cand)) =
@@ -251,19 +209,16 @@ impl<F: AbaFactory> Election<F> {
             if !self.ballot_cast && self.g.len() >= self.quorum() {
                 self.ballot_cast = true;
                 let ballot = self.largest_and_majority(self.quorum()).is_some();
-                let mut aba =
-                    self.aba_factory.create(self.sid.derive("aba", 0), ballot);
-                step.extend(Self::wrap_aba(aba.on_activation()));
-                for (from, msg) in std::mem::take(&mut self.aba_buffer) {
-                    step.extend(Self::wrap_aba(aba.on_message(from, msg)));
-                }
-                self.aba = Some(aba);
+                let aba = self.aba_factory.create(self.sid.derive("aba", 0), ballot);
+                // Mounting the instance also replays whatever ABA traffic the
+                // router buffered before the ballot was cast.
+                step.extend(self.aba.insert(0, aba));
                 progressed = true;
             }
 
             // Line 13: record the ABA decision.
             if self.aba_result.is_none() {
-                if let Some(b) = self.aba.as_ref().and_then(|a| a.output()) {
+                if let Some(b) = self.aba.get(0).and_then(|a| a.output()) {
                     self.aba_result = Some(b);
                     progressed = true;
                 }
@@ -333,39 +288,48 @@ impl<F: AbaFactory> Election<F> {
     }
 }
 
-/// Shorthand for the plugged ABA's message type.
-type AbaMsg<F> = <<F as AbaFactory>::Instance as ProtocolInstance>::Message;
-
-impl<F: AbaFactory> ProtocolInstance for Election<F> {
-    type Message = ElectionMessage<AbaMsg<F>>;
+impl<F: AbaFactory> MuxNode for Election<F> {
     type Output = ElectionOutput;
 
-    fn on_activation(&mut self) -> Step<Self::Message> {
-        let mut step = Self::wrap_coin(self.coin.on_activation());
+    fn on_activation(&mut self) -> Step<Envelope> {
+        let mut step = MuxNode::on_activation(&mut self.coin).prefix(Self::coin_seg());
+        for j in 0..self.n() {
+            let rbc = Rbc::new(
+                self.sid.derive("rbc", j),
+                self.me,
+                self.n(),
+                self.keyring.f(),
+                PartyId(j),
+                None,
+            );
+            step.extend(self.rbcs.insert(j, Leaf::new(rbc)));
+        }
         step.extend(self.advance());
         step
     }
 
-    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
         if from.index() >= self.n() {
             return Step::none();
         }
-        let mut step = match msg {
-            ElectionMessage::Coin(inner) => Self::wrap_coin(self.coin.on_message(from, inner)),
-            ElectionMessage::Rbc { sender, inner } => {
-                let sender = sender as usize;
-                if sender >= self.n() {
-                    return Step::none();
+        let mut step = match path.split_first() {
+            Some((seg, rest)) => match seg.kind {
+                K_COIN if seg.index == 0 => {
+                    self.coin.on_envelope(from, rest, payload).prefix(Self::coin_seg())
                 }
-                Self::wrap_rbc(sender, self.rbcs[sender].on_message(from, inner))
-            }
-            ElectionMessage::Aba(inner) => match self.aba.as_mut() {
-                Some(aba) => Self::wrap_aba(aba.on_message(from, inner)),
-                None => {
-                    self.aba_buffer.push((from, inner));
-                    Step::none()
+                K_RBC if (seg.index as usize) < self.n() => {
+                    self.rbcs.route(from, seg.index, rest, payload)
                 }
+                K_ABA if seg.index == 0 => self.aba.route(from, seg.index, rest, payload),
+                _ => Step::none(),
             },
+            // The election has no local messages.
+            None => Step::none(),
         };
         step.extend(self.advance());
         step
@@ -373,5 +337,22 @@ impl<F: AbaFactory> ProtocolInstance for Election<F> {
 
     fn output(&self) -> Option<ElectionOutput> {
         self.output.clone()
+    }
+}
+
+impl<F: AbaFactory> ProtocolInstance for Election<F> {
+    type Message = Envelope;
+    type Output = ElectionOutput;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<ElectionOutput> {
+        MuxNode::output(self)
     }
 }

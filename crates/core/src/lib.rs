@@ -30,6 +30,6 @@ pub mod traits;
 pub mod trusted;
 
 pub use coin::{Coin, CoinMessage, CoinOutput};
-pub use election::{Election, ElectionMessage, ElectionOutput};
+pub use election::{Election, ElectionOutput};
 pub use traits::{AbaFactory, CoinFactory, ElectionFactory};
 pub use trusted::{TrustedCoin, TrustedCoinFactory};

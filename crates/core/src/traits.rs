@@ -7,8 +7,14 @@
 //! pluggability is expressed in code: the ABA is generic over a
 //! [`CoinFactory`], the Election over an [`AbaFactory`], and the VBA over an
 //! [`ElectionFactory`].
+//!
+//! Factories produce [`MuxNode`]s — path-routing instances the parent
+//! mounts in its session [`Router`](setupfree_net::Router).  Composite
+//! protocols (the real Coin, the MMR ABA, the Election) implement `MuxNode`
+//! directly; message-typed leaf protocols (the trusted coin, the local-coin
+//! baseline) are adapted with [`Leaf`](setupfree_net::Leaf).
 
-use setupfree_net::{PartyId, ProtocolInstance, Sid};
+use setupfree_net::{MuxNode, PartyId, Sid};
 
 use crate::coin::CoinOutput;
 use crate::election::ElectionOutput;
@@ -16,7 +22,7 @@ use crate::election::ElectionOutput;
 /// Creates fresh common-coin instances on demand (one per ABA round).
 pub trait CoinFactory {
     /// The coin protocol instance type.
-    type Instance: ProtocolInstance<Output = CoinOutput>;
+    type Instance: MuxNode<Output = CoinOutput>;
 
     /// Creates the coin instance with session identifier `sid` for this
     /// party.
@@ -27,7 +33,7 @@ pub trait CoinFactory {
 /// spawns exactly one, Alg 5 line 12).
 pub trait AbaFactory {
     /// The binary agreement instance type.
-    type Instance: ProtocolInstance<Output = bool>;
+    type Instance: MuxNode<Output = bool>;
 
     /// Creates an ABA instance with session identifier `sid` and the given
     /// input bit for this party.
@@ -37,7 +43,7 @@ pub trait AbaFactory {
 /// Creates a leader-election instance on demand (one per VBA view).
 pub trait ElectionFactory {
     /// The election instance type.
-    type Instance: ProtocolInstance<Output = ElectionOutput>;
+    type Instance: MuxNode<Output = ElectionOutput>;
 
     /// Creates an election instance with session identifier `sid` for this
     /// party.

@@ -55,21 +55,23 @@ impl ProtocolInstance for TrustedCoin {
     }
 }
 
-/// Factory producing [`TrustedCoin`] instances.
+/// Factory producing [`TrustedCoin`] instances, adapted into the session
+/// router as leaves (the trusted coin exchanges no sub-protocol traffic).
 #[derive(Debug, Clone, Default)]
 pub struct TrustedCoinFactory;
 
 impl CoinFactory for TrustedCoinFactory {
-    type Instance = TrustedCoin;
+    type Instance = setupfree_net::Leaf<TrustedCoin>;
 
-    fn create(&self, sid: Sid) -> TrustedCoin {
-        TrustedCoin::new(sid)
+    fn create(&self, sid: Sid) -> Self::Instance {
+        setupfree_net::Leaf::new(TrustedCoin::new(sid))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use setupfree_net::MuxNode;
 
     #[test]
     fn same_sid_same_bit_zero_messages() {
@@ -86,7 +88,7 @@ mod tests {
         let bits: Vec<bool> = (0..64)
             .map(|i| {
                 let mut c = TrustedCoin::new(Sid::new("s").derive("round", i));
-                c.on_activation();
+                let _ = c.on_activation();
                 c.output().unwrap().bit
             })
             .collect();

@@ -6,6 +6,10 @@
 //! * [`party`] — party identities and hierarchical session identifiers,
 //! * [`protocol`] — the deterministic state-machine model every protocol
 //!   implements,
+//! * [`mux`] — the hierarchical session router: instance paths, the flat
+//!   wire envelope, the child-instance [`Router`](mux::Router) with its
+//!   bounded pre-activation buffer, and the multi-session
+//!   [`SessionHost`](mux::SessionHost),
 //! * [`scheduler`] — adversarial delivery schedules (arbitrary delay and
 //!   reordering with eventual delivery),
 //! * [`sim`] — the simulator: exact byte accounting through the wire codec,
@@ -20,6 +24,7 @@
 
 pub mod faults;
 pub mod metrics;
+pub mod mux;
 pub mod party;
 pub mod protocol;
 pub mod scheduler;
@@ -27,6 +32,9 @@ pub mod sim;
 
 pub use faults::{CrashAfter, DuplicatingParty, SilentParty};
 pub use metrics::Metrics;
+pub use mux::{
+    Envelope, InstancePath, Leaf, MuxNode, PathSeg, PreActivationBuffer, Router, SessionHost,
+};
 pub use party::{PartyId, Sid};
 pub use protocol::{Dest, Outgoing, ProtocolInstance, Step};
 pub use scheduler::{

@@ -1,0 +1,982 @@
+//! Hierarchical session router — one mux subsystem for all composite
+//! protocols.
+//!
+//! The paper composes everything hierarchically with instance identifiers
+//! `⟨ID, j⟩` (§3, Alg 4–8): ABA wraps per-round Coins, the Election wraps
+//! `n` RBCs + an ABA + a Coin, the VBA wraps Elections + ABAs, the ADKG
+//! wraps a VBA.  This module is the single implementation of that
+//! composition:
+//!
+//! * [`InstancePath`] — the `⟨ID, j⟩` tag chain as a compact inline byte
+//!   path (no heap allocation), one [`PathSeg`] (kind byte + `u16` index)
+//!   per wrapping level;
+//! * [`Envelope`] — the **flat wire format**: `(path bytes, leaf payload)`
+//!   encoded once at the leaf and routed by a single path dispatch per
+//!   level, instead of the former recursive enum-tag encode/decode descent;
+//! * [`MuxNode`] — the interface composite protocols implement (a
+//!   path-routing state machine), with [`Leaf`] adapting any typed
+//!   [`ProtocolInstance`] into the tree;
+//! * [`Router`] — owns the child instances of one kind, keyed by path
+//!   segment, and handles wrapping *without per-hop re-allocation*: a
+//!   child's outgoing [`Step<Envelope>`] is prefixed in place
+//!   ([`Step::prefix`]), so a message crossing `d` wrapping levels costs one
+//!   payload encoding and zero intermediate `Vec`s (the former `Step::map`
+//!   chain allocated a fresh `Vec` per level);
+//! * [`PreActivationBuffer`] — the **single** well-tested "buffer until the
+//!   child exists" mechanism (replacing the hand-rolled `aba_buffer`,
+//!   `election_buffer`, `coin_buffer` and `avss_buffers`), with a
+//!   per-sender cap and duplicate dropping so a Byzantine flooder cannot
+//!   grow memory without bound;
+//! * [`SessionHost`] — runs many top-level sessions over one simulated
+//!   network (k concurrent ABA instances, pipelined beacon epochs, …) by
+//!   routing on a leading session segment.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+use crate::party::PartyId;
+use crate::protocol::{ProtocolInstance, Step};
+
+/// Maximum nesting depth of an [`InstancePath`].
+///
+/// The deepest composite in the workspace is
+/// session → ADKG → VBA → Election → ABA → Coin → Seeding/AVSS
+/// (7 segments); one level of headroom is kept.
+pub const MAX_PATH_SEGMENTS: usize = 8;
+
+/// Encoded size of one [`PathSeg`]: kind byte + little-endian `u16` index.
+const SEG_BYTES: usize = 3;
+
+/// Maximum encoded length of an [`InstancePath`].
+pub const MAX_PATH_BYTES: usize = MAX_PATH_SEGMENTS * SEG_BYTES;
+
+/// One level of the paper's `⟨ID, j⟩` tag chain: which *kind* of child
+/// (Seeding vs AVSS vs ABA, a protocol-local constant) and which *instance*
+/// of that kind (dealer index, round number, epoch, session id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathSeg {
+    /// The child kind, unique among the siblings of one parent.
+    pub kind: u8,
+    /// The instance index within the kind.
+    pub index: u16,
+}
+
+impl PathSeg {
+    /// Creates a segment, asserting the index fits the wire width (all
+    /// indices in this workspace are party indices, bounded round numbers or
+    /// epochs, far below `u16::MAX`).
+    pub fn new(kind: u8, index: usize) -> Self {
+        assert!(index <= u16::MAX as usize, "instance index {index} exceeds the path width");
+        PathSeg { kind, index: index as u16 }
+    }
+}
+
+/// A compact, inline (no-allocation, `Copy`) hierarchical instance path —
+/// the paper's `⟨ID, j⟩` tags of one message, outermost segment first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InstancePath {
+    len: u8,
+    buf: [u8; MAX_PATH_BYTES],
+}
+
+impl InstancePath {
+    /// The empty path: the message belongs to the receiving protocol itself
+    /// (its "local" messages), not to a sub-instance.
+    pub fn root() -> Self {
+        InstancePath::default()
+    }
+
+    /// A single-segment path.
+    pub fn of(seg: PathSeg) -> Self {
+        let mut p = InstancePath::root();
+        p.push_front(seg);
+        p
+    }
+
+    /// `true` for the empty path.
+    pub fn is_root(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments.
+    pub fn depth(&self) -> usize {
+        self.len as usize / SEG_BYTES
+    }
+
+    /// The canonical byte representation.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Prepends `seg` as the new outermost segment — the wrapping operation
+    /// a parent applies to a child's outgoing messages.  A small in-place
+    /// `memmove`; no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is already [`MAX_PATH_SEGMENTS`] deep (the
+    /// workspace hierarchy is statically shallower).
+    pub fn push_front(&mut self, seg: PathSeg) {
+        let len = self.len as usize;
+        assert!(len + SEG_BYTES <= MAX_PATH_BYTES, "instance path deeper than MAX_PATH_SEGMENTS");
+        self.buf.copy_within(..len, SEG_BYTES);
+        self.buf[0] = seg.kind;
+        self.buf[1..3].copy_from_slice(&seg.index.to_le_bytes());
+        self.len = (len + SEG_BYTES) as u8;
+    }
+
+    /// Splits off the outermost segment — the routing operation a parent
+    /// applies to an inbound message.
+    pub fn split_first(&self) -> Option<(PathSeg, InstancePath)> {
+        if self.is_root() {
+            return None;
+        }
+        let seg = PathSeg {
+            kind: self.buf[0],
+            index: u16::from_le_bytes([self.buf[1], self.buf[2]]),
+        };
+        let mut rest = InstancePath::root();
+        let rest_len = self.len as usize - SEG_BYTES;
+        rest.buf[..rest_len].copy_from_slice(&self.buf[SEG_BYTES..self.len as usize]);
+        rest.len = rest_len as u8;
+        Some((seg, rest))
+    }
+
+    /// Iterates the segments, outermost first.
+    pub fn segments(&self) -> impl Iterator<Item = PathSeg> + '_ {
+        self.as_bytes().chunks_exact(SEG_BYTES).map(|c| PathSeg {
+            kind: c[0],
+            index: u16::from_le_bytes([c[1], c[2]]),
+        })
+    }
+}
+
+impl fmt::Debug for InstancePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path[")?;
+        for (i, seg) in self.segments().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{}@{}", seg.kind, seg.index)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Encode for InstancePath {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u8(self.len);
+        w.write_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for InstancePath {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.read_u8()? as usize;
+        if len > MAX_PATH_BYTES || !len.is_multiple_of(SEG_BYTES) {
+            return Err(WireError::InvalidValue { ty: "InstancePath" });
+        }
+        let bytes = r.read_bytes(len)?;
+        let mut p = InstancePath::root();
+        p.buf[..len].copy_from_slice(bytes);
+        p.len = len as u8;
+        Ok(p)
+    }
+}
+
+/// The flat wire envelope every composite protocol exchanges: the instance
+/// path plus the *leaf* payload, encoded exactly once at the leaf that
+/// produced it.
+///
+/// On the wire this is `len(path) ‖ path ‖ payload` — the payload runs to
+/// the end of the message, so wrapping a message `d` levels deep costs
+/// `1 + 3d` bytes of header and **zero** re-encodings, and decoding is one
+/// path read plus one payload slice instead of a recursive enum-tag
+/// descent.  The payload is reference-counted so routing a message down the
+/// tree, buffering it, and the simulator's decode-once cache all share one
+/// allocation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Which instance in the hierarchy the payload belongs to.
+    pub path: InstancePath,
+    /// The leaf message's encoding.
+    pub payload: Arc<[u8]>,
+}
+
+impl Envelope {
+    /// Encodes a leaf message under the given path.
+    pub fn seal<M: Encode>(path: InstancePath, msg: &M) -> Self {
+        Envelope { path, payload: setupfree_wire::to_shared_bytes(msg) }
+    }
+
+    /// Decodes the payload as a leaf message of type `M`, `None` when
+    /// malformed (a misrouted or Byzantine payload — dropped by routers).
+    pub fn open<M: Decode>(&self) -> Option<M> {
+        decode_payload(&self.payload)
+    }
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Envelope({:?}, {} payload bytes)", self.path, self.payload.len())
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        self.path.encode(w);
+        w.write_bytes(&self.payload);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let path = InstancePath::decode(r)?;
+        let payload: Arc<[u8]> = r.read_bytes(r.remaining())?.into();
+        Ok(Envelope { path, payload })
+    }
+}
+
+/// Decodes a leaf payload, requiring full consumption; `None` on malformed
+/// input (routers drop such messages, mirroring the old enum decoders'
+/// `InvalidTag` rejection).
+pub fn decode_payload<M: Decode>(payload: &[u8]) -> Option<M> {
+    setupfree_wire::from_bytes(payload).ok()
+}
+
+/// Encodes every message of a typed step into an envelope under `path`
+/// (one payload encoding per message — the only encoding it will ever get).
+fn seal_step_at<M: Encode>(path: InstancePath, step: Step<M>) -> Step<Envelope> {
+    Step {
+        outgoing: step
+            .outgoing
+            .into_iter()
+            .map(|o| crate::protocol::Outgoing { dest: o.dest, msg: Envelope::seal(path, &o.msg) })
+            .collect(),
+    }
+}
+
+/// Encodes every message of a typed leaf step into an envelope under `seg`.
+pub fn sealed_step<M: Encode>(seg: PathSeg, step: Step<M>) -> Step<Envelope> {
+    seal_step_at(InstancePath::of(seg), step)
+}
+
+/// Encodes a protocol's *local* (root-path) messages.
+pub fn local_step<M: Encode>(step: Step<M>) -> Step<Envelope> {
+    seal_step_at(InstancePath::root(), step)
+}
+
+impl Step<Envelope> {
+    /// Prefixes every outgoing envelope's path with `seg`, **in place** —
+    /// the per-hop wrapping operation.  Reuses the step's buffer across
+    /// hops; no allocation.
+    #[must_use = "the prefixed step still has to be sent"]
+    pub fn prefix(mut self, seg: PathSeg) -> Step<Envelope> {
+        for o in &mut self.outgoing {
+            o.msg.path.push_front(seg);
+        }
+        self
+    }
+}
+
+/// A path-routing protocol state machine — the interface every *composite*
+/// protocol implements (leaves implement [`ProtocolInstance`] and are
+/// adapted by [`Leaf`]).
+///
+/// The contract mirrors [`ProtocolInstance`]: deterministic, activated
+/// exactly once before any envelope is delivered.  [`Router::insert`]
+/// upholds the activation-before-delivery order for children created
+/// mid-run.
+pub trait MuxNode {
+    /// The output type produced by this node.
+    type Output: Clone + fmt::Debug;
+
+    /// Called exactly once when the instance starts.
+    fn on_activation(&mut self) -> Step<Envelope>;
+
+    /// Called for every envelope routed to this node; `path` is relative to
+    /// the node (the parent has stripped its own segment).
+    fn on_envelope(&mut self, from: PartyId, path: InstancePath, payload: &Arc<[u8]>)
+        -> Step<Envelope>;
+
+    /// Returns the output, once produced.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+/// Adapts a typed leaf [`ProtocolInstance`] (RBC, AVSS, Seeding, a trusted
+/// coin, …) into the mux tree: inbound payloads are decoded to the leaf's
+/// message type, outbound messages are sealed at the root path (the parent
+/// prefixes its segment).
+#[derive(Debug)]
+pub struct Leaf<P> {
+    inner: P,
+}
+
+impl<P> Leaf<P> {
+    /// Wraps a leaf protocol.
+    pub fn new(inner: P) -> Self {
+        Leaf { inner }
+    }
+
+    /// Typed access to the wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Typed mutable access to the wrapped protocol (for protocol-specific
+    /// inputs like [`provide_input`](../../setupfree_rbc/struct.Rbc.html)
+    /// or reconstruction starts; seal the returned step with
+    /// [`sealed_step`]).
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+}
+
+impl<P: ProtocolInstance> MuxNode for Leaf<P> {
+    type Output = P::Output;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        local_step(self.inner.on_activation())
+    }
+
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        if !path.is_root() {
+            // A leaf has no sub-instances: deeper paths are misrouted or
+            // Byzantine and are dropped.
+            return Step::none();
+        }
+        match decode_payload::<P::Message>(payload) {
+            Some(msg) => local_step(self.inner.on_message(from, msg)),
+            None => Step::none(),
+        }
+    }
+
+    fn output(&self) -> Option<P::Output> {
+        self.inner.output()
+    }
+}
+
+/// Default per-sender cap of the [`PreActivationBuffer`].
+///
+/// Honest pre-activation traffic per `(sender, child instance)` is bounded
+/// by the child protocol's per-sender message count — `O(n)` even for a
+/// full Coin (a few messages per embedded Seeding/AVSS instance).  The cap
+/// sits far above that for every `n` the workspace runs, while bounding a
+/// Byzantine flooder to `cap × senders` buffered envelopes per child.
+pub const DEFAULT_PER_SENDER_CAP: usize = 1024;
+
+/// Per-sender cap for routers whose children are *deep* composites (a full
+/// Coin or Election per round): a slow party can lag several rounds behind
+/// its peers, and each pending round contributes `O(n)` honest envelopes
+/// per sender, so the cap scales with `n` to keep honest traffic safely
+/// below it (dropping an honest pre-activation message would be a liveness
+/// bug — protocols never retransmit).  Memory stays bounded at
+/// `O(n · cap)` per child.
+pub fn composite_cap(n: usize) -> usize {
+    DEFAULT_PER_SENDER_CAP.max(64 * n)
+}
+
+/// One buffered pre-activation message.
+#[derive(Debug, Clone)]
+struct BufferedEnvelope {
+    from: PartyId,
+    path: InstancePath,
+    payload: Arc<[u8]>,
+    /// FNV-1a digest of `(path, payload)` — the cheap first-stage key of
+    /// the duplicate filter.
+    digest: u64,
+}
+
+/// FNV-1a over the path and payload bytes.  Only a duplicate-filter
+/// prefilter (never trusted on its own: a digest hit is confirmed by a byte
+/// comparison), so a non-cryptographic hash is fine.
+fn envelope_digest(path: &InstancePath, payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in path.as_bytes().iter().chain(payload) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The single "buffer until the child instance exists" mechanism.
+///
+/// Composite protocols create children on demand (the ABA's round-`r` coin,
+/// the VBA's round-`r` election, the Coin's AVSS for a dealer whose seed is
+/// pending); traffic for a child that does not exist yet is held here and
+/// replayed — in arrival order — when [`Router::insert`] creates it.
+///
+/// Unlike the four hand-rolled buffers this replaces, it is *bounded*:
+///
+/// * **per-sender cap** — at most `cap` buffered envelopes per
+///   `(child index, sender)`; beyond that the sender's traffic for that
+///   child is dropped (a Byzantine flooder only starves itself: honest
+///   traffic never reaches the cap);
+/// * **duplicate dropping** — a byte-identical `(sender, path, payload)`
+///   already buffered for the child is not stored again (replay to an
+///   honest child is idempotent anyway — the paper's "first time" handlers
+///   — so duplicates only cost memory).
+#[derive(Debug)]
+pub struct PreActivationBuffer {
+    per_sender_cap: usize,
+    entries: BTreeMap<u16, Vec<BufferedEnvelope>>,
+    counts: BTreeMap<(u16, PartyId), usize>,
+    /// `(child, sender, digest)` of every buffered envelope — the duplicate
+    /// prefilter.  A digest hit falls back to a byte comparison, so hash
+    /// collisions can never drop a genuinely new message; this keeps the
+    /// common push O(log B) instead of a linear byte scan over the bucket
+    /// (which dominated the ABA hot path when every round's coin traffic
+    /// races ahead of the local Aux quorum).
+    seen: BTreeSet<(u16, PartyId, u64)>,
+    dropped: u64,
+}
+
+impl PreActivationBuffer {
+    /// Creates a buffer with the given per-sender cap.
+    pub fn new(per_sender_cap: usize) -> Self {
+        PreActivationBuffer {
+            per_sender_cap,
+            entries: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Buffers one envelope for the child at `index`; returns `false` when
+    /// the message was dropped (cap reached or duplicate).
+    pub fn push(
+        &mut self,
+        index: u16,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> bool {
+        let count = self.counts.entry((index, from)).or_insert(0);
+        if *count >= self.per_sender_cap {
+            self.dropped += 1;
+            return false;
+        }
+        let digest = envelope_digest(&path, payload);
+        let bucket = self.entries.entry(index).or_default();
+        if !self.seen.insert((index, from, digest)) {
+            // Digest already buffered for this (child, sender): confirm it
+            // is a true byte-identical duplicate (collisions pass through).
+            let duplicate = bucket.iter().any(|b| {
+                b.from == from
+                    && b.digest == digest
+                    && b.path == path
+                    && b.payload[..] == payload[..]
+            });
+            if duplicate {
+                self.dropped += 1;
+                return false;
+            }
+        }
+        *count += 1;
+        bucket.push(BufferedEnvelope { from, path, payload: Arc::clone(payload), digest });
+        true
+    }
+
+    /// Removes and returns everything buffered for `index`, in arrival
+    /// order.
+    fn drain(&mut self, index: u16) -> Vec<BufferedEnvelope> {
+        let drained = self.entries.remove(&index).unwrap_or_default();
+        self.counts.retain(|(i, _), _| *i != index);
+        let stale: Vec<(u16, PartyId, u64)> = self
+            .seen
+            .range((index, PartyId(0), 0)..=(index, PartyId(usize::MAX), u64::MAX))
+            .copied()
+            .collect();
+        for key in stale {
+            self.seen.remove(&key);
+        }
+        drained
+    }
+
+    /// Number of envelopes currently buffered (all children).
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of envelopes dropped by the cap or duplicate filter.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Owns the child instances of one *kind* inside a composite protocol,
+/// keyed by path-segment index, and implements the two halves of routing:
+///
+/// * **inbound** ([`Router::route`]) — strip the segment, deliver to the
+///   child (or buffer until it exists), prefix the child's response;
+/// * **outbound** ([`Router::insert`], [`sealed_step`] +
+///   [`Router::seg`]) — wrap child steps by prefixing the segment in
+///   place.
+#[derive(Debug)]
+pub struct Router<N> {
+    kind: u8,
+    /// Children in a dense slot vector: instance indices in this workspace
+    /// are small and dense (party indices, bounded round numbers, epochs,
+    /// session ids), and parents poll children on the per-delivery hot path
+    /// — O(1) slot access matters (a `BTreeMap` here cost double-digit
+    /// percents of ABA wall-clock).
+    children: Vec<Option<N>>,
+    buffer: PreActivationBuffer,
+}
+
+impl<N: MuxNode> Router<N> {
+    /// Creates an empty router for children of `kind` with the default
+    /// pre-activation cap.
+    pub fn new(kind: u8) -> Self {
+        Self::with_cap(kind, DEFAULT_PER_SENDER_CAP)
+    }
+
+    /// Creates an empty router with an explicit per-sender pre-activation
+    /// cap.
+    pub fn with_cap(kind: u8, per_sender_cap: usize) -> Self {
+        Router { kind, children: Vec::new(), buffer: PreActivationBuffer::new(per_sender_cap) }
+    }
+
+    /// The path segment of the child at `index` (for wrapping typed side
+    /// steps via [`sealed_step`]).
+    pub fn seg(&self, index: usize) -> PathSeg {
+        PathSeg::new(self.kind, index)
+    }
+
+    /// `true` if the child at `index` exists.
+    pub fn contains(&self, index: usize) -> bool {
+        self.get(index).is_some()
+    }
+
+    /// The child at `index`, if created.
+    pub fn get(&self, index: usize) -> Option<&N> {
+        self.children.get(index).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the child at `index`, if created.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut N> {
+        self.children.get_mut(index).and_then(Option::as_mut)
+    }
+
+    /// Iterates the created children.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &N)> {
+        self.children.iter().enumerate().filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+
+    /// Installs the child at `index`, activates it, replays any buffered
+    /// traffic (in arrival order), and returns the resulting outgoing step
+    /// already wrapped under this router's segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a child already exists at `index` (composite protocols
+    /// guard creation with their own "first time" flags).
+    pub fn insert(&mut self, index: usize, mut child: N) -> Step<Envelope> {
+        let seg = self.seg(index);
+        let mut step = child.on_activation();
+        for b in self.buffer.drain(seg.index) {
+            step.extend(child.on_envelope(b.from, b.path, &b.payload));
+        }
+        if self.children.len() <= index {
+            self.children.resize_with(index + 1, || None);
+        }
+        let slot = &mut self.children[index];
+        assert!(slot.is_none(), "child {}@{} created twice", self.kind, index);
+        *slot = Some(child);
+        step.prefix(seg)
+    }
+
+    /// Routes one inbound envelope (whose leading segment this router's
+    /// parent already stripped and matched to this router's kind) to the
+    /// child at `index`; buffers if the child does not exist yet.
+    pub fn route(
+        &mut self,
+        from: PartyId,
+        index: u16,
+        rest: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        match self.children.get_mut(index as usize).and_then(Option::as_mut) {
+            Some(child) => {
+                child.on_envelope(from, rest, payload).prefix(PathSeg { kind: self.kind, index })
+            }
+            None => {
+                self.buffer.push(index, from, rest, payload);
+                Step::none()
+            }
+        }
+    }
+
+    /// Number of pre-activation envelopes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Number of pre-activation envelopes dropped by the cap/duplicate
+    /// filter.
+    pub fn buffer_dropped(&self) -> u64 {
+        self.buffer.dropped()
+    }
+}
+
+/// The reserved path kind of [`SessionHost`] session segments.
+pub const KIND_SESSION: u8 = 0xFE;
+
+/// Runs `k` independent top-level sessions of one protocol over a single
+/// simulated network — the concurrent-session workload (k parallel ABA
+/// instances, pipelined beacon epochs, …).
+///
+/// Each session is a [`MuxNode`]; its traffic is wrapped under a leading
+/// `(KIND_SESSION, session index)` segment.  The host's output is the
+/// vector of all session outputs, available once **every** session has
+/// produced one.
+pub struct SessionHost<N> {
+    sessions: Router<N>,
+    pending: Vec<N>,
+    count: usize,
+}
+
+impl<N: MuxNode> SessionHost<N> {
+    /// Creates a host over the given sessions (index `i` becomes session
+    /// segment `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty session list: a host with zero sessions could
+    /// never produce an output, wedging any simulation built over it.
+    pub fn new(sessions: Vec<N>) -> Self {
+        assert!(!sessions.is_empty(), "SessionHost needs at least one session");
+        let count = sessions.len();
+        SessionHost { sessions: Router::new(KIND_SESSION), pending: sessions, count }
+    }
+
+    /// Number of sessions.
+    pub fn session_count(&self) -> usize {
+        self.count
+    }
+
+    /// Access to a session (after activation).
+    pub fn session(&self, index: usize) -> Option<&N> {
+        self.sessions.get(index)
+    }
+
+    /// The outputs produced so far, by session index.
+    pub fn session_outputs(&self) -> Vec<Option<N::Output>> {
+        self.sessions.iter().map(|(_, s)| s.output()).collect()
+    }
+}
+
+impl<N: MuxNode> fmt::Debug for SessionHost<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionHost")
+            .field("sessions", &self.session_count())
+            .field(
+                "decided",
+                &self.session_outputs().iter().filter(|o| o.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl<N: MuxNode> MuxNode for SessionHost<N> {
+    type Output = Vec<N::Output>;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        let mut step = Step::none();
+        for (i, session) in std::mem::take(&mut self.pending).into_iter().enumerate() {
+            step.extend(self.sessions.insert(i, session));
+        }
+        step
+    }
+
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        match path.split_first() {
+            // All sessions exist from activation; out-of-range indices are
+            // Byzantine and dropped outright (they must never reach the
+            // pre-activation buffer, where a flooder could park traffic for
+            // up to 65536 never-created slots).
+            Some((seg, rest)) if seg.kind == KIND_SESSION && (seg.index as usize) < self.count => {
+                self.sessions.route(from, seg.index, rest, payload)
+            }
+            _ => Step::none(),
+        }
+    }
+
+    fn output(&self) -> Option<Vec<N::Output>> {
+        let outs = self.session_outputs();
+        if outs.is_empty() || outs.iter().any(Option::is_none) {
+            return None;
+        }
+        Some(outs.into_iter().map(|o| o.expect("checked above")).collect())
+    }
+}
+
+impl<N: MuxNode> ProtocolInstance for SessionHost<N> {
+    type Message = Envelope;
+    type Output = Vec<N::Output>;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<Vec<N::Output>> {
+        MuxNode::output(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Dest;
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_push_and_split_roundtrip() {
+        let mut p = InstancePath::root();
+        assert!(p.is_root());
+        p.push_front(PathSeg::new(3, 7));
+        p.push_front(PathSeg::new(1, 40000));
+        assert_eq!(p.depth(), 2);
+        let (first, rest) = p.split_first().unwrap();
+        assert_eq!(first, PathSeg::new(1, 40000));
+        let (second, rest) = rest.split_first().unwrap();
+        assert_eq!(second, PathSeg::new(3, 7));
+        assert!(rest.is_root());
+        assert!(rest.split_first().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper than MAX_PATH_SEGMENTS")]
+    fn path_overflow_panics() {
+        let mut p = InstancePath::root();
+        for i in 0..=MAX_PATH_SEGMENTS {
+            p.push_front(PathSeg::new(0, i));
+        }
+    }
+
+    #[test]
+    fn malformed_path_length_rejected() {
+        // Length not a multiple of the segment size.
+        let err = setupfree_wire::from_bytes::<InstancePath>(&[2, 0xaa, 0xbb]).unwrap_err();
+        assert!(matches!(err, WireError::InvalidValue { ty: "InstancePath" }));
+        // Length beyond the maximum depth.
+        let mut bytes = vec![(MAX_PATH_BYTES + SEG_BYTES) as u8];
+        bytes.extend(std::iter::repeat_n(0u8, MAX_PATH_BYTES + SEG_BYTES));
+        let err = setupfree_wire::from_bytes::<InstancePath>(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::InvalidValue { ty: "InstancePath" }));
+        // Truncated: header promises more bytes than present.
+        let err = setupfree_wire::from_bytes::<InstancePath>(&[6, 1, 2, 3]).unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEnd { .. }));
+    }
+
+    #[test]
+    fn envelope_seal_open_roundtrip() {
+        let env = Envelope::seal(InstancePath::of(PathSeg::new(2, 9)), &(7u32, true));
+        let bytes = setupfree_wire::to_bytes(&env);
+        let decoded: Envelope = setupfree_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, env);
+        assert_eq!(decoded.open::<(u32, bool)>(), Some((7, true)));
+        assert_eq!(decoded.open::<(u64, u64)>(), None, "wrong-type payloads are rejected");
+    }
+
+    #[test]
+    fn step_prefix_is_in_place_and_order_preserving() {
+        let mut inner: Step<u32> = Step::multicast(5);
+        inner.push_send(PartyId(2), 6);
+        let step = sealed_step(PathSeg::new(4, 1), inner).prefix(PathSeg::new(9, 3));
+        assert_eq!(step.outgoing.len(), 2);
+        assert_eq!(step.outgoing[0].dest, Dest::All);
+        assert_eq!(step.outgoing[1].dest, Dest::One(PartyId(2)));
+        let segs: Vec<PathSeg> = step.outgoing[0].msg.path.segments().collect();
+        assert_eq!(segs, vec![PathSeg::new(9, 3), PathSeg::new(4, 1)]);
+        assert_eq!(step.outgoing[0].msg.open::<u32>(), Some(5));
+    }
+
+    /// A trivial leaf: echoes every received u32 back as a multicast and
+    /// outputs the sum once it exceeds a threshold.
+    #[derive(Debug)]
+    struct SumLeaf {
+        sum: u32,
+        threshold: u32,
+    }
+
+    impl ProtocolInstance for SumLeaf {
+        type Message = u32;
+        type Output = u32;
+
+        fn on_activation(&mut self) -> Step<u32> {
+            Step::multicast(1)
+        }
+
+        fn on_message(&mut self, _from: PartyId, msg: u32) -> Step<u32> {
+            self.sum += msg;
+            Step::none()
+        }
+
+        fn output(&self) -> Option<u32> {
+            (self.sum >= self.threshold).then_some(self.sum)
+        }
+    }
+
+    #[test]
+    fn router_buffers_until_insert_and_replays_in_order() {
+        let mut router: Router<Leaf<SumLeaf>> = Router::new(7);
+        let payload = |v: u32| setupfree_wire::to_shared_bytes(&v);
+        // Traffic for child 3 before it exists.
+        let s = router.route(PartyId(0), 3, InstancePath::root(), &payload(10));
+        assert!(s.is_empty());
+        let s = router.route(PartyId(1), 3, InstancePath::root(), &payload(20));
+        assert!(s.is_empty());
+        assert_eq!(router.buffered(), 2);
+        // Creation replays both, and the activation multicast is wrapped.
+        let step = router.insert(3, Leaf::new(SumLeaf { sum: 0, threshold: 30 }));
+        assert_eq!(step.outgoing.len(), 1);
+        let segs: Vec<PathSeg> = step.outgoing[0].msg.path.segments().collect();
+        assert_eq!(segs, vec![PathSeg::new(7, 3)]);
+        assert_eq!(router.buffered(), 0);
+        assert_eq!(router.get(3).unwrap().inner().sum, 30);
+        assert_eq!(MuxNode::output(router.get_mut(3).unwrap()), Some(30));
+        // Post-creation traffic is delivered directly.
+        let _ = router.route(PartyId(2), 3, InstancePath::root(), &payload(5));
+        assert_eq!(router.get(3).unwrap().inner().sum, 35);
+    }
+
+    #[test]
+    fn buffer_enforces_per_sender_cap_and_drops_duplicates() {
+        let mut buffer = PreActivationBuffer::new(4);
+        let payload = |v: u32| setupfree_wire::to_shared_bytes(&v);
+        // Duplicates (same sender, path, bytes) are dropped.
+        let p = payload(9);
+        assert!(buffer.push(0, PartyId(1), InstancePath::root(), &p));
+        assert!(!buffer.push(0, PartyId(1), InstancePath::root(), &p));
+        assert_eq!(buffer.len(), 1);
+        // A different sender with the same bytes is kept.
+        assert!(buffer.push(0, PartyId(2), InstancePath::root(), &p));
+        // Distinct payloads count towards the per-sender cap.
+        for v in 0..10u32 {
+            buffer.push(0, PartyId(1), InstancePath::root(), &payload(100 + v));
+        }
+        let from_p1 = buffer.entries[&0].iter().filter(|b| b.from == PartyId(1)).count();
+        assert_eq!(from_p1, 4, "per-sender cap");
+        assert!(buffer.dropped() > 0);
+        // Caps are per child index: the same sender can buffer for another
+        // child.
+        assert!(buffer.push(1, PartyId(1), InstancePath::root(), &payload(1)));
+    }
+
+    #[test]
+    fn session_host_runs_sessions_to_joint_output() {
+        let mut host = SessionHost::new(vec![
+            Leaf::new(SumLeaf { sum: 0, threshold: 5 }),
+            Leaf::new(SumLeaf { sum: 0, threshold: 5 }),
+        ]);
+        let step = MuxNode::on_activation(&mut host);
+        assert_eq!(step.outgoing.len(), 2);
+        let segs: Vec<PathSeg> = step.outgoing[0].msg.path.segments().collect();
+        assert_eq!(segs, vec![PathSeg::new(KIND_SESSION, 0)]);
+        assert!(MuxNode::output(&host).is_none());
+        let feed = |host: &mut SessionHost<Leaf<SumLeaf>>, session: u16, v: u32| {
+            let path = InstancePath::of(PathSeg { kind: KIND_SESSION, index: session });
+            let payload = setupfree_wire::to_shared_bytes(&v);
+            let _ = host.on_envelope(PartyId(0), path, &payload);
+        };
+        feed(&mut host, 0, 9);
+        assert!(MuxNode::output(&host).is_none(), "one session still undecided");
+        feed(&mut host, 1, 9);
+        assert_eq!(MuxNode::output(&host), Some(vec![9, 9]));
+        // Unknown leading kinds are dropped.
+        let stray = host.on_envelope(
+            PartyId(0),
+            InstancePath::of(PathSeg::new(3, 0)),
+            &setupfree_wire::to_shared_bytes(&1u32),
+        );
+        assert!(stray.is_empty());
+    }
+
+    fn arb_path() -> impl Strategy<Value = InstancePath> {
+        proptest::collection::vec((any::<u8>(), any::<u16>()), 0..MAX_PATH_SEGMENTS + 1).prop_map(
+            |segs| {
+                let mut p = InstancePath::root();
+                for (kind, index) in segs.into_iter().rev() {
+                    p.push_front(PathSeg { kind, index });
+                }
+                p
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_path_wire_roundtrip(path in arb_path()) {
+            let bytes = setupfree_wire::to_bytes(&path);
+            prop_assert_eq!(setupfree_wire::from_bytes::<InstancePath>(&bytes).unwrap(), path);
+        }
+
+        #[test]
+        fn prop_envelope_wire_roundtrip(
+            path in arb_path(),
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let env = Envelope { path, payload: payload.into() };
+            let bytes = setupfree_wire::to_bytes(&env);
+            let decoded: Envelope = setupfree_wire::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(decoded, env);
+        }
+
+        #[test]
+        fn prop_envelope_truncation_rejected(
+            path in arb_path(),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // Cutting into the path header (not the payload, which is
+            // tail-encoded) must fail, never panic.
+            let env = Envelope { path, payload: payload.into() };
+            let bytes = setupfree_wire::to_bytes(&env);
+            let header = 1 + path.as_bytes().len();
+            for cut in 0..header {
+                prop_assert!(setupfree_wire::from_bytes::<Envelope>(&bytes[..cut]).is_err());
+            }
+        }
+
+        #[test]
+        fn prop_arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = setupfree_wire::from_bytes::<Envelope>(&bytes);
+            let _ = setupfree_wire::from_bytes::<InstancePath>(&bytes);
+        }
+
+        #[test]
+        fn prop_split_first_inverts_push_front(path in arb_path(), kind in any::<u8>(), index in any::<u16>()) {
+            prop_assume!(path.depth() < MAX_PATH_SEGMENTS);
+            let seg = PathSeg { kind, index };
+            let mut pushed = path;
+            pushed.push_front(seg);
+            let (first, rest) = pushed.split_first().unwrap();
+            prop_assert_eq!(first, seg);
+            prop_assert_eq!(rest, path);
+        }
+    }
+}

@@ -39,7 +39,12 @@ pub struct Outgoing<M> {
 
 /// The result of one activation of a protocol state machine: the messages to
 /// be handed to the network.
+///
+/// A silently dropped `Step` loses protocol messages — every step must be
+/// sent, extended into another step, or explicitly discarded with `let _ =`
+/// (only correct when the step is provably empty).
 #[derive(Debug, Clone)]
+#[must_use = "dropping a Step loses its outgoing protocol messages"]
 pub struct Step<M> {
     /// Messages to send, in order.
     pub outgoing: Vec<Outgoing<M>>,

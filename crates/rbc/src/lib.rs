@@ -367,12 +367,12 @@ mod tests {
     #[test]
     fn duplicate_messages_do_not_double_count() {
         let mut rbc = Rbc::new(Sid::new("t"), PartyId(1), 4, 1, PartyId(0), None);
-        rbc.on_activation();
+        let _ = rbc.on_activation();
         // Same echo from the same party delivered twice: still only 1 echo.
-        rbc.on_message(PartyId(2), RbcMessage::Echo(b"v".to_vec()));
-        rbc.on_message(PartyId(2), RbcMessage::Echo(b"v".to_vec()));
+        let _ = rbc.on_message(PartyId(2), RbcMessage::Echo(b"v".to_vec()));
+        let _ = rbc.on_message(PartyId(2), RbcMessage::Echo(b"v".to_vec()));
         assert!(!rbc.ready_sent);
-        rbc.on_message(PartyId(3), RbcMessage::Echo(b"v".to_vec()));
+        let _ = rbc.on_message(PartyId(3), RbcMessage::Echo(b"v".to_vec()));
         assert!(!rbc.ready_sent);
         let step = rbc.on_message(PartyId(0), RbcMessage::Echo(b"v".to_vec()));
         assert!(rbc.ready_sent);
@@ -382,14 +382,14 @@ mod tests {
     #[test]
     fn second_init_from_sender_ignored() {
         let mut rbc = Rbc::new(Sid::new("t"), PartyId(1), 4, 1, PartyId(0), None);
-        rbc.on_activation();
+        let _ = rbc.on_activation();
         let s1 = rbc.on_message(PartyId(0), RbcMessage::Init(b"a".to_vec()));
         assert_eq!(s1.outgoing.len(), 1);
         let s2 = rbc.on_message(PartyId(0), RbcMessage::Init(b"b".to_vec()));
         assert!(s2.is_empty());
         // Init from a non-sender is ignored entirely.
         let mut rbc2 = Rbc::new(Sid::new("t"), PartyId(1), 4, 1, PartyId(0), None);
-        rbc2.on_activation();
+        let _ = rbc2.on_activation();
         assert!(rbc2.on_message(PartyId(2), RbcMessage::Init(b"a".to_vec())).is_empty());
     }
 

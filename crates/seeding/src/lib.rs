@@ -648,7 +648,7 @@ mod tests {
             keyring.clone(),
             secrets[1].clone(),
         );
-        party.on_activation();
+        let _ = party.on_activation();
         // Forge a Seed message without any recorded script: ignored.
         let bogus = PvssSecret::decode(&mut setupfree_wire::Reader::new(&setupfree_wire::to_bytes(
             &setupfree_crypto::pairing::G2::generator(),

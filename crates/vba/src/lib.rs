@@ -13,6 +13,13 @@
 //!   binary agreement on whether to accept it,
 //! * the first accepted leader's value is the common output.
 //!
+//! The per-round elections and vote-ABAs are mounted in session
+//! [`Router`]s ([`K_ELECTION`] and [`K_VOTE_ABA`], keyed by round); the
+//! routers' bounded pre-activation buffers hold traffic for rounds this
+//! party has not reached yet (replacing the former hand-rolled
+//! `election_buffer`/`aba_buffer` pair).  The VBA's own
+//! `Propose`/`Ack`/`Confirm`/`Vote` messages travel at the root path.
+//!
 //! Properties (Definition 7): termination in expected `O(1)` election rounds,
 //! agreement, and external validity.  With the paper's Election and ABA the
 //! whole construction is private-setup free and costs expected `O(λn³)` bits.
@@ -28,8 +35,14 @@ use setupfree_core::traits::{AbaFactory, ElectionFactory};
 use setupfree_crypto::hash::sha256;
 use setupfree_crypto::sig::Signature;
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
+use setupfree_net::mux::{composite_cap, decode_payload, Envelope, InstancePath};
+use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Path kind of the per-round election instances (keyed by round).
+pub const K_ELECTION: u8 = 0;
+/// Path kind of the per-round vote-ABA instances (keyed by round).
+pub const K_VOTE_ABA: u8 = 1;
 
 /// A transferable quorum certificate: `n − f` signatures from distinct
 /// parties over a proposer's value (the paper replaces threshold signatures
@@ -39,10 +52,10 @@ pub type Cert = Vec<(PartyId, Signature)>;
 /// The external validity predicate `Q_ID` (Definition 7).
 pub type Predicate = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
 
-/// Messages of one VBA instance, generic over the plugged election's and
-/// ABA's message types.
+/// The VBA's *local* messages (root instance path); election and vote-ABA
+/// traffic travels under the path kinds above.
 #[derive(Debug, Clone)]
-pub enum VbaMessage<EM, AM> {
+pub enum VbaMessage {
     /// A proposer's value (consistent-broadcast send).
     Propose {
         /// The proposed value.
@@ -64,13 +77,6 @@ pub enum VbaMessage<EM, AM> {
         /// `n − f` acknowledgement signatures.
         cert: Cert,
     },
-    /// Wrapped election traffic for a round.
-    Election {
-        /// Election round.
-        round: u32,
-        /// Wrapped message.
-        inner: EM,
-    },
     /// Forwarding of the elected leader's committed proposal (or `None`).
     Vote {
         /// Election round.
@@ -78,16 +84,9 @@ pub enum VbaMessage<EM, AM> {
         /// The leader's committed value and certificate, if known.
         proposal: Option<(Vec<u8>, Cert)>,
     },
-    /// Wrapped binary-agreement traffic for a round.
-    Aba {
-        /// Election round.
-        round: u32,
-        /// Wrapped message.
-        inner: AM,
-    },
 }
 
-impl<EM: Encode, AM: Encode> Encode for VbaMessage<EM, AM> {
+impl Encode for VbaMessage {
     fn encode(&self, w: &mut Writer) {
         match self {
             VbaMessage::Propose { value } => {
@@ -105,26 +104,16 @@ impl<EM: Encode, AM: Encode> Encode for VbaMessage<EM, AM> {
                 value.encode(w);
                 cert.encode(w);
             }
-            VbaMessage::Election { round, inner } => {
+            VbaMessage::Vote { round, proposal } => {
                 w.write_u8(3);
                 w.write_u32(*round);
-                inner.encode(w);
-            }
-            VbaMessage::Vote { round, proposal } => {
-                w.write_u8(4);
-                w.write_u32(*round);
                 proposal.encode(w);
-            }
-            VbaMessage::Aba { round, inner } => {
-                w.write_u8(5);
-                w.write_u32(*round);
-                inner.encode(w);
             }
         }
     }
 }
 
-impl<EM: Decode, AM: Decode> Decode for VbaMessage<EM, AM> {
+impl Decode for VbaMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         match r.read_u8()? {
             0 => Ok(VbaMessage::Propose { value: Vec::<u8>::decode(r)? }),
@@ -134,44 +123,24 @@ impl<EM: Decode, AM: Decode> Decode for VbaMessage<EM, AM> {
                 value: Vec::<u8>::decode(r)?,
                 cert: Cert::decode(r)?,
             }),
-            3 => Ok(VbaMessage::Election { round: r.read_u32()?, inner: EM::decode(r)? }),
-            4 => Ok(VbaMessage::Vote {
+            3 => Ok(VbaMessage::Vote {
                 round: r.read_u32()?,
                 proposal: Option::<(Vec<u8>, Cert)>::decode(r)?,
             }),
-            5 => Ok(VbaMessage::Aba { round: r.read_u32()?, inner: AM::decode(r)? }),
             tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "VbaMessage" }),
         }
     }
 }
 
-/// Per-election-round state.
-struct RoundState<E: ProtocolInstance, A: ProtocolInstance> {
-    election: Option<E>,
-    election_buffer: Vec<(PartyId, E::Message)>,
+/// Per-election-round state (the round's election and ABA instances live in
+/// their routers).
+#[derive(Debug, Default)]
+struct RoundState {
     leader: Option<PartyId>,
     vote_sent: bool,
     votes_from: BTreeSet<usize>,
-    aba: Option<A>,
-    aba_buffer: Vec<(PartyId, A::Message)>,
     aba_input_cast: bool,
     aba_result: Option<bool>,
-}
-
-impl<E: ProtocolInstance, A: ProtocolInstance> Default for RoundState<E, A> {
-    fn default() -> Self {
-        RoundState {
-            election: None,
-            election_buffer: Vec::new(),
-            leader: None,
-            vote_sent: false,
-            votes_from: BTreeSet::new(),
-            aba: None,
-            aba_buffer: Vec::new(),
-            aba_input_cast: false,
-            aba_result: None,
-        }
-    }
 }
 
 /// One party's state machine for a single VBA instance.
@@ -192,7 +161,9 @@ pub struct Vba<EF: ElectionFactory, AF: AbaFactory> {
     confirm_sent: bool,
     /// Committed proposals: proposer → (value, cert).
     committed: BTreeMap<usize, (Vec<u8>, Cert)>,
-    rounds: BTreeMap<u32, RoundState<EF::Instance, AF::Instance>>,
+    rounds: BTreeMap<u32, RoundState>,
+    elections: Router<EF::Instance>,
+    abas: Router<AF::Instance>,
     current_round: u32,
     election_started: bool,
     output: Option<Vec<u8>>,
@@ -211,9 +182,6 @@ impl<EF: ElectionFactory, AF: AbaFactory> std::fmt::Debug for Vba<EF, AF> {
     }
 }
 
-type EMsg<EF> = <<EF as ElectionFactory>::Instance as ProtocolInstance>::Message;
-type AMsg<AF> = <<AF as AbaFactory>::Instance as ProtocolInstance>::Message;
-
 impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     /// Creates the VBA state machine for party `me` with the given input and
     /// external-validity predicate.
@@ -228,6 +196,7 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         election_factory: EF,
         aba_factory: AF,
     ) -> Self {
+        let n = keyring.n();
         Vba {
             sid,
             me,
@@ -243,6 +212,8 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             confirm_sent: false,
             committed: BTreeMap::new(),
             rounds: BTreeMap::new(),
+            elections: Router::with_cap(K_ELECTION, composite_cap(n)),
+            abas: Router::with_cap(K_VOTE_ABA, composite_cap(n)),
             current_round: 0,
             election_started: false,
             output: None,
@@ -261,6 +232,10 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     /// The round the party is currently working on (diagnostics).
     pub fn round(&self) -> u32 {
         self.current_round
+    }
+
+    fn local(msg: &VbaMessage) -> Envelope {
+        Envelope::seal(InstancePath::root(), msg)
     }
 
     fn ack_context(&self, proposer: usize) -> Vec<u8> {
@@ -285,20 +260,12 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         seen.len() >= self.quorum()
     }
 
-    fn round_state(&mut self, round: u32) -> &mut RoundState<EF::Instance, AF::Instance> {
+    fn round_state(&mut self, round: u32) -> &mut RoundState {
         self.rounds.entry(round).or_default()
     }
 
-    fn wrap_election(round: u32, step: Step<EMsg<EF>>) -> Step<VbaMessage<EMsg<EF>, AMsg<AF>>> {
-        step.map(move |inner| VbaMessage::Election { round, inner })
-    }
-
-    fn wrap_aba(round: u32, step: Step<AMsg<AF>>) -> Step<VbaMessage<EMsg<EF>, AMsg<AF>>> {
-        step.map(move |inner| VbaMessage::Aba { round, inner })
-    }
-
     /// Drives every pending condition to quiescence.
-    fn advance(&mut self) -> Step<VbaMessage<EMsg<EF>, AMsg<AF>>> {
+    fn advance(&mut self) -> Step<Envelope> {
         let mut step = Step::none();
         loop {
             let mut progressed = false;
@@ -313,10 +280,12 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             if self.election_started && self.output.is_none() {
                 let round = self.current_round;
                 // Election decided → send our Vote.
+                let election_output =
+                    self.elections.get(round as usize).and_then(|e| e.output());
                 let leader = {
                     let state = self.round_state(round);
                     if state.leader.is_none() {
-                        if let Some(out) = state.election.as_ref().and_then(|e| e.output()) {
+                        if let Some(out) = election_output {
                             state.leader = Some(out.leader);
                         }
                     }
@@ -327,7 +296,7 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                     if !state_vote_sent {
                         self.round_state(round).vote_sent = true;
                         let proposal = self.committed.get(&leader.index()).cloned();
-                        step.push_multicast(VbaMessage::Vote { round, proposal });
+                        step.push_multicast(Self::local(&VbaMessage::Vote { round, proposal }));
                         progressed = true;
                     }
                     // Enough votes → cast ABA input.
@@ -336,22 +305,18 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                     if !input_cast && votes >= self.quorum() {
                         self.round_state(round).aba_input_cast = true;
                         let have_leader_value = self.committed.contains_key(&leader.index());
-                        let mut aba = self
+                        let aba = self
                             .aba_factory
                             .create(self.sid.derive("vote-aba", round as usize), have_leader_value);
-                        step.extend(Self::wrap_aba(round, aba.on_activation()));
-                        let state = self.round_state(round);
-                        for (from, msg) in std::mem::take(&mut state.aba_buffer) {
-                            step.extend(Self::wrap_aba(round, aba.on_message(from, msg)));
-                        }
-                        state.aba = Some(aba);
+                        step.extend(self.abas.insert(round as usize, aba));
                         progressed = true;
                     }
                     // ABA decided → accept or move on.
+                    let aba_output = self.abas.get(round as usize).and_then(|a| a.output());
                     let result = {
                         let state = self.round_state(round);
                         if state.aba_result.is_none() {
-                            if let Some(b) = state.aba.as_ref().and_then(|a| a.output()) {
+                            if let Some(b) = aba_output {
                                 state.aba_result = Some(b);
                             }
                         }
@@ -386,28 +351,26 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         step
     }
 
-    fn start_round(&mut self, round: u32) -> Step<VbaMessage<EMsg<EF>, AMsg<AF>>> {
+    fn start_round(&mut self, round: u32) -> Step<Envelope> {
         let sid = self.sid.derive("election", round as usize);
-        let mut election = self.election_factory.create(sid);
-        let mut step = Self::wrap_election(round, election.on_activation());
-        let state = self.round_state(round);
-        for (from, msg) in std::mem::take(&mut state.election_buffer) {
-            step.extend(Self::wrap_election(round, election.on_message(from, msg)));
-        }
-        state.election = Some(election);
-        step
+        let election = self.election_factory.create(sid);
+        // Mounting the round's election replays buffered traffic for it.
+        self.elections.insert(round as usize, election)
     }
 
-    fn on_propose(&mut self, from: PartyId, value: Vec<u8>) -> Step<VbaMessage<EMsg<EF>, AMsg<AF>>> {
+    fn on_propose(&mut self, from: PartyId, value: Vec<u8>) -> Step<Envelope> {
         if self.acked.contains(&from.index()) || !(self.predicate)(&value) {
             return Step::none();
         }
         self.acked.insert(from.index());
         let signature = self.secrets.sig.sign(&self.ack_context(from.index()), &sha256(&value));
-        Step::send(from, VbaMessage::Ack { proposer: from.index() as u32, signature })
+        Step::send(
+            from,
+            Self::local(&VbaMessage::Ack { proposer: from.index() as u32, signature }),
+        )
     }
 
-    fn on_ack(&mut self, from: PartyId, proposer: u32, signature: Signature) -> Step<VbaMessage<EMsg<EF>, AMsg<AF>>> {
+    fn on_ack(&mut self, from: PartyId, proposer: u32, signature: Signature) -> Step<Envelope> {
         if proposer as usize != self.me.index() || self.confirm_sent {
             return Step::none();
         }
@@ -422,11 +385,11 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         self.own_cert.push((from, signature));
         if self.own_cert.len() >= self.quorum() {
             self.confirm_sent = true;
-            return Step::multicast(VbaMessage::Confirm {
+            return Step::multicast(Self::local(&VbaMessage::Confirm {
                 proposer: self.me.index() as u32,
                 value: self.input.clone(),
                 cert: self.own_cert.clone(),
-            });
+            }));
         }
         Step::none()
     }
@@ -440,45 +403,14 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         }
         self.committed.insert(proposer, (value, cert));
     }
-}
 
-impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Vba<EF, AF> {
-    type Message = VbaMessage<EMsg<EF>, AMsg<AF>>;
-    type Output = Vec<u8>;
-
-    fn on_activation(&mut self) -> Step<Self::Message> {
-        assert!(
-            (self.predicate)(&self.input),
-            "VBA requires an input satisfying the external-validity predicate"
-        );
-        let mut step = Step::multicast(VbaMessage::Propose { value: self.input.clone() });
-        step.extend(self.advance());
-        step
-    }
-
-    fn on_message(&mut self, from: PartyId, msg: Self::Message) -> Step<Self::Message> {
-        if from.index() >= self.n() {
-            return Step::none();
-        }
-        let mut step = match msg {
+    fn on_local(&mut self, from: PartyId, msg: VbaMessage) -> Step<Envelope> {
+        match msg {
             VbaMessage::Propose { value } => self.on_propose(from, value),
             VbaMessage::Ack { proposer, signature } => self.on_ack(from, proposer, signature),
             VbaMessage::Confirm { proposer, value, cert } => {
                 self.record_committed(proposer as usize, value, cert);
                 Step::none()
-            }
-            VbaMessage::Election { round, inner } => {
-                if round >= self.max_rounds {
-                    return Step::none();
-                }
-                let state = self.round_state(round);
-                match state.election.as_mut() {
-                    Some(e) => Self::wrap_election(round, e.on_message(from, inner)),
-                    None => {
-                        state.election_buffer.push((from, inner));
-                        Step::none()
-                    }
-                }
             }
             VbaMessage::Vote { round, proposal } => {
                 if round >= self.max_rounds {
@@ -506,17 +438,47 @@ impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Vba<EF, AF> {
                 self.round_state(round).votes_from.insert(from.index());
                 Step::none()
             }
-            VbaMessage::Aba { round, inner } => {
+        }
+    }
+}
+
+impl<EF: ElectionFactory, AF: AbaFactory> MuxNode for Vba<EF, AF> {
+    type Output = Vec<u8>;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        assert!(
+            (self.predicate)(&self.input),
+            "VBA requires an input satisfying the external-validity predicate"
+        );
+        let mut step =
+            Step::multicast(Self::local(&VbaMessage::Propose { value: self.input.clone() }));
+        step.extend(self.advance());
+        step
+    }
+
+    fn on_envelope(
+        &mut self,
+        from: PartyId,
+        path: InstancePath,
+        payload: &Arc<[u8]>,
+    ) -> Step<Envelope> {
+        if from.index() >= self.n() {
+            return Step::none();
+        }
+        let mut step = match path.split_first() {
+            None => match decode_payload::<VbaMessage>(payload) {
+                Some(msg) => self.on_local(from, msg),
+                None => Step::none(),
+            },
+            Some((seg, rest)) => {
+                let round = seg.index as u32;
                 if round >= self.max_rounds {
                     return Step::none();
                 }
-                let state = self.round_state(round);
-                match state.aba.as_mut() {
-                    Some(a) => Self::wrap_aba(round, a.on_message(from, inner)),
-                    None => {
-                        state.aba_buffer.push((from, inner));
-                        Step::none()
-                    }
+                match seg.kind {
+                    K_ELECTION => self.elections.route(from, seg.index, rest, payload),
+                    K_VOTE_ABA => self.abas.route(from, seg.index, rest, payload),
+                    _ => Step::none(),
                 }
             }
         };
@@ -526,6 +488,23 @@ impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Vba<EF, AF> {
 
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
+    }
+}
+
+impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Vba<EF, AF> {
+    type Message = Envelope;
+    type Output = Vec<u8>;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        MuxNode::on_activation(self)
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        self.on_envelope(from, msg.path, &msg.payload)
+    }
+
+    fn output(&self) -> Option<Vec<u8>> {
+        MuxNode::output(self)
     }
 }
 
@@ -568,14 +547,13 @@ mod tests {
         }
     }
 
-    type TestVba = Vba<TestElectionFactory, MmrAbaFactory<TrustedCoinFactory>>;
 
     fn make_parties(
         n: usize,
         inputs: Vec<Vec<u8>>,
         predicate: Predicate,
         pki_seed: u64,
-    ) -> Vec<BoxedParty<<TestVba as ProtocolInstance>::Message, Vec<u8>>> {
+    ) -> Vec<BoxedParty<Envelope, Vec<u8>>> {
         let (keyring, secrets) = generate_pki(n, pki_seed);
         let keyring = Arc::new(keyring);
         let secrets: Vec<Arc<PartySecrets>> = secrets.into_iter().map(Arc::new).collect();
@@ -596,7 +574,7 @@ mod tests {
                     predicate.clone(),
                     ef,
                     af,
-                )) as BoxedParty<<TestVba as ProtocolInstance>::Message, Vec<u8>>
+                )) as BoxedParty<Envelope, Vec<u8>>
             })
             .collect()
     }
@@ -685,25 +663,24 @@ mod tests {
         let inputs: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2], vec![3]];
         let mut parties = make_parties(n, inputs, predicate, 5);
         // Activating party 0 with an empty (invalid) input must panic.
-        parties[0].on_activation();
+        let _ = parties[0].on_activation();
     }
 
     #[test]
     fn message_wire_roundtrip() {
         let (_, secrets) = generate_pki(4, 9);
         let sig = secrets[0].sig.sign(b"x", b"y");
-        type M = VbaMessage<u8, u16>;
-        let msgs: Vec<M> = vec![
+        let msgs: Vec<VbaMessage> = vec![
             VbaMessage::Propose { value: vec![1, 2, 3] },
             VbaMessage::Ack { proposer: 2, signature: sig },
             VbaMessage::Confirm { proposer: 1, value: vec![9], cert: vec![(PartyId(0), sig)] },
-            VbaMessage::Election { round: 0, inner: 7u8 },
             VbaMessage::Vote { round: 1, proposal: Some((vec![4], vec![(PartyId(2), sig)])) },
-            VbaMessage::Aba { round: 2, inner: 700u16 },
         ];
         for msg in msgs {
-            let bytes = setupfree_wire::to_bytes(&msg);
-            let decoded: M = setupfree_wire::from_bytes(&bytes).unwrap();
+            let env = Envelope::seal(InstancePath::root(), &msg);
+            let bytes = setupfree_wire::to_bytes(&env);
+            let decoded: Envelope = setupfree_wire::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded, env);
             assert_eq!(setupfree_wire::to_bytes(&decoded), bytes);
         }
     }

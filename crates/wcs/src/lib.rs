@@ -434,8 +434,8 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let mut wcs = Wcs::new(Sid::new("w"), PartyId(1), keyring.clone(), secrets[1].clone());
         // Receive a lock for {0,1,2} while our local set is only {0,1}.
-        wcs.add_index(0);
-        wcs.add_index(1);
+        let _ = wcs.add_index(0);
+        let _ = wcs.add_index(1);
         let step = wcs.handle(PartyId(0), WcsMessage::Lock { set: vec![0, 1, 2] });
         assert!(step.is_empty(), "lock must wait until the local set catches up");
         // Growing the local set releases the confirmation.
@@ -453,7 +453,7 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let mut wcs = Wcs::new(Sid::new("w"), PartyId(1), keyring, secrets[1].clone());
         for i in 0..n {
-            wcs.add_index(i);
+            let _ = wcs.add_index(i);
         }
         // Too small.
         assert!(wcs.handle(PartyId(0), WcsMessage::Lock { set: vec![0, 1] }).is_empty());
@@ -467,9 +467,9 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let mut wcs = Wcs::new(Sid::new("w"), PartyId(1), keyring.clone(), secrets[1].clone());
         for i in 0..n {
-            wcs.add_index(i);
+            let _ = wcs.add_index(i);
         }
-        wcs.start();
+        let _ = wcs.start();
         // A commit whose quorum contains self-signed garbage must be ignored.
         let bogus_sig = secrets[3].sig.sign(b"wrong-context", b"wrong-msg");
         let quorum = vec![(PartyId(0), bogus_sig), (PartyId(2), bogus_sig), (PartyId(3), bogus_sig)];
@@ -484,9 +484,9 @@ mod tests {
         let (keyring, secrets) = setup(n);
         let mut wcs = Wcs::new(Sid::new("w"), PartyId(0), keyring.clone(), secrets[0].clone());
         for i in 0..n {
-            wcs.add_index(i);
+            let _ = wcs.add_index(i);
         }
-        wcs.start();
+        let _ = wcs.start();
         let snapshot: Vec<u32> = (0..n as u32).collect();
         let mut ctx = Sid::new("w").as_bytes().to_vec();
         ctx.extend_from_slice(b"/wcs/confirm");
@@ -538,7 +538,7 @@ mod tests {
     fn starting_with_small_set_panics() {
         let (keyring, secrets) = setup(4);
         let mut wcs = Wcs::new(Sid::new("w"), PartyId(0), keyring, secrets[0].clone());
-        wcs.add_index(0);
-        wcs.start();
+        let _ = wcs.add_index(0);
+        let _ = wcs.start();
     }
 }

@@ -261,7 +261,11 @@ pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
 /// (one `Arc` clone per recipient instead of one buffer copy), while each
 /// recipient is still charged the exact per-destination byte length.
 pub fn to_shared_bytes<T: Encode + ?Sized>(value: &T) -> std::sync::Arc<[u8]> {
-    let mut w = Writer::new();
+    // Seed the buffer with a capacity covering the typical protocol message
+    // so the doubling growth path is skipped (the final `Vec` → `Arc<[u8]>`
+    // conversion copies exactly `len` bytes either way, so over-allocation
+    // here costs nothing downstream).
+    let mut w = Writer::with_capacity(256);
     value.encode(&mut w);
     w.into_shared()
 }

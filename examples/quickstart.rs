@@ -17,14 +17,14 @@ fn main() {
     let secrets: Vec<Arc<PartySecrets>> = secrets.into_iter().map(Arc::new).collect();
 
     // One Coin state machine per party.
-    let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+    let parties: Vec<BoxedParty<Envelope, CoinOutput>> = (0..n)
         .map(|i| {
             Box::new(Coin::new(
                 Sid::new("quickstart-coin"),
                 PartyId(i),
                 keyring.clone(),
                 secrets[i].clone(),
-            )) as BoxedParty<CoinMessage, CoinOutput>
+            )) as BoxedParty<Envelope, CoinOutput>
         })
         .collect();
 

@@ -23,11 +23,12 @@
 //! let keyring = Arc::new(keyring);
 //! let secrets: Vec<_> = secrets.into_iter().map(Arc::new).collect();
 //!
-//! // Every party runs the private-setup-free common coin (Alg 4).
-//! let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..4)
+//! // Every party runs the private-setup-free common coin (Alg 4).  Composite
+//! // protocols exchange the session router's flat `Envelope` on the wire.
+//! let parties: Vec<BoxedParty<Envelope, CoinOutput>> = (0..4)
 //!     .map(|i| {
 //!         Box::new(Coin::new(Sid::new("demo"), PartyId(i), keyring.clone(), secrets[i].clone()))
-//!             as BoxedParty<CoinMessage, CoinOutput>
+//!             as BoxedParty<Envelope, CoinOutput>
 //!     })
 //!     .collect();
 //! let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(1)));
@@ -58,13 +59,14 @@ pub mod prelude {
     pub use setupfree_app::beacon::{BeaconEpoch, RandomBeacon};
     pub use setupfree_avss::{Avss, AvssMessage};
     pub use setupfree_core::coin::{Coin, CoinMessage, CoinOutput, CoinProtocolFactory, CoreSetMode};
-    pub use setupfree_core::election::{Election, ElectionMessage, ElectionOutput};
+    pub use setupfree_core::election::{Election, ElectionOutput};
     pub use setupfree_core::traits::{AbaFactory, CoinFactory, ElectionFactory};
     pub use setupfree_core::{TrustedCoin, TrustedCoinFactory};
     pub use setupfree_crypto::{generate_pki, generate_pki_with_malicious, Keyring, PartySecrets};
     pub use setupfree_net::{
-        BoxedParty, FifoScheduler, PartyId, ProtocolInstance, RandomScheduler, Sid, Simulation,
-        StopReason, TargetedDelayScheduler,
+        BoxedParty, Envelope, FifoScheduler, InstancePath, Leaf, MuxNode, PartyId, PathSeg,
+        ProtocolInstance, RandomScheduler, Router, SessionHost, Sid, Simulation, StopReason,
+        TargetedDelayScheduler,
     };
     pub use setupfree_rbc::{Rbc, RbcMessage};
     pub use setupfree_seeding::{Seeding, SeedingMessage};

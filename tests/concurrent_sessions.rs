@@ -1,0 +1,146 @@
+//! Concurrent-session workloads over one simulated network (PR 4).
+//!
+//! The session router's [`SessionHost`] multiplexes many top-level protocol
+//! sessions over a single network by routing on a leading session segment —
+//! the workload studied by Cohen et al. for concurrent asynchronous BA
+//! (arXiv:2312.14506).  These tests run the two workloads the benchmarks
+//! measure — `k` concurrent ABA instances and pipelined beacon epochs —
+//! through the shared adversarial harness, asserting per-session agreement
+//! and validity under every schedule.
+
+use std::sync::Arc;
+
+use setupfree::prelude::*;
+use setupfree_testkit::{assert_agreement_sweep, Adversary, Ensemble};
+
+fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+#[test]
+fn concurrent_trusted_abas_agree_per_session_across_schedules() {
+    let n = 4;
+    let k = 4usize;
+    // Session s has mixed inputs (i + s) % 2 — per-session validity is then
+    // trivially satisfied by any decision; agreement is the interesting part.
+    let runs = assert_agreement_sweep(&Adversary::standard_sweep(n, 3), 10_000_000, |adv| {
+        Ensemble::build(n, |i| {
+            let sessions: Vec<MmrAba<TrustedCoinFactory>> = (0..k)
+                .map(|s| {
+                    MmrAba::new(
+                        Sid::new(&format!("it-kaba-{adv}")).derive("session", s),
+                        i,
+                        n,
+                        1,
+                        (i.index() + s) % 2 == 0,
+                        TrustedCoinFactory,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+        })
+    });
+    for run in &runs {
+        run.assert_validity(|out| out.len() == k);
+    }
+}
+
+#[test]
+fn concurrent_full_stack_abas_agree_per_session() {
+    // The real thing: two concurrent ABA sessions whose every round flips
+    // the private-setup-free Coin, multiplexed over one network.
+    let n = 4;
+    let k = 2usize;
+    let (keyring, secrets) = keys(n, 91);
+    let runs = assert_agreement_sweep(&Adversary::random_sweep(2), 1 << 30, |adv| {
+        Ensemble::build(n, |i| {
+            let sessions: Vec<MmrAba<CoinProtocolFactory>> = (0..k)
+                .map(|s| {
+                    let factory = CoinProtocolFactory::new(
+                        i,
+                        keyring.clone(),
+                        secrets[i.index()].clone(),
+                    );
+                    MmrAba::new(
+                        Sid::new(&format!("it-kaba-full-{adv}")).derive("session", s),
+                        i,
+                        n,
+                        keyring.f(),
+                        (i.index() + s) % 2 == 0,
+                        factory,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+        })
+    });
+    for run in &runs {
+        run.assert_validity(|out| out.len() == k);
+    }
+}
+
+#[test]
+fn concurrent_sessions_tolerate_a_silent_party() {
+    let n = 4;
+    let k = 3usize;
+    let runs = assert_agreement_sweep(&Adversary::random_sweep(3), 10_000_000, |adv| {
+        Ensemble::build(n, |i| {
+            let sessions: Vec<MmrAba<TrustedCoinFactory>> = (0..k)
+                .map(|s| {
+                    MmrAba::new(
+                        Sid::new(&format!("it-kaba-crash-{adv}")).derive("session", s),
+                        i,
+                        n,
+                        1,
+                        (i.index() + s) % 2 == 1,
+                        TrustedCoinFactory,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+        })
+        .silence(2)
+    });
+    for run in &runs {
+        assert_eq!(run.honest_outputs().len(), 3, "under {}", run.adversary);
+    }
+}
+
+#[test]
+fn pipelined_beacon_epochs_agree_on_leaders() {
+    // Pipelined beacon: all epoch elections run concurrently in a
+    // SessionHost (the sequential variant is `RandomBeacon`).  Leaders must
+    // agree per epoch; the winning VRF is speculative per-party state, so
+    // compare leaders only.
+    let n = 4;
+    let epochs = 3usize;
+    let (keyring, secrets) = keys(n, 92);
+    let runs = setupfree_testkit::sweep(&Adversary::random_sweep(2), 1 << 30, |adv| {
+        Ensemble::build(n, |i| {
+            let sessions: Vec<Election<MmrAbaFactory<TrustedCoinFactory>>> = (0..epochs)
+                .map(|e| {
+                    let aba = MmrAbaFactory::new(i, n, keyring.f(), TrustedCoinFactory);
+                    Election::new(
+                        Sid::new(&format!("it-pipe-beacon-{adv}")).derive("epoch", e),
+                        i,
+                        keyring.clone(),
+                        secrets[i.index()].clone(),
+                        aba,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<ElectionOutput>>
+        })
+    });
+    for run in &runs {
+        run.assert_termination();
+        let outs = run.honest_outputs();
+        for pair in outs.windows(2) {
+            assert_eq!(pair[0].len(), epochs);
+            for (a, b) in pair[0].iter().zip(pair[1].iter()) {
+                assert_eq!(a.leader, b.leader, "per-epoch leader agreement under {}", run.adversary);
+            }
+        }
+    }
+}

@@ -32,10 +32,10 @@ fn coin_messages_survive_cached_decode() {
     let n = 4;
     let (keyring, secrets) = keys(n, 31);
     for scheduler in schedules() {
-        let parties: Vec<BoxedParty<CoinMessage, CoinOutput>> = (0..n)
+        let parties: Vec<BoxedParty<Envelope, CoinOutput>> = (0..n)
             .map(|i| {
                 Box::new(Coin::new(Sid::new("cache-coin"), PartyId(i), keyring.clone(), secrets[i].clone()))
-                    as BoxedParty<CoinMessage, CoinOutput>
+                    as BoxedParty<Envelope, CoinOutput>
             })
             .collect();
         let mut sim = Simulation::new(parties, scheduler);
@@ -95,11 +95,11 @@ fn aba_with_real_coin_messages_survive_cached_decode() {
     let n = 4;
     let (keyring, secrets) = keys(n, 34);
     for scheduler in schedules() {
-        let parties: Vec<BoxedParty<AbaMessage<CoinMessage>, bool>> = (0..n)
+        let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
             .map(|i| {
                 let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
                 Box::new(MmrAba::new(Sid::new("cache-aba"), PartyId(i), n, keyring.f(), i % 2 == 0, factory))
-                    as BoxedParty<AbaMessage<CoinMessage>, bool>
+                    as BoxedParty<Envelope, bool>
             })
             .collect();
         let mut sim = Simulation::new(parties, scheduler);

@@ -86,7 +86,7 @@ fn coin_with_gather_core_set_also_terminates_and_agrees_often() {
                 keyring.clone(),
                 secrets[i.index()].clone(),
                 CoreSetMode::RbcGather,
-            )) as BoxedParty<CoinMessage, CoinOutput>
+            )) as BoxedParty<Envelope, CoinOutput>
         })
     });
     let mut agreements = 0u64;
@@ -115,7 +115,7 @@ fn coin_remains_fair_with_maliciously_generated_keys() {
         let sid = Sid::new("it-malicious");
         Ensemble::build(n, |i| {
             Box::new(Coin::new(sid.clone(), i, keyring.clone(), secrets[i.index()].clone()))
-                as BoxedParty<CoinMessage, CoinOutput>
+                as BoxedParty<Envelope, CoinOutput>
         })
     });
     for run in &runs {
@@ -140,7 +140,7 @@ fn aba_full_stack_with_crash_fault() {
             let factory =
                 CoinProtocolFactory::new(i, keyring.clone(), secrets[i.index()].clone());
             Box::new(MmrAba::new(sid.clone(), i, n, keyring.f(), inputs[i.index()], factory))
-                as BoxedParty<AbaMessage<CoinMessage>, bool>
+                as BoxedParty<Envelope, bool>
         })
         .silence(3)
     });
@@ -213,7 +213,7 @@ fn communication_of_the_coin_is_cubic_not_quartic() {
             let sid = Sid::new("it-scale");
             Ensemble::build(n, |i| {
                 Box::new(Coin::new(sid.clone(), i, keyring.clone(), secrets[i.index()].clone()))
-                    as BoxedParty<CoinMessage, CoinOutput>
+                    as BoxedParty<Envelope, CoinOutput>
             })
         });
         // Termination only: this test measures communication.  Whole-output

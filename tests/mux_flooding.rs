@@ -1,0 +1,153 @@
+//! Regression test for the bounded pre-activation buffer (PR 4 satellite).
+//!
+//! Before the session router, the hand-rolled "buffer until the child
+//! exists" queues (`aba_buffer`, `election_buffer`, the ABA's per-round
+//! `coin_buffer`, the Coin's `avss_buffers`) grew without bound: a Byzantine
+//! sender could flood traffic for a child instance the victim would never
+//! (or only much later) create, and every message was retained.  The
+//! router's [`PreActivationBuffer`] enforces a per-sender cap and drops
+//! byte-identical duplicates.
+//!
+//! Two layers of coverage:
+//!
+//! * a **unit-level bound check**: feed one ABA instance far more than `cap`
+//!   distinct (and duplicate) coin envelopes for a round whose coin will
+//!   never be created, and assert the buffered count stays at the cap;
+//! * an **ensemble-level fault plan** through the testkit: a flooding
+//!   Byzantine party sprays pre-activation traffic for a far-future round at
+//!   every honest party mid-protocol, and the honest parties still reach
+//!   agreement under a sweep of adversarial schedules.
+
+use setupfree::prelude::*;
+use setupfree_net::mux::DEFAULT_PER_SENDER_CAP;
+use setupfree_net::Step;
+use setupfree_testkit::{sweep, Adversary, Ensemble};
+
+type TrustedAba = MmrAba<TrustedCoinFactory>;
+
+/// An envelope addressed to the (never created) coin of `round`, carrying
+/// `nonce` as a distinct payload.
+fn coin_flood_envelope(round: usize, nonce: u64) -> Envelope {
+    Envelope::seal(InstancePath::of(PathSeg::new(setupfree_aba::K_COIN, round)), &nonce)
+}
+
+#[test]
+fn per_sender_cap_bounds_the_pre_activation_buffer() {
+    let n = 4;
+    let mut aba = TrustedAba::new(Sid::new("flood"), PartyId(0), n, 1, true, TrustedCoinFactory);
+    let _ = MuxNode::on_activation(&mut aba);
+
+    // One Byzantine sender floods 20 × cap *distinct* messages for round 63
+    // (whose coin is never created this early).
+    for nonce in 0..(20 * DEFAULT_PER_SENDER_CAP as u64) {
+        let env = coin_flood_envelope(63, nonce);
+        let step = aba.on_envelope(PartyId(3), env.path, &env.payload);
+        assert!(step.is_empty(), "flood traffic must not trigger sends");
+    }
+    assert_eq!(
+        aba.buffered_coin_messages(),
+        DEFAULT_PER_SENDER_CAP,
+        "per-sender cap must bound the buffer"
+    );
+
+    // Duplicates from a second sender are stored once.
+    let dup = coin_flood_envelope(62, 7);
+    for _ in 0..100 {
+        let _ = aba.on_envelope(PartyId(2), dup.path, &dup.payload);
+    }
+    assert_eq!(
+        aba.buffered_coin_messages(),
+        DEFAULT_PER_SENDER_CAP + 1,
+        "byte-identical duplicates must be dropped"
+    );
+
+    // Distinct senders get independent caps (total stays O(n · cap), never
+    // unbounded).
+    for nonce in 0..(2 * DEFAULT_PER_SENDER_CAP as u64) {
+        let env = coin_flood_envelope(63, nonce);
+        let _ = aba.on_envelope(PartyId(1), env.path, &env.payload);
+    }
+    assert_eq!(aba.buffered_coin_messages(), 2 * DEFAULT_PER_SENDER_CAP + 1);
+}
+
+/// A Byzantine machine that behaves like a silent party except that every
+/// delivery triggers a burst of distinct pre-activation coin traffic for a
+/// far-future ABA round, until a total flood volume well past the
+/// per-sender cap has been sprayed at every honest party.
+#[derive(Debug)]
+struct FloodingParty {
+    nonce: u64,
+    burst: u64,
+    total: u64,
+}
+
+impl ProtocolInstance for FloodingParty {
+    type Message = Envelope;
+    type Output = bool;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        self.on_message(PartyId(0), Envelope::seal(InstancePath::root(), &0u8))
+    }
+
+    fn on_message(&mut self, _from: PartyId, _msg: Envelope) -> Step<Envelope> {
+        let mut step = Step::none();
+        for _ in 0..self.burst {
+            if self.nonce >= self.total {
+                break;
+            }
+            self.nonce += 1;
+            step.push_multicast(coin_flood_envelope(60, self.nonce));
+        }
+        step
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+}
+
+#[test]
+fn honest_parties_agree_despite_a_flooding_byzantine_sender() {
+    let n = 4;
+    let inputs = [true, false, true, true];
+    let adversaries = {
+        let mut a = vec![Adversary::Fifo];
+        a.extend((0..3).map(|seed| Adversary::Random { seed }));
+        a
+    };
+    let runs = sweep(&adversaries, 5_000_000, |_| {
+        Ensemble::new(
+            (0..n)
+                .map(|i| {
+                    if i == 3 {
+                        // Sprays twice the per-sender cap at every honest
+                        // party (the cap demonstrably engages) without
+                        // unbounded message amplification.
+                        Box::new(FloodingParty {
+                            nonce: 0,
+                            burst: 64,
+                            total: 2 * DEFAULT_PER_SENDER_CAP as u64,
+                        }) as BoxedParty<Envelope, bool>
+                    } else {
+                        Box::new(TrustedAba::new(
+                            Sid::new("flood-sweep"),
+                            PartyId(i),
+                            n,
+                            1,
+                            inputs[i],
+                            TrustedCoinFactory,
+                        )) as BoxedParty<Envelope, bool>
+                    }
+                })
+                .collect(),
+        )
+        .mark_byzantine(3)
+    });
+    for run in &runs {
+        run.assert_termination();
+        run.assert_agreement();
+        let decided = run.honest_outputs();
+        assert_eq!(decided.len(), 3, "under {}", run.adversary);
+        assert!(inputs.contains(&decided[0]), "validity under {}", run.adversary);
+    }
+}

@@ -218,9 +218,9 @@ fn coin_bits_vary_and_duplicated_traffic_is_harmless() {
                     // One party duplicates every message it sends; handlers
                     // must be idempotent ("first time" rules in the paper).
                     Box::new(setupfree::net::DuplicatingParty::new(coin))
-                        as BoxedParty<CoinMessage, CoinOutput>
+                        as BoxedParty<Envelope, CoinOutput>
                 } else {
-                    Box::new(coin) as BoxedParty<CoinMessage, CoinOutput>
+                    Box::new(coin) as BoxedParty<Envelope, CoinOutput>
                 }
             })
         });

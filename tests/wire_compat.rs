@@ -1,0 +1,223 @@
+//! Wire-compatibility of the session-router envelope across every composite
+//! protocol.
+//!
+//! PR 4 replaced the per-protocol nested message enums with one flat wire
+//! format: `Envelope { path, payload }`, encoded once at the leaf.  This
+//! suite asserts that **every composite protocol's messages survive
+//! `to_bytes`/`from_bytes` through the new envelope**: whatever a protocol
+//! instance emits — activation traffic and first-level responses alike —
+//! decodes back to an identical envelope, with a valid instance path.
+//!
+//! (Deeper traffic is covered exhaustively by `tests/decode_cache.rs`: in
+//! debug builds the simulator re-encodes every cached decode it hands out
+//! and asserts byte equality, so full end-to-end runs of each protocol
+//! property-check the envelope for every message exchanged.)
+
+use std::sync::Arc;
+
+use setupfree::prelude::*;
+use setupfree_aba::setup_free_aba_factory;
+use setupfree_app::adkg::Adkg;
+use setupfree_net::mux::MAX_PATH_SEGMENTS;
+use setupfree_net::Step;
+
+fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+/// Asserts every envelope of `step` roundtrips bit-exactly and carries a
+/// well-formed path, returning the envelopes for further feeding.
+fn assert_roundtrip(protocol: &str, step: &Step<Envelope>) -> Vec<Envelope> {
+    assert!(!step.outgoing.is_empty() || protocol == "beacon-quiet", "{protocol}: empty step");
+    step.outgoing
+        .iter()
+        .map(|o| {
+            let bytes = setupfree::wire::to_bytes(&o.msg);
+            let decoded: Envelope = setupfree::wire::from_bytes(&bytes).unwrap_or_else(|e| {
+                panic!("{protocol}: envelope failed to decode: {e} ({:?})", o.msg)
+            });
+            assert_eq!(decoded, o.msg, "{protocol}: envelope changed across the wire");
+            assert_eq!(
+                setupfree::wire::to_bytes(&decoded),
+                bytes,
+                "{protocol}: re-encoding changed bytes"
+            );
+            assert!(decoded.path.depth() <= MAX_PATH_SEGMENTS);
+            decoded
+        })
+        .collect()
+}
+
+/// Drives a pair of instances: activates both, cross-feeds P0's activation
+/// traffic into P1, and roundtrips everything either emits.
+fn exercise<P: ProtocolInstance<Message = Envelope>>(protocol: &str, mut a: P, mut b: P) {
+    let step_a = a.on_activation();
+    let envs = assert_roundtrip(protocol, &step_a);
+    let _ = assert_roundtrip(&format!("{protocol} (peer activation)"), &b.on_activation());
+    for env in envs {
+        let reply = b.on_message(PartyId(0), env);
+        let _ = assert_roundtrip(&format!("{protocol} (reply)"), &Step {
+            outgoing: reply
+                .outgoing
+                .into_iter()
+                .chain(std::iter::once(setupfree_net::Outgoing {
+                    dest: setupfree_net::Dest::All,
+                    // Pad with a known-good envelope so the assertion helper
+                    // never sees an empty step (quiet replies are fine).
+                    msg: Envelope::seal(InstancePath::root(), &0u8),
+                }))
+                .collect(),
+        });
+    }
+}
+
+#[test]
+fn coin_messages_survive_the_envelope() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 71);
+    let mk = |i: usize| Coin::new(Sid::new("wc-coin"), PartyId(i), keyring.clone(), secrets[i].clone());
+    exercise("coin", mk(0), mk(1));
+}
+
+#[test]
+fn aba_messages_survive_the_envelope() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 72);
+    // Both the trusted-coin and the real-coin stacks.
+    let mk_trusted = |i: usize| {
+        MmrAba::new(Sid::new("wc-aba-t"), PartyId(i), n, 1, i.is_multiple_of(2), TrustedCoinFactory)
+    };
+    exercise("aba (trusted coin)", mk_trusted(0), mk_trusted(1));
+    let mk_real = |i: usize| {
+        let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+        MmrAba::new(Sid::new("wc-aba-r"), PartyId(i), n, 1, i.is_multiple_of(2), factory)
+    };
+    exercise("aba (real coin)", mk_real(0), mk_real(1));
+}
+
+#[test]
+fn election_messages_survive_the_envelope() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 73);
+    let mk = |i: usize| {
+        let aba = setup_free_aba_factory(PartyId(i), keyring.clone(), secrets[i].clone());
+        Election::new(Sid::new("wc-elec"), PartyId(i), keyring.clone(), secrets[i].clone(), aba)
+    };
+    exercise("election", mk(0), mk(1));
+}
+
+#[test]
+fn vba_messages_survive_the_envelope() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 74);
+
+    #[derive(Clone)]
+    struct Ef {
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+    }
+    impl ElectionFactory for Ef {
+        type Instance = Election<MmrAbaFactory<TrustedCoinFactory>>;
+        fn create(&self, sid: Sid) -> Self::Instance {
+            let aba = MmrAbaFactory::new(self.me, self.keyring.n(), self.keyring.f(), TrustedCoinFactory);
+            Election::new(sid, self.me, self.keyring.clone(), self.secrets.clone(), aba)
+        }
+    }
+
+    let mk = |i: usize| {
+        let ef = Ef { me: PartyId(i), keyring: keyring.clone(), secrets: secrets[i].clone() };
+        let af = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+        Vba::new(
+            Sid::new("wc-vba"),
+            PartyId(i),
+            keyring.clone(),
+            secrets[i].clone(),
+            vec![0x7a, i as u8],
+            accept_all(),
+            ef,
+            af,
+        )
+    };
+    exercise("vba", mk(0), mk(1));
+}
+
+#[test]
+fn adkg_messages_survive_the_envelope() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 75);
+
+    #[derive(Clone)]
+    struct Ef {
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+    }
+    impl ElectionFactory for Ef {
+        type Instance = Election<MmrAbaFactory<TrustedCoinFactory>>;
+        fn create(&self, sid: Sid) -> Self::Instance {
+            let aba = MmrAbaFactory::new(self.me, self.keyring.n(), self.keyring.f(), TrustedCoinFactory);
+            Election::new(sid, self.me, self.keyring.clone(), self.secrets.clone(), aba)
+        }
+    }
+
+    let mk = |i: usize| {
+        let ef = Ef { me: PartyId(i), keyring: keyring.clone(), secrets: secrets[i].clone() };
+        let af = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+        Adkg::new(Sid::new("wc-adkg"), PartyId(i), keyring.clone(), secrets[i].clone(), ef, af)
+    };
+    exercise("adkg", mk(0), mk(1));
+}
+
+#[test]
+fn beacon_messages_survive_the_envelope() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 76);
+    let mk = |i: usize| {
+        let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+        RandomBeacon::new(Sid::new("wc-beacon"), PartyId(i), keyring.clone(), secrets[i].clone(), aba, 2)
+    };
+    exercise("beacon", mk(0), mk(1));
+}
+
+#[test]
+fn session_host_messages_survive_the_envelope() {
+    let n = 4;
+    let mk = |i: usize| {
+        let sessions: Vec<MmrAba<TrustedCoinFactory>> = (0..3)
+            .map(|s| {
+                MmrAba::new(
+                    Sid::new("wc-host").derive("session", s),
+                    PartyId(i),
+                    n,
+                    1,
+                    (i + s).is_multiple_of(2),
+                    TrustedCoinFactory,
+                )
+            })
+            .collect();
+        SessionHost::new(sessions)
+    };
+    exercise("session-host", mk(0), mk(1));
+}
+
+#[test]
+fn truncated_and_malformed_envelopes_are_rejected_not_panicking() {
+    // Any prefix of a real envelope's path header must fail to decode
+    // cleanly, and arbitrary junk must never panic.
+    let env = Envelope::seal(
+        InstancePath::of(setupfree_net::PathSeg::new(3, 7)),
+        &(42u64, vec![1u8, 2, 3]),
+    );
+    let bytes = setupfree::wire::to_bytes(&env);
+    for cut in 0..(1 + env.path.as_bytes().len()) {
+        assert!(setupfree::wire::from_bytes::<Envelope>(&bytes[..cut]).is_err());
+    }
+    // A path-length byte that is not a multiple of the segment size.
+    assert!(setupfree::wire::from_bytes::<Envelope>(&[1, 0xaa]).is_err());
+    // A path-length byte beyond the depth limit.
+    let mut deep = vec![255u8];
+    deep.extend(std::iter::repeat_n(0u8, 255));
+    assert!(setupfree::wire::from_bytes::<Envelope>(&deep).is_err());
+}
