@@ -377,6 +377,10 @@ impl<F: CoinFactory> MuxNode for MmrAba<F> {
     fn output(&self) -> Option<bool> {
         self.output
     }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        self.coins.stats()
+    }
 }
 
 impl<F: CoinFactory> ProtocolInstance for MmrAba<F> {
@@ -393,6 +397,10 @@ impl<F: CoinFactory> ProtocolInstance for MmrAba<F> {
 
     fn output(&self) -> Option<bool> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }
 

@@ -254,6 +254,10 @@ impl<EF: ElectionFactory, AF: AbaFactory> MuxNode for Adkg<EF, AF> {
     fn output(&self) -> Option<AdkgOutput> {
         self.output.clone()
     }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        self.vba.stats()
+    }
 }
 
 impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Adkg<EF, AF> {
@@ -270,5 +274,9 @@ impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Adkg<EF, AF> {
 
     fn output(&self) -> Option<AdkgOutput> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }

@@ -21,16 +21,51 @@
 //! [`SessionHost`](setupfree_net::SessionHost) instead; the
 //! concurrent-session benchmarks do exactly that.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use setupfree_core::election::{Election, ElectionOutput};
 use setupfree_core::traits::AbaFactory;
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::mux::{composite_cap, Envelope, InstancePath};
+use setupfree_net::mux::{composite_cap, decode_payload, Envelope, InstancePath};
 use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
+use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// Path kind of the per-epoch election instances (keyed by epoch).
 pub const K_ELECTION: u8 = 0;
+
+/// The beacon's *local* (root-path) messages — only sent when child GC is
+/// enabled ([`RandomBeacon::with_child_gc`]); the default beacon stays
+/// local-message-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeaconMessage {
+    /// The sender has recorded epoch `epoch`'s result — the acknowledgement
+    /// the child-GC quorum counts.
+    Done {
+        /// The acknowledged epoch.
+        epoch: u32,
+    },
+}
+
+impl Encode for BeaconMessage {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            BeaconMessage::Done { epoch } => {
+                w.write_u8(0);
+                w.write_u32(*epoch);
+            }
+        }
+    }
+}
+
+impl Decode for BeaconMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(BeaconMessage::Done { epoch: r.read_u32()? }),
+            tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "BeaconMessage" }),
+        }
+    }
+}
 
 /// The outcome of one beacon epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +91,16 @@ pub struct RandomBeacon<F: AbaFactory + Clone> {
     elections: Router<Election<F>>,
     results: Vec<BeaconEpoch>,
     output: Option<Vec<BeaconEpoch>>,
+    /// Child GC ([`Self::with_child_gc`]): when `true`, finished epochs are
+    /// acknowledged with a [`BeaconMessage::Done`] multicast and an epoch's
+    /// election is retired once a quorum of `n − f` acknowledgements (our
+    /// own included) has arrived — capping the long-run live-instance count
+    /// instead of retaining every epoch until the whole run completes.
+    gc: bool,
+    /// `Done` acknowledgement senders per epoch.
+    done_from: BTreeMap<u32, BTreeSet<usize>>,
+    /// First epoch not yet retired (epochs are retired in order).
+    gc_frontier: u32,
 }
 
 impl<F: AbaFactory + Clone> std::fmt::Debug for RandomBeacon<F> {
@@ -96,12 +141,44 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
             elections: Router::with_cap(K_ELECTION, composite_cap(n)),
             results: Vec::new(),
             output: None,
+            gc: false,
+            done_from: BTreeMap::new(),
+            gc_frontier: 0,
         }
+    }
+
+    /// Enables child GC: every recorded epoch is acknowledged with a
+    /// [`BeaconMessage::Done`] multicast, and an epoch's election is retired
+    /// (its state freed, late traffic dropped) once `n − f` parties have
+    /// acknowledged it.  Any straggler can then still finish the epoch from
+    /// the acknowledging quorum's already-multicast traffic (quorums of
+    /// `n − f` and `Finish`-style amplification carry every phase), so
+    /// retirement trades the retained-instance count — now bounded by the
+    /// spread between the slowest and fastest party instead of the epoch
+    /// count — against no liveness.  As with any `n − f` quorum (PBFT
+    /// checkpoint retirement included), up to `f` of the counted acks may be
+    /// Byzantine, i.e. retirement can fire when only `n − 2f` honest parties
+    /// actually finished; the beacon-GC tests pin liveness in exactly that
+    /// minimum-slack regime (Byzantine ack spammer + starved straggler).
+    pub fn with_child_gc(mut self) -> Self {
+        self.gc = true;
+        self
     }
 
     /// Epoch results produced so far (possibly before all epochs finish).
     pub fn results(&self) -> &[BeaconEpoch] {
         &self.results
+    }
+
+    /// Number of live (created, not retired) per-epoch elections — the
+    /// long-run memory the child GC bounds.
+    pub fn live_elections(&self) -> usize {
+        self.elections.live_children()
+    }
+
+    /// Number of retired per-epoch elections.
+    pub fn retired_elections(&self) -> usize {
+        self.elections.retired_children()
     }
 
     fn start_epoch(&mut self, epoch: u32) -> Step<Envelope> {
@@ -126,6 +203,14 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
             let ElectionOutput { leader, winning_vrf, by_default } = out;
             let value = if by_default { None } else { winning_vrf.map(|v| v.beacon_value()) };
             self.results.push(BeaconEpoch { epoch: self.current, value, leader });
+            if self.gc {
+                // Acknowledge the recorded epoch; our own copy loops back
+                // through the multicast and counts towards the quorum.
+                step.push_multicast(Envelope::seal(
+                    InstancePath::root(),
+                    &BeaconMessage::Done { epoch: self.current },
+                ));
+            }
             self.current += 1;
             if self.current >= self.epochs {
                 self.output = Some(self.results.clone());
@@ -134,6 +219,26 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
             }
         }
         step
+    }
+
+    /// Retires (in order) every epoch whose result a quorum of `n − f`
+    /// parties has acknowledged — they multicast everything a straggler
+    /// needs to finish the epoch before acknowledging it, so our retained
+    /// copy no longer serves any liveness purpose.
+    fn try_retire(&mut self) {
+        if !self.gc {
+            return;
+        }
+        let quorum = self.keyring.n() - self.keyring.f();
+        while self.gc_frontier < self.current {
+            let acks = self.done_from.get(&self.gc_frontier).map_or(0, BTreeSet::len);
+            if acks < quorum {
+                break;
+            }
+            self.elections.retire(self.gc_frontier as usize);
+            self.done_from.remove(&self.gc_frontier);
+            self.gc_frontier += 1;
+        }
     }
 }
 
@@ -153,7 +258,18 @@ impl<F: AbaFactory + Clone> MuxNode for RandomBeacon<F> {
         payload: &Arc<[u8]>,
     ) -> Step<Envelope> {
         let Some((seg, rest)) = path.split_first() else {
-            // The beacon has no local messages.
+            // The only local message is the child-GC acknowledgement.  Acks
+            // are only state worth holding while GC is on and the epoch is
+            // still ahead of the retirement frontier — recording them
+            // otherwise (GC off, or a straggler's late ack for an already
+            // retired epoch) would accumulate exactly the per-epoch state
+            // the GC exists to bound.
+            if let Some(BeaconMessage::Done { epoch }) = decode_payload::<BeaconMessage>(payload) {
+                if self.gc && epoch >= self.gc_frontier && epoch < self.epochs {
+                    self.done_from.entry(epoch).or_default().insert(from.index());
+                    self.try_retire();
+                }
+            }
             return Step::none();
         };
         let epoch = seg.index as u32;
@@ -161,10 +277,11 @@ impl<F: AbaFactory + Clone> MuxNode for RandomBeacon<F> {
             return Step::none();
         }
         // Lazily create the epoch's election if a faster peer is already
-        // there, and keep finished epochs alive so stragglers still get our
-        // responses.
+        // there, and keep finished epochs alive (until quorum-acknowledged
+        // retirement, when GC is on) so stragglers still get our responses;
+        // traffic for a retired epoch is dropped by the router.
         let mut step = Step::none();
-        if !self.elections.contains(epoch as usize) {
+        if !self.elections.contains(epoch as usize) && !self.elections.is_retired(epoch as usize) {
             step.extend(self.start_epoch(epoch));
         }
         step.extend(self.elections.route(from, seg.index, rest, payload));
@@ -174,6 +291,10 @@ impl<F: AbaFactory + Clone> MuxNode for RandomBeacon<F> {
 
     fn output(&self) -> Option<Vec<BeaconEpoch>> {
         self.output.clone()
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        self.elections.stats()
     }
 }
 
@@ -191,5 +312,9 @@ impl<F: AbaFactory + Clone> ProtocolInstance for RandomBeacon<F> {
 
     fn output(&self) -> Option<Vec<BeaconEpoch>> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }

@@ -1,28 +1,30 @@
 //! Records the workspace's end-to-end performance baseline: wall-clock
 //! timings and delivery throughput of the coin, AVSS, beacon and ABA through
-//! the simulator at n ∈ {4, 10, 22, 40}, the PR 4 **concurrent-session
-//! workloads** (k ∈ {4, 8} concurrent setup-free ABAs and a pipelined
-//! 4-epoch beacon, each multiplexed over one network by the session router's
-//! `SessionHost`) at n ∈ {10, 22, 40}, plus the batched-vs-per-transcript
-//! PVSS verification micro-comparison at n = 22.  The results are written to
-//! `BENCH_pr4.json` at the workspace root — the trajectory every later
-//! performance PR is judged against.
+//! the simulator at n ∈ {4, 10, 22, 40}, the concurrent-session workloads at
+//! k ∈ {4, 8, 16} ABAs and a pipelined 4-epoch beacon at n ∈ {10, 22, 40} —
+//! **both** through PR 4's single-loop `SessionHost` and through the PR 5
+//! sharded runtime (`ShardedHost`, W = 4 worker shards, deterministic merge;
+//! one parallel-mode row at n = 10 proves the threaded path) — plus a
+//! session-starvation fairness sweep (per-session delivery split under
+//! `SessionTargetedDelayScheduler`) and the batched-vs-per-transcript PVSS
+//! verification micro-comparison.  Results go to `BENCH_pr5.json` at the
+//! workspace root — the trajectory every later performance PR is judged
+//! against.
 //!
 //! Usage:
 //!
 //! ```sh
-//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr4.json
+//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr5.json
 //! cargo run --release -p setupfree-bench --bin perf_baseline -- --smoke # CI gate, prints only
 //! ```
 //!
 //! The `--smoke` mode is CI's regression gate.  It proves the binary still
 //! builds and runs, that **every run still reaches `AllOutputs` within its
-//! delivery budget** (a run that regresses to `BudgetExhausted` fails the
-//! job with a named error instead of producing garbage timings), and — since
-//! the session-router refactor — it re-times the ABA at n ∈ {22, 40} and
-//! **fails on a > 20 % wall-clock regression** against the `BENCH_pr3.json`
-//! baseline recorded before the refactor (parsed from the committed file, so
-//! the gate follows the baseline without a code change).
+//! delivery budget**, that the **starved-session fairness sweep stays live**
+//! (a starved session that fails to terminate fails the job), and re-times
+//! the single-loop ABA at n ∈ {22, 40} — a > 20 % wall-clock regression
+//! against the committed `BENCH_pr4.json` fails the job (single-loop parity:
+//! the sharded runtime must not tax the classic path).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -31,7 +33,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use setupfree_bench::{
     measure_avss, measure_beacon, measure_coin, measure_concurrent_abas, measure_pipelined_beacon,
-    measure_setupfree_aba, Measurement,
+    measure_setupfree_aba, measure_sharded_abas, measure_sharded_pipelined_beacon,
+    measure_starved_session_abas, Measurement,
 };
 use setupfree_core::coin::CoreSetMode;
 use setupfree_crypto::pvss::{
@@ -40,8 +43,11 @@ use setupfree_crypto::pvss::{
 use setupfree_crypto::{Scalar, SigningKey};
 use setupfree_net::StopReason;
 
-/// Maximum tolerated wall-clock regression against the PR 3 baseline.
+/// Maximum tolerated wall-clock regression against the PR 4 baseline.
 const MAX_REGRESSION: f64 = 0.20;
+
+/// Worker-shard count of the sharded rows.
+const WORKERS: usize = 4;
 
 struct Timed {
     protocol: String,
@@ -62,7 +68,7 @@ fn timed(protocol: impl Into<String>, run: impl FnOnce() -> Measurement) -> Time
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let t = Timed { protocol, wall_ms, m };
     println!(
-        "  {:<14} n={:<3} {:>10.1} ms {:>12.0} deliv/s   bytes={:<12} msgs={:<8} rounds={}",
+        "  {:<22} n={:<3} {:>10.1} ms {:>12.0} deliv/s   bytes={:<12} msgs={:<8} rounds={}",
         t.protocol,
         m.n,
         wall_ms,
@@ -74,10 +80,44 @@ fn timed(protocol: impl Into<String>, run: impl FnOnce() -> Measurement) -> Time
     t
 }
 
+/// One starved-session fairness run and its per-session delivery split.
+struct FairnessRow {
+    n: usize,
+    k: usize,
+    starved: u16,
+    wall_ms: f64,
+    m: Measurement,
+    per_session_deliveries: Vec<u64>,
+}
+
+fn fairness_row(n: usize, k: usize, starved: u16, seed: u64) -> FairnessRow {
+    let start = Instant::now();
+    let (m, per_session) = measure_starved_session_abas(n, k, starved, seed);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(m.reason, StopReason::AllOutputs, "the starved session must terminate");
+    let starved_deliv = per_session[starved as usize];
+    let others: Vec<u64> = per_session
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| *s != starved as usize)
+        .map(|(_, &d)| d)
+        .collect();
+    let mean_other = others.iter().sum::<u64>() as f64 / others.len() as f64;
+    println!(
+        "  starve(n={n}, k={k}, s={starved}): {:>8.1} ms; starved session delivered {} msgs vs \
+         {:.0} mean elsewhere ({:.2}x interference)",
+        wall_ms,
+        starved_deliv,
+        mean_other,
+        starved_deliv as f64 / mean_other
+    );
+    FairnessRow { n, k, starved, wall_ms, m, per_session_deliveries: per_session }
+}
+
 /// Reads the recorded `wall_ms` for `(protocol, n)` out of the committed
-/// `BENCH_pr3.json` (a flat, machine-written file; a fixed-shape string scan
+/// `BENCH_pr4.json` (a flat, machine-written file; a fixed-shape string scan
 /// keeps the workspace free of a JSON dependency).
-fn pr3_wall_ms(json: &str, protocol: &str, n: usize) -> Option<f64> {
+fn baseline_wall_ms(json: &str, protocol: &str, n: usize) -> Option<f64> {
     let needle = format!("\"protocol\": \"{protocol}\", \"n\": {n},");
     let row_start = json.find(&needle)?;
     let row = &json[row_start..];
@@ -151,18 +191,26 @@ fn pvss_comparison(n: usize, reps: u32) -> PvssComparison {
     PvssComparison { n, transcripts: n, per_transcript_ms, batch_ms }
 }
 
-fn json_escape_free(rows: &[Timed], pr3: &str, pvss: &PvssComparison) -> String {
+fn json_escape_free(
+    rows: &[Timed],
+    pr4: &str,
+    fairness: &[FairnessRow],
+    pvss: &PvssComparison,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str(
-        "  \"description\": \"End-to-end wall-clock baseline after the hierarchical session-router \
-         refactor (flat (path, payload) envelopes encoded once at the leaf, in-place path \
-         prefixing instead of per-hop Step::map allocation, one bounded pre-activation buffer). \
-         Adds the concurrent-session workloads: k in {4, 8} concurrent setup-free ABA sessions \
-         and a pipelined 4-epoch beacon, each multiplexed over one simulated network by \
-         SessionHost. Timings are single-run, release build, deterministic simulator seeds \
-         identical to BENCH_pr3.json for the pre-existing rows.\",\n",
+        "  \"description\": \"End-to-end wall-clock baseline after the sharded multi-session \
+         runtime (crates/runtime): sessions partitioned across W worker shards, each owning its \
+         scheduler / in-flight slab / delivery budget / SessionMetrics, merged deterministically \
+         round-robin (per-session results identical for every W) with an opt-in parallel mode. \
+         Rows: the PR 4 grid (identical seeds) plus k in {4, 8, 16} concurrent setup-free ABAs \
+         per n in {10, 22, 40} through BOTH the single-loop SessionHost (aba-xK) and the sharded \
+         runtime (aba-xK-shard-w4; -par-w4 = one OS thread per shard, recorded at n=10 on this \
+         single-core machine), the pipelined 4-epoch beacon both ways (the sharded one admits \
+         epochs under a MaxConcurrent(2) window instead of pre-spawning), and a session-starvation \
+         fairness sweep. Timings are single-run, release build, deterministic simulator seeds.\",\n",
     );
     out.push_str("  \"end_to_end\": [\n");
     for (i, t) in rows.iter().enumerate() {
@@ -184,22 +232,46 @@ fn json_escape_free(rows: &[Timed], pr3: &str, pvss: &PvssComparison) -> String 
         );
     }
     out.push_str("  ],\n");
-    out.push_str("  \"pr3_comparison\": [\n");
+    out.push_str("  \"pr4_comparison\": [\n");
     let compared: Vec<&Timed> = rows
         .iter()
-        .filter(|t| pr3_wall_ms(pr3, &t.protocol, t.m.n).is_some())
+        .filter(|t| baseline_wall_ms(pr4, &t.protocol, t.m.n).is_some())
         .collect();
     for (i, t) in compared.iter().enumerate() {
-        let prev = pr3_wall_ms(pr3, &t.protocol, t.m.n).expect("filtered above");
+        let prev = baseline_wall_ms(pr4, &t.protocol, t.m.n).expect("filtered above");
         let _ = write!(
             out,
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"pr3_wall_ms\": {prev}, \"pr4_wall_ms\": \
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"pr4_wall_ms\": {prev}, \"pr5_wall_ms\": \
              {:.1}, \"speedup\": {:.2}}}{}",
             t.protocol,
             t.m.n,
             t.wall_ms,
             prev / t.wall_ms,
             if i + 1 == compared.len() { "\n" } else { ",\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"fairness\": [\n");
+    for (i, f) in fairness.iter().enumerate() {
+        let starved = f.per_session_deliveries[f.starved as usize];
+        let per_session: Vec<String> =
+            f.per_session_deliveries.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"aba-x{}-starve{}\", \"n\": {}, \"k\": {}, \"starved_session\": \
+             {}, \"wall_ms\": {:.1}, \"terminated\": {}, \"deliveries\": {}, \
+             \"starved_session_deliveries\": {}, \"per_session_deliveries\": [{}]}}{}",
+            f.k,
+            f.starved,
+            f.n,
+            f.k,
+            f.starved,
+            f.wall_ms,
+            f.m.reason == StopReason::AllOutputs,
+            f.m.deliveries,
+            starved,
+            per_session.join(", "),
+            if i + 1 == fairness.len() { "\n" } else { ",\n" }
         );
     }
     out.push_str("  ],\n");
@@ -217,9 +289,9 @@ fn json_escape_free(rows: &[Timed], pr3: &str, pvss: &PvssComparison) -> String 
     out
 }
 
-fn load_pr3_baseline() -> String {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
-    std::fs::read_to_string(path).expect("BENCH_pr3.json must be committed at the workspace root")
+fn load_pr4_baseline() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    std::fs::read_to_string(path).expect("BENCH_pr4.json must be committed at the workspace root")
 }
 
 fn liveness_gate(rows: &[Timed]) {
@@ -234,12 +306,12 @@ fn liveness_gate(rows: &[Timed]) {
     }
 }
 
-/// Checks for a > [`MAX_REGRESSION`] ABA wall-clock regression against the
-/// recorded PR 3 baseline at n ∈ {22, 40}.  Fatal only when `gate` is set
-/// (the `--smoke` CI mode): a full recording run on a slower machine must
-/// still write its baseline file, with the comparison printed for the
-/// reviewer.
-fn regression_gate(rows: &[Timed], pr3: &str, gate: bool) {
+/// Checks for a > [`MAX_REGRESSION`] single-loop ABA wall-clock regression
+/// against the recorded PR 4 baseline at n ∈ {22, 40}.  Fatal only when
+/// `gate` is set (the `--smoke` CI mode): a full recording run on a slower
+/// machine must still write its baseline file, with the comparison printed
+/// for the reviewer.
+fn regression_gate(rows: &[Timed], pr4: &str, gate: bool) {
     let mut failures = Vec::new();
     for &n in &[22usize, 40] {
         // Against shared-runner noise, judge the *minimum* wall-clock of
@@ -252,18 +324,18 @@ fn regression_gate(rows: &[Timed], pr3: &str, gate: bool) {
         else {
             continue;
         };
-        let Some(prev) = pr3_wall_ms(pr3, "aba", n) else {
-            eprintln!("  warning: BENCH_pr3.json has no aba row at n={n}; skipping the gate");
+        let Some(prev) = baseline_wall_ms(pr4, "aba", n) else {
+            eprintln!("  warning: BENCH_pr4.json has no aba row at n={n}; skipping the gate");
             continue;
         };
         let ratio = wall_ms / prev;
         println!(
-            "  regression check: aba n={n}: {wall_ms:.1} ms vs PR 3 {prev:.1} ms ({:+.1} %)",
+            "  regression check: aba n={n}: {wall_ms:.1} ms vs PR 4 {prev:.1} ms ({:+.1} %)",
             (ratio - 1.0) * 100.0
         );
         if ratio > 1.0 + MAX_REGRESSION {
             failures.push(format!(
-                "aba at n={n} regressed {:.0} % ({wall_ms:.1} ms vs PR 3 {prev:.1} ms)",
+                "aba at n={n} regressed {:.0} % ({wall_ms:.1} ms vs PR 4 {prev:.1} ms)",
                 (ratio - 1.0) * 100.0
             ));
         }
@@ -279,7 +351,7 @@ fn regression_gate(rows: &[Timed], pr3: &str, gate: bool) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let pr3 = load_pr3_baseline();
+    let pr4 = load_pr4_baseline();
     let mut rows: Vec<Timed> = Vec::new();
 
     println!("perf_baseline — end-to-end wall-clock timings through the simulator");
@@ -299,17 +371,36 @@ fn main() {
                 rows.push(timed("aba", || measure_setupfree_aba(n, 7_300 + n as u64)));
             }
         }
+        // Sharded-runtime smoke: both execution modes at a small size.
+        rows.push(timed("aba-x4-shard-w4", || measure_sharded_abas(4, 4, WORKERS, 7_600, false)));
+        rows.push(timed("aba-x4-par-w4", || measure_sharded_abas(4, 4, WORKERS, 7_600, true)));
+        rows.push(timed("beacon-pipe4-shard", || {
+            measure_sharded_pipelined_beacon(4, 4, 2, 2, 7_700)
+        }));
     }
 
     if !smoke {
-        println!("\nconcurrent sessions — k sessions over ONE network via SessionHost");
+        println!("\nconcurrent sessions — single-loop SessionHost vs the sharded runtime");
         for &n in &[10usize, 22, 40] {
-            for &k in &[4usize, 8] {
+            for &k in &[4usize, 8, 16] {
                 rows.push(timed(format!("aba-x{k}"), || {
                     measure_concurrent_abas(n, k, 7_400 + n as u64)
                 }));
+                rows.push(timed(format!("aba-x{k}-shard-w{WORKERS}"), || {
+                    measure_sharded_abas(n, k, WORKERS, 7_400 + n as u64, false)
+                }));
+                if n == 10 {
+                    // The parallel mode on this single-core machine proves
+                    // the threaded path, not a speedup; one size suffices.
+                    rows.push(timed(format!("aba-x{k}-par-w{WORKERS}"), || {
+                        measure_sharded_abas(n, k, WORKERS, 7_400 + n as u64, true)
+                    }));
+                }
             }
             rows.push(timed("beacon-pipe4", || measure_pipelined_beacon(n, 4, 7_500 + n as u64)));
+            rows.push(timed("beacon-pipe4-shard", || {
+                measure_sharded_pipelined_beacon(n, 4, 2, 2, 7_500 + n as u64)
+            }));
         }
     }
 
@@ -318,25 +409,33 @@ fn main() {
     // explicit check keeps the guarantee even if that assert ever moves).
     liveness_gate(&rows);
 
+    println!("\nfairness — one session starved by SessionTargetedDelay, must still terminate");
+    let fairness = if smoke {
+        vec![fairness_row(4, 3, 0, 0x5717)]
+    } else {
+        vec![fairness_row(10, 4, 0, 0x5717), fairness_row(22, 4, 0, 0x5718)]
+    };
+
     println!(
-        "\nregression check vs BENCH_pr3.json ({} above {:.0} %)",
+        "\nregression check vs BENCH_pr4.json ({} above {:.0} %)",
         if smoke { "fail" } else { "warn" },
         MAX_REGRESSION * 100.0
     );
-    regression_gate(&rows, &pr3, smoke);
+    regression_gate(&rows, &pr4, smoke);
 
     println!("\nPVSS transcript verification: per-transcript vs random-linear-combination batch");
     let pvss = pvss_comparison(if smoke { 4 } else { 22 }, if smoke { 2 } else { 20 });
 
     if smoke {
         println!(
-            "\n--smoke: all runners reached AllOutputs and the ABA wall-clock is within \
-             {:.0} % of BENCH_pr3.json; no baseline file written.",
+            "\n--smoke: all runners (single-loop, sharded, parallel) reached AllOutputs, the \
+             starved-session sweep terminated, and the ABA wall-clock is within {:.0} % of \
+             BENCH_pr4.json; no baseline file written.",
             MAX_REGRESSION * 100.0
         );
         return;
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
-    std::fs::write(path, json_escape_free(&rows, &pr3, &pvss)).expect("write BENCH_pr4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(path, json_escape_free(&rows, &pr4, &fairness, &pvss)).expect("write BENCH_pr5.json");
     println!("\nwrote {path}");
 }

@@ -26,10 +26,10 @@ use setupfree_core::traits::ElectionFactory;
 use setupfree_core::TrustedCoinFactory;
 use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
 use setupfree_net::{
-    BoxedParty, Envelope, PartyId, ProtocolInstance, RandomScheduler, Scheduler, SessionHost, Sid,
-    Simulation,
-    StopReason,
+    envelope_session, BoxedParty, Envelope, PartyId, ProtocolInstance, RandomScheduler, Scheduler,
+    SessionHost, SessionTargetedDelayScheduler, Sid, Simulation, StopReason,
 };
+use setupfree_runtime::{MaxConcurrent, SessionSetup, ShardedHost, ShardedRunReport};
 use setupfree_rbc::{Rbc, RbcMessage};
 use setupfree_seeding::{Seed, Seeding, SeedingMessage};
 use setupfree_vba::{accept_all, Vba};
@@ -65,7 +65,7 @@ fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
 
 fn finish<M, O>(mut sim: Simulation<M, O>, n: usize, budget: u64, agreed: impl Fn(&[Option<O>]) -> bool) -> Measurement
 where
-    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static,
     O: Clone + std::fmt::Debug,
 {
     let report = sim.run(budget);
@@ -506,6 +506,184 @@ pub fn measure_pipelined_beacon(n: usize, epochs: usize, seed: u64) -> Measureme
                 && w[0].iter().zip(w[1].iter()).all(|(a, b)| a.leader == b.leader)
         })
     })
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-runtime workloads (PR 5): sessions partitioned across worker
+// shards, each owning its scheduler / slab / budget / metrics.
+// ---------------------------------------------------------------------------
+
+/// Summarises a [`ShardedRunReport`] into the common [`Measurement`] shape
+/// (aggregate = per-session sums; `agreed` = per-session output agreement).
+fn summarize_sharded<O: PartialEq + Clone + std::fmt::Debug>(
+    n: usize,
+    report: &ShardedRunReport<O>,
+) -> Measurement {
+    report.assert_conservation();
+    let agg = report.aggregate();
+    let agreed = report.outputs.iter().all(|session| {
+        let vals: Vec<&O> = session.iter().flatten().collect();
+        vals.windows(2).all(|w| w[0] == w[1])
+    });
+    Measurement {
+        n,
+        f: (n - 1) / 3,
+        honest_bytes: agg.honest_bytes,
+        honest_messages: agg.honest_messages,
+        rounds: agg.rounds.unwrap_or(0),
+        deliveries: agg.delivered,
+        agreed,
+        reason: if report.all_terminated() {
+            StopReason::AllOutputs
+        } else {
+            StopReason::BudgetExhausted
+        },
+    }
+}
+
+/// Builds one full setup-free ABA session for [`measure_sharded_abas`]:
+/// session `s` over its own scheduler seeded by `(seed, s)` — the same
+/// ensemble family as [`measure_concurrent_abas`], minus the `SessionHost`
+/// wrapper (each sharded session is its own simulation, so no leading
+/// session segment is needed).
+fn sharded_aba_session(
+    n: usize,
+    s: usize,
+    seed: u64,
+    keyring: &Arc<Keyring>,
+    secrets: &[Arc<PartySecrets>],
+) -> SessionSetup<Envelope, bool> {
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
+        .map(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(MmrAba::new(
+                Sid::new(&format!("bench-kaba-{seed}-{s}")),
+                PartyId(i),
+                n,
+                keyring.f(),
+                (i + s).is_multiple_of(2),
+                factory,
+            )) as BoxedParty<Envelope, bool>
+        })
+        .collect();
+    SessionSetup::new(
+        parties,
+        Box::new(RandomScheduler::new(seed.wrapping_add((s as u64).wrapping_mul(0x9e37_79b9)))),
+        1 << 30,
+    )
+}
+
+/// Measures `k` concurrent full setup-free ABA sessions on the **sharded
+/// runtime**: sessions partitioned across `workers` shards, each with its
+/// own scheduler/slab/budget/metrics — the sharded counterpart of
+/// [`measure_concurrent_abas`].  `parallel` opts into one OS thread per
+/// shard; the deterministic merge is the default.
+pub fn measure_sharded_abas(
+    n: usize,
+    k: usize,
+    workers: usize,
+    seed: u64,
+    parallel: bool,
+) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let host = ShardedHost::new(workers, k, move |s| {
+        sharded_aba_session(n, s, seed, &keyring, &secrets)
+    });
+    let report = if parallel { host.run_parallel() } else { host.run() };
+    summarize_sharded(n, &report)
+}
+
+/// Measures a pipelined beacon on the sharded runtime with **admission
+/// control**: the `epochs` per-epoch elections are queued sessions opened
+/// under a `MaxConcurrent(window)` policy — a sliding window over the epoch
+/// stream instead of [`measure_pipelined_beacon`]'s pre-spawned k — so peak
+/// live state stays bounded no matter how many epochs are queued.
+pub fn measure_sharded_pipelined_beacon(
+    n: usize,
+    epochs: usize,
+    workers: usize,
+    window: usize,
+    seed: u64,
+) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let host = ShardedHost::new(workers, epochs, move |e| {
+        let parties: Vec<BoxedParty<Envelope, ElectionOutput>> = (0..n)
+            .map(|i| {
+                let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+                Box::new(Election::new(
+                    Sid::new(&format!("bench-shard-beacon-{seed}")).derive("epoch", e),
+                    PartyId(i),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                    aba,
+                )) as BoxedParty<Envelope, ElectionOutput>
+            })
+            .collect::<Vec<_>>();
+        SessionSetup::new(
+            parties,
+            Box::new(RandomScheduler::new(seed.wrapping_add((e as u64).wrapping_mul(0x9e37_79b9)))),
+            1 << 30,
+        )
+    })
+    .with_admission(MaxConcurrent(window));
+    let report = host.run();
+    // Leaders must agree per epoch; the winning VRF is speculative
+    // per-party state, so the generic output comparison is too strict here.
+    let mut m = summarize_sharded::<ElectionOutput>(n, &report);
+    m.agreed = report.outputs.iter().all(|session| {
+        let leaders: Vec<PartyId> = session.iter().flatten().map(|o| o.leader).collect();
+        leaders.windows(2).all(|w| w[0] == w[1])
+    });
+    m
+}
+
+/// The per-session delivery split of one starved-session run: aggregate
+/// measurement plus each session's delivered-message count (session 0 is
+/// the starved one) — the cross-session interference observable.
+pub type FairnessMeasurement = (Measurement, Vec<u64>);
+
+/// Measures `k` concurrent trusted-coin ABA sessions over ONE network via
+/// [`SessionHost`] while a [`SessionTargetedDelayScheduler`] starves
+/// session `starved`'s traffic: every other session's messages are
+/// delivered first, the starved session only progresses when nothing else
+/// is pending — yet it must still terminate (eventual delivery).  Returns
+/// the per-session delivered counts from the session-classified metrics.
+pub fn measure_starved_session_abas(n: usize, k: usize, starved: u16, seed: u64) -> FairnessMeasurement {
+    let parties: Vec<BoxedParty<Envelope, Vec<bool>>> = (0..n)
+        .map(|i| {
+            let sessions: Vec<MmrAba<TrustedCoinFactory>> = (0..k)
+                .map(|s| {
+                    MmrAba::new(
+                        Sid::new(&format!("bench-starve-{seed}-{s}")),
+                        PartyId(i),
+                        n,
+                        (n - 1) / 3,
+                        (i + s) % 2 == 0,
+                        TrustedCoinFactory,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(SessionTargetedDelayScheduler::new(starved, seed)));
+    sim.set_session_of(envelope_session);
+    let report = sim.run(1 << 32);
+    assert_eq!(report.reason, StopReason::AllOutputs, "the starved session must still terminate");
+    let metrics = sim.metrics();
+    assert_eq!(metrics.session_conservation_violation(), None);
+    let per_session = metrics.session_delivered.clone();
+    let m = Measurement {
+        n,
+        f: (n - 1) / 3,
+        honest_bytes: metrics.honest_bytes,
+        honest_messages: metrics.honest_messages,
+        rounds: metrics.rounds_to_all_outputs().unwrap_or(0),
+        deliveries: report.deliveries,
+        agreed: all_equal(&sim.outputs()),
+        reason: report.reason,
+    };
+    (m, per_session)
 }
 
 /// The scheduler-determinism scenario grid.

@@ -624,6 +624,10 @@ impl MuxNode for Coin {
     fn output(&self) -> Option<CoinOutput> {
         self.output.clone()
     }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        self.seedings.stats().merge(self.avss.stats()).merge(self.gather_rbcs.stats())
+    }
 }
 
 impl ProtocolInstance for Coin {
@@ -640,6 +644,10 @@ impl ProtocolInstance for Coin {
 
     fn output(&self) -> Option<CoinOutput> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }
 

@@ -338,6 +338,12 @@ impl<F: AbaFactory> MuxNode for Election<F> {
     fn output(&self) -> Option<ElectionOutput> {
         self.output.clone()
     }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(&self.coin)
+            .merge(self.rbcs.stats())
+            .merge(self.aba.stats())
+    }
 }
 
 impl<F: AbaFactory> ProtocolInstance for Election<F> {
@@ -354,5 +360,9 @@ impl<F: AbaFactory> ProtocolInstance for Election<F> {
 
     fn output(&self) -> Option<ElectionOutput> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }

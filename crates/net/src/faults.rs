@@ -24,7 +24,7 @@ impl<M, O> SilentParty<M, O> {
 
 impl<M, O> ProtocolInstance for SilentParty<M, O>
 where
-    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static,
     O: Clone + std::fmt::Debug,
 {
     type Message = M;
@@ -88,6 +88,10 @@ impl<P: ProtocolInstance> ProtocolInstance for CrashAfter<P> {
             self.inner.output()
         }
     }
+
+    fn pre_activation_stats(&self) -> crate::mux::BufferStats {
+        self.inner.pre_activation_stats()
+    }
 }
 
 /// Wraps an honest implementation and duplicates every outgoing message —
@@ -120,6 +124,10 @@ impl<P: ProtocolInstance> ProtocolInstance for DuplicatingParty<P> {
 
     fn output(&self) -> Option<Self::Output> {
         self.inner.output()
+    }
+
+    fn pre_activation_stats(&self) -> crate::mux::BufferStats {
+        self.inner.pre_activation_stats()
     }
 }
 

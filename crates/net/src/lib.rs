@@ -31,14 +31,15 @@ pub mod scheduler;
 pub mod sim;
 
 pub use faults::{CrashAfter, DuplicatingParty, SilentParty};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, SessionImbalance};
 pub use mux::{
-    Envelope, InstancePath, Leaf, MuxNode, PathSeg, PreActivationBuffer, Router, SessionHost,
+    envelope_session, BufferStats, Envelope, InstancePath, Leaf, MuxNode, PathSeg,
+    PreActivationBuffer, Router, SessionHost,
 };
 pub use party::{PartyId, Sid};
 pub use protocol::{Dest, Outgoing, ProtocolInstance, Step};
 pub use scheduler::{
     FifoScheduler, PartitionScheduler, PendingInfo, RandomScheduler, Scheduler,
-    TargetedDelayScheduler,
+    SessionPartitionScheduler, SessionTargetedDelayScheduler, TargetedDelayScheduler,
 };
 pub use sim::{BoxedParty, RunReport, Simulation, StopReason};

@@ -31,7 +31,8 @@
 //!   network (k concurrent ABA instances, pipelined beacon epochs, …) by
 //!   routing on a leading session segment.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -248,6 +249,102 @@ pub fn decode_payload<M: Decode>(payload: &[u8]) -> Option<M> {
     setupfree_wire::from_bytes(payload).ok()
 }
 
+/// Capacity of the thread-local typed-decode cache (distinct payloads).
+///
+/// A multicast is decoded by up to `n` recipient leaves in short succession
+/// (the simulator delivers all copies of one send within a window of at most
+/// a few hundred other deliveries under every scheduler here), so a small
+/// FIFO window captures the n-fold fan-out without retaining payloads for
+/// the whole run.
+const DECODE_CACHE_CAPACITY: usize = 128;
+
+struct DecodeCacheEntry {
+    /// The cached payload.  Holding the `Arc` pins its allocation, so the
+    /// pointer identity used as the lookup key cannot be recycled by a new
+    /// payload while the entry lives.
+    payload: Arc<[u8]>,
+    type_id: std::any::TypeId,
+    decoded: Box<dyn std::any::Any>,
+}
+
+std::thread_local! {
+    /// Per-payload typed-decode cache shared by every [`Leaf`] on the
+    /// thread, keyed by **`Arc` allocation identity** (plus the decoded
+    /// type): the simulator shares one `Arc<[u8]>` among all `n` in-flight
+    /// copies of a send, so the first recipient's decode can be cloned to
+    /// the other `n − 1` — while two *different* sends (even with equal
+    /// bytes, even from an equivocating Byzantine sender) never share an
+    /// entry, exactly like the simulator's envelope-level cache.
+    static DECODE_CACHE: RefCell<VecDeque<DecodeCacheEntry>> =
+        RefCell::new(VecDeque::with_capacity(DECODE_CACHE_CAPACITY));
+}
+
+/// [`decode_payload`] with the per-payload typed-decode cache in front: the
+/// first recipient of a shared payload pays the real decode (group
+/// decompression included), later recipients of the **same allocation** get
+/// `M::clone`s.  In debug builds every cached clone is re-encoded and
+/// checked against the wire bytes (clone transparency), mirroring the
+/// simulator's envelope-level assert.
+pub fn decode_payload_cached<M>(payload: &Arc<[u8]>) -> Option<M>
+where
+    M: Encode + Decode + Clone + 'static,
+{
+    let type_id = std::any::TypeId::of::<M>();
+    DECODE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        // Most-recent-first: a hit is one of the other n−1 copies of a
+        // *recent* send, so it sits near the back of the FIFO.
+        let hit = cache.iter().rev().find(|e| {
+            e.type_id == type_id && Arc::ptr_eq(&e.payload, payload)
+        });
+        if let Some(entry) = hit {
+            let value = entry
+                .decoded
+                .downcast_ref::<M>()
+                .expect("decode-cache entry type mismatch despite TypeId key")
+                .clone();
+            debug_assert_eq!(
+                setupfree_wire::to_bytes(&value)[..],
+                payload[..],
+                "cached typed decode is not clone-transparent for this message type"
+            );
+            return Some(value);
+        }
+        let value: M = decode_payload(payload)?;
+        if cache.len() >= DECODE_CACHE_CAPACITY {
+            cache.pop_front();
+        }
+        cache.push_back(DecodeCacheEntry {
+            payload: Arc::clone(payload),
+            type_id,
+            decoded: Box::new(value.clone()),
+        });
+        Some(value)
+    })
+}
+
+/// Occupancy and drop counters of one (or the recursive sum of many)
+/// [`PreActivationBuffer`]s — the buffer-pressure telemetry surfaced through
+/// [`Metrics`](crate::metrics::Metrics) at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Envelopes currently buffered (occupancy at poll time).
+    pub buffered: u64,
+    /// Envelopes dropped so far: per-sender cap, duplicate filter, or
+    /// traffic addressed to a retired child.
+    pub dropped: u64,
+}
+
+impl BufferStats {
+    /// Component-wise sum.
+    pub fn merge(self, other: BufferStats) -> BufferStats {
+        BufferStats {
+            buffered: self.buffered + other.buffered,
+            dropped: self.dropped + other.dropped,
+        }
+    }
+}
+
 /// Encodes every message of a typed step into an envelope under `path`
 /// (one payload encoding per message — the only encoding it will ever get).
 fn seal_step_at<M: Encode>(path: InstancePath, step: Step<M>) -> Step<Envelope> {
@@ -305,6 +402,13 @@ pub trait MuxNode {
 
     /// Returns the output, once produced.
     fn output(&self) -> Option<Self::Output>;
+
+    /// Buffer-pressure telemetry: the recursive sum of this node's (and its
+    /// children's) [`PreActivationBuffer`] counters.  Composite nodes built
+    /// on [`Router`] override this with [`Router::stats`].
+    fn pre_activation_stats(&self) -> BufferStats {
+        BufferStats::default()
+    }
 }
 
 /// Adapts a typed leaf [`ProtocolInstance`] (RBC, AVSS, Seeding, a trusted
@@ -354,7 +458,7 @@ impl<P: ProtocolInstance> MuxNode for Leaf<P> {
             // Byzantine and are dropped.
             return Step::none();
         }
-        match decode_payload::<P::Message>(payload) {
+        match decode_payload_cached::<P::Message>(payload) {
             Some(msg) => local_step(self.inner.on_message(from, msg)),
             None => Step::none(),
         }
@@ -362,6 +466,10 @@ impl<P: ProtocolInstance> MuxNode for Leaf<P> {
 
     fn output(&self) -> Option<P::Output> {
         self.inner.output()
+    }
+
+    fn pre_activation_stats(&self) -> BufferStats {
+        self.inner.pre_activation_stats()
     }
 }
 
@@ -517,6 +625,11 @@ impl PreActivationBuffer {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// The buffer's occupancy/drop counters.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats { buffered: self.len() as u64, dropped: self.dropped }
+    }
 }
 
 /// Owns the child instances of one *kind* inside a composite protocol,
@@ -536,6 +649,12 @@ pub struct Router<N> {
     /// — O(1) slot access matters (a `BTreeMap` here cost double-digit
     /// percents of ABA wall-clock).
     children: Vec<Option<N>>,
+    /// Tombstones of retired children ([`Router::retire`]): the slot stays
+    /// occupied so the index can never be recreated, but the instance state
+    /// is freed and late traffic for it is dropped instead of buffered.
+    retired: Vec<bool>,
+    /// Envelopes dropped because they addressed a retired child.
+    retired_drops: u64,
     buffer: PreActivationBuffer,
 }
 
@@ -549,7 +668,13 @@ impl<N: MuxNode> Router<N> {
     /// Creates an empty router with an explicit per-sender pre-activation
     /// cap.
     pub fn with_cap(kind: u8, per_sender_cap: usize) -> Self {
-        Router { kind, children: Vec::new(), buffer: PreActivationBuffer::new(per_sender_cap) }
+        Router {
+            kind,
+            children: Vec::new(),
+            retired: Vec::new(),
+            retired_drops: 0,
+            buffer: PreActivationBuffer::new(per_sender_cap),
+        }
     }
 
     /// The path segment of the child at `index` (for wrapping typed side
@@ -587,6 +712,7 @@ impl<N: MuxNode> Router<N> {
     /// Panics if a child already exists at `index` (composite protocols
     /// guard creation with their own "first time" flags).
     pub fn insert(&mut self, index: usize, mut child: N) -> Step<Envelope> {
+        assert!(!self.is_retired(index), "child {}@{} recreated after retirement", self.kind, index);
         let seg = self.seg(index);
         let mut step = child.on_activation();
         for b in self.buffer.drain(seg.index) {
@@ -599,6 +725,52 @@ impl<N: MuxNode> Router<N> {
         assert!(slot.is_none(), "child {}@{} created twice", self.kind, index);
         *slot = Some(child);
         step.prefix(seg)
+    }
+
+    /// Retires the child at `index`: frees its state and leaves a tombstone,
+    /// so late traffic for it is *dropped* (not buffered — a flooder could
+    /// otherwise park unbounded traffic behind a retired slot) and the index
+    /// can never be recreated.  Callers retire a child only once its output
+    /// is quorum-acknowledged: every straggler can then finish from traffic
+    /// the acknowledging quorum already sent, so dropping our responses
+    /// cannot cost liveness.  Returns `true` if a live child was retired.
+    pub fn retire(&mut self, index: usize) -> bool {
+        let retired_child = self.children.get_mut(index).and_then(Option::take);
+        let live = retired_child.is_some();
+        if let Some(child) = retired_child {
+            // The child's accumulated drop history (its own sub-routers
+            // included) must survive its state: `pre_activation_dropped` is
+            // documented as a whole-run counter and may never decrease.
+            // Occupancy is *not* preserved — those buffers are genuinely
+            // freed.
+            self.retired_drops += child.pre_activation_stats().dropped;
+        }
+        if self.retired.len() <= index {
+            self.retired.resize(index + 1, false);
+        }
+        if !self.retired[index] {
+            // Flush anything still buffered for the index (a child retired
+            // before creation — e.g. an epoch acknowledged by a quorum this
+            // party never reached — frees its buffered traffic too).
+            self.retired_drops += self.buffer.drain(index as u16).len() as u64;
+            self.retired[index] = true;
+        }
+        live
+    }
+
+    /// `true` if the child at `index` has been retired.
+    pub fn is_retired(&self, index: usize) -> bool {
+        self.retired.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of live (created, not retired) children.
+    pub fn live_children(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of retired child slots.
+    pub fn retired_children(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
     }
 
     /// Routes one inbound envelope (whose leading segment this router's
@@ -616,7 +788,11 @@ impl<N: MuxNode> Router<N> {
                 child.on_envelope(from, rest, payload).prefix(PathSeg { kind: self.kind, index })
             }
             None => {
-                self.buffer.push(index, from, rest, payload);
+                if self.is_retired(index as usize) {
+                    self.retired_drops += 1;
+                } else {
+                    self.buffer.push(index, from, rest, payload);
+                }
                 Step::none()
             }
         }
@@ -632,10 +808,33 @@ impl<N: MuxNode> Router<N> {
     pub fn buffer_dropped(&self) -> u64 {
         self.buffer.dropped()
     }
+
+    /// The recursive buffer telemetry of this router: its own pre-activation
+    /// buffer (plus retirement drops) and every live child's stats.
+    pub fn stats(&self) -> BufferStats {
+        let own = BufferStats {
+            buffered: self.buffer.len() as u64,
+            dropped: self.buffer.dropped() + self.retired_drops,
+        };
+        self.iter().fold(own, |acc, (_, child)| acc.merge(child.pre_activation_stats()))
+    }
 }
 
 /// The reserved path kind of [`SessionHost`] session segments.
 pub const KIND_SESSION: u8 = 0xFE;
+
+/// The session a [`SessionHost`]-multiplexed envelope belongs to: the index
+/// of its leading [`KIND_SESSION`] segment, `None` for any other traffic.
+/// This is the session classifier the session-aware adversarial schedulers
+/// and the per-session metrics are keyed by
+/// ([`Simulation::set_session_of`](crate::sim::Simulation::set_session_of)).
+pub fn envelope_session(env: &Envelope) -> Option<u16> {
+    env.path
+        .segments()
+        .next()
+        .filter(|seg| seg.kind == KIND_SESSION)
+        .map(|seg| seg.index)
+}
 
 /// Runs `k` independent top-level sessions of one protocol over a single
 /// simulated network — the concurrent-session workload (k parallel ABA
@@ -729,6 +928,10 @@ impl<N: MuxNode> MuxNode for SessionHost<N> {
         }
         Some(outs.into_iter().map(|o| o.expect("checked above")).collect())
     }
+
+    fn pre_activation_stats(&self) -> BufferStats {
+        self.sessions.stats()
+    }
 }
 
 impl<N: MuxNode> ProtocolInstance for SessionHost<N> {
@@ -745,6 +948,10 @@ impl<N: MuxNode> ProtocolInstance for SessionHost<N> {
 
     fn output(&self) -> Option<Vec<N::Output>> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }
 
@@ -915,6 +1122,132 @@ mod tests {
             &setupfree_wire::to_shared_bytes(&1u32),
         );
         assert!(stray.is_empty());
+    }
+
+    #[test]
+    fn retired_children_drop_traffic_and_cannot_be_recreated() {
+        let mut router: Router<Leaf<SumLeaf>> = Router::new(7);
+        let payload = |v: u32| setupfree_wire::to_shared_bytes(&v);
+        let _ = router.insert(0, Leaf::new(SumLeaf { sum: 0, threshold: 1 }));
+        let _ = router.insert(1, Leaf::new(SumLeaf { sum: 0, threshold: 1 }));
+        assert_eq!(router.live_children(), 2);
+        // Retire child 0: its state is freed, late traffic is dropped (not
+        // buffered — a flooder could otherwise park unbounded traffic
+        // behind the tombstone).
+        assert!(router.retire(0));
+        assert_eq!(router.live_children(), 1);
+        assert_eq!(router.retired_children(), 1);
+        assert!(router.is_retired(0));
+        assert!(!router.contains(0));
+        let step = router.route(PartyId(2), 0, InstancePath::root(), &payload(5));
+        assert!(step.is_empty());
+        assert_eq!(router.buffered(), 0, "traffic to a retired child is not buffered");
+        assert_eq!(router.stats().dropped, 1);
+        // Retiring twice is idempotent; retiring a never-created child
+        // leaves a tombstone and flushes its buffered traffic.
+        assert!(!router.retire(0));
+        let _ = router.route(PartyId(0), 5, InstancePath::root(), &payload(9));
+        assert_eq!(router.buffered(), 1);
+        assert!(!router.retire(5));
+        assert_eq!(router.buffered(), 0, "retirement flushes the pre-activation buffer");
+        assert!(router.is_retired(5));
+    }
+
+    /// A node reporting fixed buffer stats (stands in for a composite child
+    /// with its own sub-router buffers).
+    #[derive(Debug)]
+    struct StatNode(BufferStats);
+
+    impl MuxNode for StatNode {
+        type Output = u32;
+
+        fn on_activation(&mut self) -> Step<Envelope> {
+            Step::none()
+        }
+
+        fn on_envelope(&mut self, _: PartyId, _: InstancePath, _: &Arc<[u8]>) -> Step<Envelope> {
+            Step::none()
+        }
+
+        fn output(&self) -> Option<u32> {
+            None
+        }
+
+        fn pre_activation_stats(&self) -> BufferStats {
+            self.0
+        }
+    }
+
+    #[test]
+    fn retire_preserves_the_childs_accumulated_drop_history() {
+        let mut router: Router<StatNode> = Router::new(3);
+        let _ = router.insert(0, StatNode(BufferStats { buffered: 5, dropped: 7 }));
+        let _ = router.insert(1, StatNode(BufferStats { buffered: 2, dropped: 1 }));
+        assert_eq!(router.stats(), BufferStats { buffered: 7, dropped: 8 });
+        router.retire(0);
+        // Occupancy of the retired child is genuinely freed; its drop
+        // history is folded into the router so the whole-run counter never
+        // decreases.
+        assert_eq!(router.stats(), BufferStats { buffered: 2, dropped: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "recreated after retirement")]
+    fn recreating_a_retired_child_panics() {
+        let mut router: Router<Leaf<SumLeaf>> = Router::new(7);
+        let _ = router.insert(0, Leaf::new(SumLeaf { sum: 0, threshold: 1 }));
+        router.retire(0);
+        let _ = router.insert(0, Leaf::new(SumLeaf { sum: 0, threshold: 1 }));
+    }
+
+    #[test]
+    fn typed_decode_cache_hits_share_one_decode_per_allocation() {
+        let payload = setupfree_wire::to_shared_bytes(&(41u32, true));
+        // Same allocation: first call decodes, second is served by the cache
+        // (the debug re-encode assert inside verifies clone transparency).
+        let a: Option<(u32, bool)> = decode_payload_cached(&payload);
+        let b: Option<(u32, bool)> = decode_payload_cached(&payload);
+        assert_eq!(a, Some((41, true)));
+        assert_eq!(a, b);
+        // A byte-identical but *distinct* allocation gets its own entry —
+        // allocation identity, not byte equality, is the key (an
+        // equivocating sender cannot poison another recipient's decode).
+        let twin: Arc<[u8]> = payload.to_vec().into();
+        assert!(!Arc::ptr_eq(&payload, &twin));
+        let c: Option<(u32, bool)> = decode_payload_cached(&twin);
+        assert_eq!(c, Some((41, true)));
+        // Same allocation, different target type: entries are keyed by type
+        // too, and a wrong-type decode still fails.
+        let d: Option<(u64, u64)> = decode_payload_cached(&payload);
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn typed_decode_cache_is_bounded() {
+        // Flood the cache far past its capacity; the oldest entries are
+        // evicted and re-decodes still succeed (correctness never depends on
+        // a hit).
+        let payloads: Vec<Arc<[u8]>> =
+            (0..3 * DECODE_CACHE_CAPACITY as u32).map(|v| setupfree_wire::to_shared_bytes(&v)).collect();
+        for (v, p) in payloads.iter().enumerate() {
+            assert_eq!(decode_payload_cached::<u32>(p), Some(v as u32));
+        }
+        DECODE_CACHE.with(|c| assert!(c.borrow().len() <= DECODE_CACHE_CAPACITY));
+        for (v, p) in payloads.iter().enumerate() {
+            assert_eq!(decode_payload_cached::<u32>(p), Some(v as u32), "evicted entries re-decode");
+        }
+    }
+
+    #[test]
+    fn envelope_session_reads_the_leading_session_segment() {
+        let mut path = InstancePath::of(PathSeg::new(3, 7));
+        path.push_front(PathSeg { kind: KIND_SESSION, index: 5 });
+        let env = Envelope { path, payload: setupfree_wire::to_shared_bytes(&1u8) };
+        assert_eq!(envelope_session(&env), Some(5));
+        let unsessioned = Envelope::seal(InstancePath::of(PathSeg::new(3, 7)), &1u8);
+        assert_eq!(envelope_session(&unsessioned), None);
+        let root = Envelope::seal(InstancePath::root(), &1u8);
+        assert_eq!(envelope_session(&root), None);
     }
 
     fn arb_path() -> impl Strategy<Value = InstancePath> {

@@ -107,7 +107,7 @@ impl<M> Step<M> {
 /// every simulation reproducible.
 pub trait ProtocolInstance {
     /// The message type exchanged by this protocol.
-    type Message: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug;
+    type Message: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static;
     /// The output type produced by this protocol.
     type Output: Clone + std::fmt::Debug;
 
@@ -120,6 +120,15 @@ pub trait ProtocolInstance {
     /// Returns the output, once produced.  Protocols may keep participating
     /// (sending messages that help others terminate) after producing output.
     fn output(&self) -> Option<Self::Output>;
+
+    /// Buffer-pressure telemetry: the aggregate occupancy/drop counters of
+    /// every [`PreActivationBuffer`](crate::mux::PreActivationBuffer) this
+    /// machine (and its sub-instances, recursively) owns.  Composite
+    /// protocols built on [`Router`](crate::mux::Router) override this; the
+    /// default covers leaves, which buffer nothing.
+    fn pre_activation_stats(&self) -> crate::mux::BufferStats {
+        crate::mux::BufferStats::default()
+    }
 }
 
 /// Blanket implementation so `Box<dyn ProtocolInstance>` / `Box<Concrete>`
@@ -138,6 +147,10 @@ impl<P: ProtocolInstance + ?Sized> ProtocolInstance for Box<P> {
 
     fn output(&self) -> Option<Self::Output> {
         (**self).output()
+    }
+
+    fn pre_activation_stats(&self) -> crate::mux::BufferStats {
+        (**self).pre_activation_stats()
     }
 }
 

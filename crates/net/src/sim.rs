@@ -46,6 +46,10 @@ use crate::party::PartyId;
 use crate::protocol::{Dest, ProtocolInstance, Step};
 use crate::scheduler::{PendingInfo, Scheduler};
 
+/// A session classifier: maps an outgoing message to the top-level session
+/// it belongs to (see [`Simulation::set_session_of`]).
+pub type SessionClassifier<M> = Box<dyn Fn(&M) -> Option<u16>>;
+
 /// A party implementation erased to its message/output types, so honest and
 /// Byzantine implementations can coexist in one simulation.
 pub type BoxedParty<M, O> = Box<dyn ProtocolInstance<Message = M, Output = O>>;
@@ -68,6 +72,9 @@ struct Pending<M> {
     payload: Rc<PayloadState<M>>,
     depth: u64,
     seq: u64,
+    /// The top-level session the send was classified into (when a session
+    /// classifier is installed).
+    session: Option<u16>,
 }
 
 /// Per-send shared state: the encoded bytes (one allocation per send, not
@@ -109,7 +116,7 @@ pub struct RunReport {
 /// A single-protocol simulation over `n` parties.
 pub struct Simulation<M, O>
 where
-    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static,
     O: Clone + std::fmt::Debug,
 {
     parties: Vec<PartySlot<M, O>>,
@@ -132,6 +139,13 @@ where
     metrics: Metrics,
     seq: u64,
     activated: bool,
+    /// Optional session classifier: maps an outgoing message to the
+    /// top-level session it belongs to (e.g.
+    /// [`envelope_session`](crate::mux::envelope_session) for
+    /// [`SessionHost`](crate::mux::SessionHost) workloads).  Enables the
+    /// session-aware adversarial schedulers and the per-session counters of
+    /// [`Metrics`].
+    session_of: Option<SessionClassifier<M>>,
 }
 
 /// `index` marker for a seq that is no longer in flight.
@@ -139,7 +153,7 @@ const EMPTY: u32 = u32::MAX;
 
 impl<M, O> Simulation<M, O>
 where
-    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static,
     O: Clone + std::fmt::Debug,
 {
     /// Creates a simulation over the given party state machines (index `i`
@@ -168,7 +182,18 @@ where
             metrics: Metrics::new(n),
             seq: 0,
             activated: false,
+            session_of: None,
         }
+    }
+
+    /// Installs a session classifier: every send is attributed to the
+    /// session the closure returns, surfacing per-session counters in
+    /// [`Metrics`] and session identities to the scheduler (the
+    /// session-aware adversaries starve on them).  Install before any
+    /// traffic flows — typically right after construction.
+    pub fn set_session_of(&mut self, f: impl Fn(&M) -> Option<u16> + 'static) {
+        assert_eq!(self.seq, 0, "install the session classifier before any traffic flows");
+        self.session_of = Some(Box::new(f));
     }
 
     /// Number of parties.
@@ -212,6 +237,7 @@ where
             // Drop the copy's payload reference without decoding.
             msg.payload.outstanding.set(msg.payload.outstanding.get() - 1);
             self.metrics.record_purge();
+            self.metrics.record_session_purge(msg.session, true);
         }
     }
 
@@ -287,28 +313,47 @@ where
     /// the network is quiescent, or `max_deliveries` messages have been
     /// delivered.
     pub fn run(&mut self, max_deliveries: u64) -> RunReport {
-        if !self.activated {
-            self.activate_all();
-        }
         let delivered_before = self.metrics.delivered_messages;
         let mut deliveries = 0;
         let reason = loop {
-            if self.all_honest_output() {
-                break StopReason::AllOutputs;
+            match self.step_with_budget(deliveries, max_deliveries) {
+                Some(reason) => break reason,
+                None => deliveries += 1,
             }
-            if self.in_flight == 0 {
-                break StopReason::Quiescent;
-            }
-            if deliveries >= max_deliveries {
-                break StopReason::BudgetExhausted;
-            }
-            self.deliver_one();
-            deliveries += 1;
         };
         // Budget reconciliation: every budget unit is an actual delivery —
         // messages to crashed parties are purged, never "delivered".
         debug_assert_eq!(deliveries, self.metrics.delivered_messages - delivered_before);
+        self.refresh_buffer_telemetry();
         RunReport { reason, deliveries }
+    }
+
+    /// One budget-aware step with [`Self::run`]'s **exact** stop-order —
+    /// outputs, then quiescence, then the budget verdict, and only then one
+    /// delivery.  Returns the stop reason when the run is over without
+    /// consuming budget, `None` after delivering one message.  This is the
+    /// single-step interface the sharded runtime's round-robin shard merge
+    /// drives sessions with; `run` itself is this in a loop, so the
+    /// incremental and batch paths can never disagree on a close state.
+    pub fn step_with_budget(
+        &mut self,
+        deliveries_so_far: u64,
+        max_deliveries: u64,
+    ) -> Option<StopReason> {
+        if !self.activated {
+            self.activate_all();
+        }
+        if self.all_honest_output() {
+            return Some(StopReason::AllOutputs);
+        }
+        if self.in_flight == 0 {
+            return Some(StopReason::Quiescent);
+        }
+        if deliveries_so_far >= max_deliveries {
+            return Some(StopReason::BudgetExhausted);
+        }
+        self.deliver_one();
+        None
     }
 
     /// Runs until no messages remain in flight (or the budget is exhausted).
@@ -326,7 +371,23 @@ where
         let reason =
             if self.in_flight == 0 { StopReason::Quiescent } else { StopReason::BudgetExhausted };
         debug_assert_eq!(deliveries, self.metrics.delivered_messages - delivered_before);
+        self.refresh_buffer_telemetry();
         RunReport { reason, deliveries }
+    }
+
+    /// Polls every party's [`PreActivationBuffer`] counters
+    /// ([`ProtocolInstance::pre_activation_stats`]) into [`Metrics`] —
+    /// called automatically at the end of [`Self::run`] /
+    /// [`Self::run_to_quiescence`]; [`Self::poll`]-driven callers refresh
+    /// explicitly when they close the simulation.
+    pub fn refresh_buffer_telemetry(&mut self) {
+        let stats = self
+            .parties
+            .iter()
+            .map(|p| p.machine.pre_activation_stats())
+            .fold(crate::mux::BufferStats::default(), crate::mux::BufferStats::merge);
+        self.metrics.pre_activation_buffered = stats.buffered;
+        self.metrics.pre_activation_dropped = stats.dropped;
     }
 
     /// `true` if every honest, non-crashed, non-crash-faulty party has
@@ -347,6 +408,8 @@ where
         let sender_depth = self.parties[from.index()].depth;
         let honest = self.parties[from.index()].honest;
         for out in step.outgoing {
+            // Classified once per send (every copy shares the session).
+            let session = self.session_of.as_ref().and_then(|f| f(&out.msg));
             // One encoding per send, shared by every in-flight copy.
             let payload = Rc::new(PayloadState {
                 bytes: to_shared_bytes(&out.msg),
@@ -356,11 +419,11 @@ where
             match out.dest {
                 Dest::All => {
                     for to in 0..self.parties.len() {
-                        self.push_pending(from, PartyId(to), &payload, sender_depth, honest);
+                        self.push_pending(from, PartyId(to), &payload, sender_depth, honest, session);
                     }
                 }
                 Dest::One(to) => {
-                    self.push_pending(from, to, &payload, sender_depth, honest);
+                    self.push_pending(from, to, &payload, sender_depth, honest, session);
                 }
             }
         }
@@ -376,18 +439,22 @@ where
         payload: &Rc<PayloadState<M>>,
         sender_depth: u64,
         honest: bool,
+        session: Option<u16>,
     ) {
         self.metrics.record_send(from, payload.bytes.len(), honest);
+        self.metrics.record_session_send(session);
         if self.parties[to.index()].crashed {
             self.metrics.record_purge();
+            self.metrics.record_session_purge(session, false);
             return;
         }
         let seq = self.seq;
         self.seq += 1;
         payload.outstanding.set(payload.outstanding.get() + 1);
-        self.scheduler.on_enqueue(PendingInfo { from, to, len: payload.bytes.len(), seq });
+        self.metrics.record_session_enqueue(session);
+        self.scheduler.on_enqueue(PendingInfo { from, to, len: payload.bytes.len(), seq, session });
         let msg =
-            Pending { from, to, payload: Rc::clone(payload), depth: sender_depth + 1, seq };
+            Pending { from, to, payload: Rc::clone(payload), depth: sender_depth + 1, seq, session };
         let slot = match self.free.pop() {
             Some(slot) => {
                 self.slots[slot as usize] = Some(msg);
@@ -408,6 +475,7 @@ where
         let to = msg.to;
         debug_assert!(!self.parties[to.index()].crashed, "traffic to crashed parties is purged");
         self.metrics.record_delivery(msg.depth);
+        self.metrics.record_session_delivery(msg.session);
         let decoded = take_decoded(&msg.payload);
         let slot = &mut self.parties[to.index()];
         slot.depth = slot.depth.max(msg.depth);
@@ -432,7 +500,7 @@ where
 /// last copy.
 fn take_decoded<M>(payload: &PayloadState<M>) -> M
 where
-    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug,
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + std::fmt::Debug + 'static,
 {
     let decode = || -> M {
         from_bytes(&payload.bytes)

@@ -1,0 +1,515 @@
+//! The worker-partitioned session host.
+//!
+//! [`ShardedHost`] runs `k` top-level protocol sessions partitioned across
+//! `W` worker shards by session index (the leading session segment of the
+//! mux's `InstancePath` is the shard key — shard `= session mod W`).  Where
+//! PR 4's `SessionHost` multiplexed every session through **one** simulator
+//! loop — one scheduler pool of all sessions' in-flight messages, one
+//! aggregate `Metrics`, one global delivery budget — each sharded session
+//! owns its complete execution state: party machines, adversarial
+//! scheduler, in-flight slab, delivery budget and [`SessionMetrics`].  That
+//! buys three things the single loop cannot offer:
+//!
+//! * **isolation** — a session that exhausts its budget is reported as
+//!   [`StopReason::BudgetExhausted`] *for that session* while the rest run
+//!   to completion, and per-session metrics make cross-session interference
+//!   measurable instead of folded into one aggregate;
+//! * **scalability** — scheduler pools stay session-sized (the single
+//!   loop's pool grows with `k`, and its per-pick cost with `log` of that),
+//!   and the shards can run on real OS threads ([`ShardedHost::run_parallel`]);
+//! * **admission** — sessions are *opened* by an
+//!   [`AdmissionPolicy`](crate::admission::AdmissionPolicy) instead of
+//!   pre-spawned, so pipelined workloads (beacon epochs, view streams)
+//!   become admitted sessions under a concurrency/rate policy.
+//!
+//! # Determinism contract
+//!
+//! [`ShardedHost::run`] merges the shards on one thread by a round-robin
+//! shard step (shard 0, 1, …, W−1, repeat; within a shard, round-robin over
+//! its live sessions), and every session's scheduler is seeded by the
+//! caller per session.  Because top-level sessions exchange no cross-shard
+//! traffic today, a session's delivery sequence is a pure function of its
+//! own setup — so per-session results (deliveries, rounds, bytes, outputs)
+//! are **identical for every `W`**, and identical to
+//! [`ShardedHost::run_parallel`]'s.  The golden tests pin exactly this.
+//! Host-level *telemetry* (e.g. [`ShardedRunReport::peak_live_sessions`])
+//! depends on the merge interleaving and is excluded from the contract.
+//! `run_parallel` is the opt-in mode: today it happens to preserve
+//! per-session determinism because sessions are isolated; once cross-shard
+//! traffic exists (shared seeding), only `run` will keep the guarantee.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use setupfree_net::{BoxedParty, PartyId, Scheduler, Simulation, StopReason};
+
+use crate::admission::{AdmissionPolicy, Unlimited};
+use crate::queue::ShardQueue;
+
+/// Everything needed to open one session: the per-party state machines, the
+/// session's own adversarial scheduler (seed it per session — that is what
+/// makes per-session execution independent of the shard count), its
+/// delivery budget, and the fault plan.
+pub struct SessionSetup<M, O>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    /// Party `i`'s state machine for this session.
+    pub parties: Vec<BoxedParty<M, O>>,
+    /// The session's delivery scheduler.
+    pub scheduler: Box<dyn Scheduler>,
+    /// The session's delivery budget; exhausting it closes *this* session
+    /// with [`StopReason::BudgetExhausted`] and touches no other.
+    pub budget: u64,
+    /// Parties marked Byzantine (their traffic is not charged as honest).
+    pub byzantine: Vec<usize>,
+    /// Parties crashed before the session starts.
+    pub crashed_at_start: Vec<usize>,
+}
+
+impl<M, O> SessionSetup<M, O>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    /// An all-honest session with the given parties, scheduler and budget.
+    pub fn new(parties: Vec<BoxedParty<M, O>>, scheduler: Box<dyn Scheduler>, budget: u64) -> Self {
+        SessionSetup { parties, scheduler, budget, byzantine: Vec::new(), crashed_at_start: Vec::new() }
+    }
+}
+
+/// Builds the [`SessionSetup`] of session `index` (0-based, in admission
+/// order).  `Sync` because [`ShardedHost::run_parallel`]'s workers build
+/// their sessions on their own threads — party machines never cross a
+/// thread boundary, only the factory reference does.
+pub trait SessionFactory<M, O>: Sync
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    /// Creates session `index`'s setup.
+    fn build(&self, index: usize) -> SessionSetup<M, O>;
+}
+
+impl<M, O, F> SessionFactory<M, O> for F
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+    F: Fn(usize) -> SessionSetup<M, O> + Sync,
+{
+    fn build(&self, index: usize) -> SessionSetup<M, O> {
+        self(index)
+    }
+}
+
+/// The per-session accounting of one closed session — the sharded analogue
+/// of the aggregate `Metrics`, plus the conservation law every session obeys
+/// individually: `sent == delivered + purged + in_flight`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Message copies sent (honest and Byzantine senders).
+    pub sent: u64,
+    /// Messages sent by honest parties only.
+    pub honest_messages: u64,
+    /// Bytes sent by honest parties (exact wire encoding).
+    pub honest_bytes: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages purged (receiver crashed).
+    pub purged: u64,
+    /// Messages still in flight when the session closed (non-zero only for
+    /// budget-exhausted sessions).
+    pub in_flight: u64,
+    /// Asynchronous rounds until every awaited party output (`None` when the
+    /// session closed without full termination).
+    pub rounds: Option<u64>,
+}
+
+impl SessionMetrics {
+    /// `true` when the session's books balance:
+    /// `sent == delivered + purged + in_flight`.
+    pub fn conserved(&self) -> bool {
+        self.sent == self.delivered + self.purged + self.in_flight
+    }
+}
+
+/// The outcome of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Session index (admission order).
+    pub session: usize,
+    /// The shard that executed it (`session mod workers`).
+    pub shard: usize,
+    /// Why the session stopped — a [`StopReason::BudgetExhausted`] here is
+    /// attributed to exactly this session.
+    pub reason: StopReason,
+    /// Deliveries the session consumed from its own budget.
+    pub deliveries: u64,
+    /// The session's metrics.
+    pub metrics: SessionMetrics,
+}
+
+/// The outcome of a whole sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedRunReport<O> {
+    /// One report per session, indexed by session.
+    pub sessions: Vec<SessionReport>,
+    /// Every session's per-party outputs, indexed by session then party.
+    pub outputs: Vec<Vec<Option<O>>>,
+    /// Maximum number of concurrently live sessions observed (merge-order
+    /// dependent telemetry — *not* covered by the determinism contract).
+    pub peak_live_sessions: usize,
+}
+
+impl<O> ShardedRunReport<O> {
+    /// Sessions that exhausted their delivery budget.
+    pub fn exhausted_sessions(&self) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .filter(|r| r.reason == StopReason::BudgetExhausted)
+            .map(|r| r.session)
+            .collect()
+    }
+
+    /// `true` when every session terminated with all awaited outputs.
+    pub fn all_terminated(&self) -> bool {
+        self.sessions.iter().all(|r| r.reason == StopReason::AllOutputs)
+    }
+
+    /// Component-wise sum of every session's metrics (`rounds` is the
+    /// maximum over terminated sessions) — comparable to the single-loop
+    /// aggregate `Metrics`.
+    pub fn aggregate(&self) -> SessionMetrics {
+        let mut total = SessionMetrics::default();
+        for r in &self.sessions {
+            total.sent += r.metrics.sent;
+            total.honest_messages += r.metrics.honest_messages;
+            total.honest_bytes += r.metrics.honest_bytes;
+            total.delivered += r.metrics.delivered;
+            total.purged += r.metrics.purged;
+            total.in_flight += r.metrics.in_flight;
+            total.rounds = match (total.rounds, r.metrics.rounds) {
+                (a, None) => a,
+                (None, b) => b,
+                (Some(a), Some(b)) => Some(a.max(b)),
+            };
+        }
+        total
+    }
+
+    /// Panics unless every session's books balance individually and their
+    /// sums match the aggregate — the per-session conservation law.
+    pub fn assert_conservation(&self) {
+        for r in &self.sessions {
+            assert!(
+                r.metrics.conserved(),
+                "session {} books do not balance: {:?}",
+                r.session,
+                r.metrics
+            );
+        }
+        let agg = self.aggregate();
+        assert_eq!(agg.sent, agg.delivered + agg.purged + agg.in_flight);
+    }
+
+    /// The per-session fingerprint the determinism golden pins:
+    /// `(session, deliveries, rounds, sent, honest_bytes)` must be
+    /// cell-for-cell identical for every worker count and for the parallel
+    /// mode.
+    pub fn fingerprints(&self) -> Vec<(usize, u64, Option<u64>, u64, u64)> {
+        self.sessions
+            .iter()
+            .map(|r| (r.session, r.deliveries, r.metrics.rounds, r.metrics.sent, r.metrics.honest_bytes))
+            .collect()
+    }
+}
+
+/// Capacity of each worker inbox in parallel mode: deep enough to keep a
+/// worker busy while the coordinator does other work, small enough that
+/// admission (and its policy) stays in control of how much work is
+/// committed ahead.
+const INBOX_CAPACITY: usize = 4;
+
+/// One live session inside a shard (deterministic mode).
+struct LiveSession<M, O>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    session: usize,
+    sim: Simulation<M, O>,
+    budget: u64,
+    deliveries: u64,
+}
+
+/// Runs `k` sessions over `W` worker shards.  See the module docs for the
+/// execution and determinism model.
+pub struct ShardedHost<M, O, F>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+    F: SessionFactory<M, O>,
+{
+    factory: F,
+    sessions: usize,
+    workers: usize,
+    policy: Box<dyn AdmissionPolicy>,
+    _marker: std::marker::PhantomData<fn() -> (M, O)>,
+}
+
+impl<M, O, F> ShardedHost<M, O, F>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+    F: SessionFactory<M, O>,
+{
+    /// Creates a host running `sessions` sessions over `workers` shards with
+    /// unlimited admission (every session opened immediately — the PR 4
+    /// pre-spawn behaviour).
+    pub fn new(workers: usize, sessions: usize, factory: F) -> Self {
+        assert!(workers > 0, "at least one worker shard is required");
+        assert!(sessions > 0, "a host with zero sessions has nothing to run");
+        ShardedHost {
+            factory,
+            sessions,
+            workers,
+            policy: Box::new(Unlimited),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Replaces the admission policy (see [`crate::admission`]).
+    ///
+    /// Liveness floor: when no session is live, one pending session is
+    /// opened even against the policy's verdict — an empty host generates no
+    /// deliveries, so a delivery-clocked policy could otherwise never refill
+    /// and the run would wedge.
+    pub fn with_admission(mut self, policy: impl AdmissionPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Runs every session to its close on the current thread, merging the
+    /// shards deterministically: one round-robin pass over the shards per
+    /// step, one delivery from each shard's next live session per pass.
+    pub fn run(mut self) -> ShardedRunReport<O> {
+        let k = self.sessions;
+        let w = self.workers;
+        let mut shards: Vec<VecDeque<LiveSession<M, O>>> = (0..w).map(|_| VecDeque::new()).collect();
+        let mut reports: Vec<Option<SessionReport>> = (0..k).map(|_| None).collect();
+        let mut outputs: Vec<Vec<Option<O>>> = (0..k).map(|_| Vec::new()).collect();
+        let mut next = 0usize;
+        let mut active = 0usize;
+        let mut peak = 0usize;
+
+        loop {
+            // Admission: open pending sessions while the policy allows, with
+            // the liveness floor of one forced admission on an idle host.
+            while next < k && (self.policy.admit(active) || active == 0) {
+                let session = open_session(&self.factory, next);
+                shards[next % w].push_back(session);
+                next += 1;
+                active += 1;
+                peak = peak.max(active);
+            }
+            if active == 0 {
+                debug_assert!(next >= k, "idle host with pending sessions must force-admit");
+                break;
+            }
+            // One deterministic merge pass: each shard steps its next live
+            // session once (delivering one message or closing it).
+            for shard in shards.iter_mut() {
+                let Some(mut slot) = shard.pop_front() else { continue };
+                // `step_with_budget` IS `Simulation::run`'s loop body, so a
+                // session's close state (reason and delivery count, zero
+                // budgets included) is identical to what `sim.run(budget)` —
+                // the parallel workers' path — produces.
+                let closed = slot.sim.step_with_budget(slot.deliveries, slot.budget);
+                if closed.is_none() {
+                    slot.deliveries += 1;
+                    self.policy.on_delivery();
+                }
+                match closed {
+                    None => shard.push_back(slot),
+                    Some(reason) => {
+                        let shard_id = slot.session % w;
+                        let (report, outs) = close_session(slot, reason, shard_id);
+                        outputs[report.session] = outs;
+                        reports[report.session] = Some(report);
+                        active -= 1;
+                        self.policy.on_session_closed();
+                    }
+                }
+            }
+        }
+
+        ShardedRunReport {
+            sessions: reports.into_iter().map(|r| r.expect("every session closed")).collect(),
+            outputs,
+            peak_live_sessions: peak,
+        }
+    }
+
+    /// Runs the shards on `W` OS threads — the opt-in parallel mode.
+    ///
+    /// Admitted session indices flow to the workers over bounded
+    /// [`ShardQueue`]s and reports flow back the same way (the seam
+    /// cross-shard protocol traffic would use in a shared-seeding future).
+    /// Today's sessions are isolated, so per-session results still match
+    /// [`ShardedHost::run`] bit-for-bit; the *guarantee*, however, is only
+    /// made by the deterministic mode, which is why golden tests pin `run`.
+    pub fn run_parallel(self) -> ShardedRunReport<O>
+    where
+        O: Send,
+    {
+        let k = self.sessions;
+        let w = self.workers;
+        let ShardedHost { factory, mut policy, .. } = self;
+        let factory = &factory;
+        let inboxes: Vec<ShardQueue<usize>> = (0..w).map(|_| ShardQueue::new(INBOX_CAPACITY)).collect();
+        // Outbox capacity k: a worker can always hand its report back
+        // without blocking, so the coordinator can never deadlock it.
+        let outboxes: Vec<ShardQueue<(SessionReport, Vec<Option<O>>)>> =
+            (0..w).map(|_| ShardQueue::new(k)).collect();
+
+        let mut reports: Vec<Option<SessionReport>> = (0..k).map(|_| None).collect();
+        let mut outputs: Vec<Vec<Option<O>>> = (0..k).map(|_| Vec::new()).collect();
+        let mut peak = 0usize;
+
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(w);
+            for (shard, (inbox, outbox)) in inboxes.iter().zip(&outboxes).enumerate() {
+                workers.push(scope.spawn(move || {
+                    // The whole session lives and dies on this thread; only
+                    // the index in and the report out cross threads.
+                    while let Some(index) = inbox.pop() {
+                        let mut slot = open_session(factory, index);
+                        let run = slot.sim.run(slot.budget);
+                        slot.deliveries = run.deliveries;
+                        let result = close_session(slot, run.reason, shard);
+                        if outbox.push(result).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+
+            // Coordinator (this thread): admission + report collection.  It
+            // never blocks on an inbox (try_push only), so worker and
+            // coordinator can never wait on each other in a cycle.
+            let mut next = 0usize;
+            let mut active = 0usize;
+            let mut closed = 0usize;
+            while closed < k {
+                // Room is checked BEFORE the policy is consulted: `admit`
+                // commits the admission (a token bucket debits a token), so
+                // asking it while the target inbox is full would burn
+                // admissions without admitting anything.  The coordinator is
+                // each inbox's only producer, so observed room cannot vanish
+                // before the push.
+                while next < k
+                    && inboxes[next % w].has_capacity()
+                    && (policy.admit(active) || active == 0)
+                {
+                    inboxes[next % w]
+                        .try_push(next)
+                        .unwrap_or_else(|_| panic!("single-producer inbox lost capacity"));
+                    next += 1;
+                    active += 1;
+                    peak = peak.max(active);
+                }
+                let mut got = false;
+                for outbox in &outboxes {
+                    while let Some((report, outs)) = outbox.try_pop() {
+                        policy.on_deliveries(report.deliveries);
+                        policy.on_session_closed();
+                        outputs[report.session] = outs;
+                        reports[report.session] = Some(report);
+                        active -= 1;
+                        closed += 1;
+                        got = true;
+                    }
+                }
+                if !got {
+                    // A worker only exits after its inbox closes (below), so
+                    // one finishing early has panicked — its sessions will
+                    // never report.  Fail loudly instead of spinning forever;
+                    // the scope join then surfaces the worker's own panic.
+                    if workers.iter().any(|h| h.is_finished()) {
+                        for inbox in &inboxes {
+                            inbox.close();
+                        }
+                        panic!("a worker shard terminated early (panicked) with sessions pending");
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+            for inbox in &inboxes {
+                inbox.close();
+            }
+        });
+
+        ShardedRunReport {
+            sessions: reports.into_iter().map(|r| r.expect("every session closed")).collect(),
+            outputs,
+            peak_live_sessions: peak,
+        }
+    }
+}
+
+/// Opens one session (shared by the deterministic merge and the parallel
+/// workers, so the two paths can never diverge in how a session starts):
+/// builds the setup, applies the fault plan, and activates every party.
+/// Activation happens at admission because the deterministic merge checks
+/// outputs/quiescence *before* each delivery — those checks must never
+/// observe pre-activation state (an unactivated session has zero in-flight
+/// messages and would be misread as quiescent).
+fn open_session<M, O, F>(factory: &F, index: usize) -> LiveSession<M, O>
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+    F: SessionFactory<M, O>,
+{
+    let setup = factory.build(index);
+    let mut sim = Simulation::new(setup.parties, setup.scheduler);
+    for &i in &setup.byzantine {
+        sim.mark_byzantine(PartyId(i));
+    }
+    for &i in &setup.crashed_at_start {
+        sim.crash(PartyId(i));
+    }
+    sim.activate_all();
+    LiveSession { session: index, sim, budget: setup.budget, deliveries: 0 }
+}
+
+/// Finalises one session: refreshes its buffer telemetry, snapshots its
+/// metrics and outputs, and frees its state (the runtime-level analogue of
+/// router child GC — a completed session retains nothing).
+fn close_session<M, O>(
+    mut slot: LiveSession<M, O>,
+    reason: StopReason,
+    shard: usize,
+) -> (SessionReport, Vec<Option<O>>)
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    slot.sim.refresh_buffer_telemetry();
+    let m = slot.sim.metrics();
+    debug_assert_eq!(slot.deliveries, m.delivered_messages, "budget units must be deliveries");
+    let metrics = SessionMetrics {
+        sent: m.honest_messages + m.byzantine_messages,
+        honest_messages: m.honest_messages,
+        honest_bytes: m.honest_bytes,
+        delivered: m.delivered_messages,
+        purged: m.purged_messages,
+        in_flight: slot.sim.in_flight() as u64,
+        rounds: m.rounds_to_all_outputs(),
+    };
+    let outputs = slot.sim.outputs();
+    (
+        SessionReport { session: slot.session, shard, reason, deliveries: slot.deliveries, metrics },
+        outputs,
+    )
+}

@@ -1,0 +1,184 @@
+//! Bounded SPSC-style channels between the coordinator and the worker
+//! shards.
+//!
+//! Each shard owns one inbox (coordinator → shard: admitted session
+//! indices — and, in a shared-seeding future, cross-shard envelopes) and one
+//! outbox (shard → coordinator: per-session reports).  Both are **bounded**:
+//! a producer that outruns its consumer blocks instead of growing memory,
+//! so a misbehaving shard can never buffer the whole workload.  The
+//! implementation is a `Mutex<VecDeque>` + two condvars — each endpoint has
+//! exactly one producer and one consumer (SPSC), so there is no contention
+//! to optimise away, and the workspace's `forbid(unsafe_code)` rules out a
+//! lock-free ring.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking FIFO channel for one producer and one consumer.
+pub struct ShardQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when an item is pushed or the queue closes (wakes `pop`).
+    filled: Condvar,
+    /// Signalled when an item is popped or the queue closes (wakes `push`).
+    drained: Condvar,
+}
+
+impl<T> ShardQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue can never transfer anything");
+        ShardQueue {
+            capacity,
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            filled: Condvar::new(),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues `item`.  Returns the item
+    /// back as an `Err` when the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.queue.len() >= self.capacity && !state.closed {
+            state = self.drained.wait(state).expect("queue lock poisoned");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.filled.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking; `Err` when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed || state.queue.len() >= self.capacity {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.filled.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item arrives; `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                self.drained.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.filled.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Dequeues without blocking; `None` when currently empty (closed or
+    /// not).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        let item = state.queue.pop_front();
+        if item.is_some() {
+            drop(state);
+            self.drained.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain the backlog
+    /// and then see `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.filled.notify_all();
+        self.drained.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").queue.len()
+    }
+
+    /// `true` when a `try_push` would currently succeed.  Only meaningful to
+    /// the queue's single producer: the consumer can only *make* room, so a
+    /// `true` here cannot be invalidated before the producer's next push.
+    pub fn has_capacity(&self) -> bool {
+        let state = self.state.lock().expect("queue lock poisoned");
+        !state.closed && state.queue.len() < self.capacity
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = ShardQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "bounded: a full queue rejects");
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = ShardQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8), "closed queues reject producers");
+        assert_eq!(q.pop(), Some(7), "the backlog is still drained");
+        assert_eq!(q.pop(), None, "then the consumer sees the end");
+    }
+
+    #[test]
+    fn blocking_push_wakes_on_pop() {
+        let q = Arc::new(ShardQueue::new(1));
+        q.push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(1).is_ok())
+        };
+        // The producer blocks on the full queue until we make room.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let q: Arc<ShardQueue<u32>> = Arc::new(ShardQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

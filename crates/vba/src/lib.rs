@@ -489,6 +489,10 @@ impl<EF: ElectionFactory, AF: AbaFactory> MuxNode for Vba<EF, AF> {
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
     }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        self.elections.stats().merge(self.abas.stats())
+    }
 }
 
 impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Vba<EF, AF> {
@@ -505,6 +509,10 @@ impl<EF: ElectionFactory, AF: AbaFactory> ProtocolInstance for Vba<EF, AF> {
 
     fn output(&self) -> Option<Vec<u8>> {
         MuxNode::output(self)
+    }
+
+    fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
+        MuxNode::pre_activation_stats(self)
     }
 }
 

@@ -47,6 +47,7 @@ pub use setupfree_core as core;
 pub use setupfree_crypto as crypto;
 pub use setupfree_net as net;
 pub use setupfree_rbc as rbc;
+pub use setupfree_runtime as runtime;
 pub use setupfree_seeding as seeding;
 pub use setupfree_vba as vba;
 pub use setupfree_wcs as wcs;
@@ -64,11 +65,15 @@ pub mod prelude {
     pub use setupfree_core::{TrustedCoin, TrustedCoinFactory};
     pub use setupfree_crypto::{generate_pki, generate_pki_with_malicious, Keyring, PartySecrets};
     pub use setupfree_net::{
-        BoxedParty, Envelope, FifoScheduler, InstancePath, Leaf, MuxNode, PartyId, PathSeg,
-        ProtocolInstance, RandomScheduler, Router, SessionHost, Sid, Simulation, StopReason,
+        envelope_session, BoxedParty, Envelope, FifoScheduler, InstancePath, Leaf, MuxNode,
+        PartyId, PathSeg, ProtocolInstance, RandomScheduler, Router, SessionHost,
+        SessionPartitionScheduler, SessionTargetedDelayScheduler, Sid, Simulation, StopReason,
         TargetedDelayScheduler,
     };
     pub use setupfree_rbc::{Rbc, RbcMessage};
+    pub use setupfree_runtime::{
+        MaxConcurrent, SessionSetup, ShardedHost, TokenBucket, Unlimited,
+    };
     pub use setupfree_seeding::{Seeding, SeedingMessage};
     pub use setupfree_vba::{accept_all, Predicate, Vba, VbaMessage};
     pub use setupfree_wcs::{Wcs, WcsMessage};

@@ -40,6 +40,7 @@ fn concurrent_trusted_abas_agree_per_session_across_schedules() {
                 .collect();
             Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
         })
+        .with_session_of(envelope_session)
     });
     for run in &runs {
         run.assert_validity(|out| out.len() == k);
@@ -74,6 +75,7 @@ fn concurrent_full_stack_abas_agree_per_session() {
                 .collect();
             Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
         })
+        .with_session_of(envelope_session)
     });
     for run in &runs {
         run.assert_validity(|out| out.len() == k);
@@ -100,10 +102,88 @@ fn concurrent_sessions_tolerate_a_silent_party() {
                 .collect();
             Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
         })
+        .with_session_of(envelope_session)
         .silence(2)
     });
     for run in &runs {
         assert_eq!(run.honest_outputs().len(), 3, "under {}", run.adversary);
+    }
+}
+
+#[test]
+fn starved_session_still_terminates_and_interference_is_measured() {
+    // The per-session fairness regime (Cohen et al., arXiv:2312.14506):
+    // the adversary starves ONE session's traffic — every other session's
+    // messages deliver first — and the starved session must still
+    // terminate by eventual delivery.  The session classifier exposes the
+    // per-session delivery split, so the sweep also *measures* the
+    // cross-session interference it creates, and asserts the per-session
+    // conservation law (checked inside `sweep` for every run).
+    let n = 4;
+    let k = 4usize;
+    let runs = assert_agreement_sweep(&Adversary::session_sweep(k as u16, 2), 10_000_000, |adv| {
+        Ensemble::build(n, |i| {
+            let sessions: Vec<MmrAba<TrustedCoinFactory>> = (0..k)
+                .map(|s| {
+                    MmrAba::new(
+                        Sid::new(&format!("it-starve-{adv}")).derive("session", s),
+                        i,
+                        n,
+                        1,
+                        (i.index() + s) % 2 == 0,
+                        TrustedCoinFactory,
+                    )
+                })
+                .collect();
+            Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+        })
+        .with_session_of(envelope_session)
+    });
+    for run in &runs {
+        run.assert_validity(|out| out.len() == k);
+        // Every session was attributed traffic, and none was silently lost.
+        assert_eq!(run.metrics.session_conservation_violation(), None);
+        assert!(run.metrics.session_count() >= k, "under {}", run.adversary);
+        assert_eq!(run.metrics.unclassified_sent, 0, "all SessionHost traffic has a session");
+        let delivered = &run.metrics.session_delivered;
+        assert!(
+            delivered.iter().take(k).all(|&d| d > 0),
+            "every session (starved included) makes progress under {}: {delivered:?}",
+            run.adversary
+        );
+    }
+}
+
+#[test]
+fn session_partition_starves_the_trailing_group_but_everyone_terminates() {
+    let n = 4;
+    let k = 4usize;
+    let boundary = 2u16;
+    let runs = assert_agreement_sweep(
+        &[setupfree_testkit::Adversary::SessionPartition { boundary, seed: 0xF00 }],
+        10_000_000,
+        |adv| {
+            Ensemble::build(n, |i| {
+                let sessions: Vec<MmrAba<TrustedCoinFactory>> = (0..k)
+                    .map(|s| {
+                        MmrAba::new(
+                            Sid::new(&format!("it-spart-{adv}")).derive("session", s),
+                            i,
+                            n,
+                            1,
+                            (i.index() + s) % 2 == 1,
+                            TrustedCoinFactory,
+                        )
+                    })
+                    .collect();
+                Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<bool>>
+            })
+            .with_session_of(envelope_session)
+        },
+    );
+    for run in &runs {
+        run.assert_validity(|out| out.len() == k);
+        assert_eq!(run.metrics.session_conservation_violation(), None);
     }
 }
 
@@ -132,6 +212,7 @@ fn pipelined_beacon_epochs_agree_on_leaders() {
                 .collect();
             Box::new(SessionHost::new(sessions)) as BoxedParty<Envelope, Vec<ElectionOutput>>
         })
+        .with_session_of(envelope_session)
     });
     for run in &runs {
         run.assert_termination();

@@ -149,5 +149,25 @@ fn honest_parties_agree_despite_a_flooding_byzantine_sender() {
         let decided = run.honest_outputs();
         assert_eq!(decided.len(), 3, "under {}", run.adversary);
         assert!(inputs.contains(&decided[0]), "validity under {}", run.adversary);
+        // Buffer-pressure telemetry (polled from the parties' routers into
+        // `Metrics` at the end of the run): the flood pressure is visible —
+        // at least one victim's buffer reached cap scale (buffered or
+        // dropped) — while occupancy stays bounded at cap × victims plus
+        // the honest pre-activation traffic still parked at termination.
+        let cap = DEFAULT_PER_SENDER_CAP as u64;
+        let pressure = run.metrics.pre_activation_buffered + run.metrics.pre_activation_dropped;
+        assert!(
+            pressure >= cap,
+            "under {}: flood pressure must register in the telemetry (buffered {} + dropped {})",
+            run.adversary,
+            run.metrics.pre_activation_buffered,
+            run.metrics.pre_activation_dropped
+        );
+        assert!(
+            run.metrics.pre_activation_buffered <= 3 * (cap + 64),
+            "under {}: occupancy stays bounded by cap × victims (buffered {})",
+            run.adversary,
+            run.metrics.pre_activation_buffered
+        );
     }
 }

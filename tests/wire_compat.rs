@@ -179,6 +179,13 @@ fn beacon_messages_survive_the_envelope() {
         RandomBeacon::new(Sid::new("wc-beacon"), PartyId(i), keyring.clone(), secrets[i].clone(), aba, 2)
     };
     exercise("beacon", mk(0), mk(1));
+    // The child-GC acknowledgement (the beacon's only local message)
+    // roundtrips through the envelope too.
+    let done = setupfree::app::beacon::BeaconMessage::Done { epoch: 3 };
+    let env = Envelope::seal(InstancePath::root(), &done);
+    let bytes = setupfree::wire::to_bytes(&env);
+    let decoded: Envelope = setupfree::wire::from_bytes(&bytes).unwrap();
+    assert_eq!(decoded.open::<setupfree::app::beacon::BeaconMessage>(), Some(done));
 }
 
 #[test]
