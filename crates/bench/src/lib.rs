@@ -755,6 +755,117 @@ pub mod determinism {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Socket-transport workloads (PR 6): the identical machines over real TCP
+// loopback peers (`setupfree-transport`), measured in wall-clock time.  The
+// simulator stays the ground truth for the paper's three metrics (its byte
+// and round accounting is exact); the socket rows add the one quantity the
+// simulator cannot produce — time on a real network stack.
+// ---------------------------------------------------------------------------
+
+/// The observables of one socket-backed run.
+#[derive(Debug, Clone)]
+pub struct SocketMeasurement {
+    /// Number of parties (= peers).
+    pub n: usize,
+    /// Fault threshold.
+    pub f: usize,
+    /// Wall-clock milliseconds from activation to the last decision.
+    pub wall_ms: f64,
+    /// Envelopes written to sockets across all peers.
+    pub sent_envelopes: u64,
+    /// Frame bytes written to sockets across all peers.
+    pub sent_bytes: u64,
+    /// Whether all peers decided the same value.
+    pub agreed: bool,
+    /// `None` on success; the transport failure rendered to text otherwise.
+    pub failure: Option<String>,
+}
+
+fn socket_group(n: usize) -> setupfree_transport::TcpPeerGroup {
+    // Generous deadline: these runs finish in well under a minute even at
+    // n = 22 on one core; the deadline only exists so a regression terminates
+    // with a recorded failure instead of hanging the bench.
+    setupfree_transport::TcpPeerGroup::new(n).timeout(std::time::Duration::from_secs(240))
+}
+
+fn socket_measurement<O: PartialEq>(
+    n: usize,
+    report: &setupfree_transport::SocketRunReport<O>,
+) -> SocketMeasurement {
+    SocketMeasurement {
+        n,
+        f: (n - 1) / 3,
+        wall_ms: report.wall.as_secs_f64() * 1e3,
+        sent_envelopes: report.total_sent_envelopes(),
+        sent_bytes: report.total_sent_bytes(),
+        agreed: report.all_decided() && report.agreed(),
+        failure: report.failure.as_ref().map(|f| f.to_string()),
+    }
+}
+
+/// Runs the private-setup-free common coin over `n` socket-backed peers.
+pub fn measure_socket_coin(n: usize, seed: u64) -> SocketMeasurement {
+    let (keyring, secrets) = keys(n, seed);
+    let report = socket_group(n)
+        .run(|i| {
+            Box::new(Coin::with_core_mode(
+                Sid::new(&format!("socket-coin-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                CoreSetMode::Weak,
+            )) as BoxedParty<Envelope, CoinOutput>
+        })
+        .expect("loopback socket setup");
+    let mut m = socket_measurement(n, &report);
+    // Coin agreement is on the bit; the certificate set may differ.
+    let bits: Vec<bool> = report.outputs.iter().flatten().map(|o| o.bit).collect();
+    m.agreed = report.all_decided() && bits.windows(2).all(|w| w[0] == w[1]);
+    m
+}
+
+/// Runs the full setup-free ABA (real coin inside) over `n` socket peers.
+pub fn measure_socket_aba(n: usize, seed: u64) -> SocketMeasurement {
+    let (keyring, secrets) = keys(n, seed);
+    let report = socket_group(n)
+        .run(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(MmrAba::new(
+                Sid::new(&format!("socket-aba-{seed}")),
+                PartyId(i),
+                n,
+                keyring.f(),
+                i % 2 == 0,
+                factory,
+            )) as BoxedParty<Envelope, bool>
+        })
+        .expect("loopback socket setup");
+    socket_measurement(n, &report)
+}
+
+/// Runs the full randomness beacon (`epochs` sequential elections, real
+/// Election + Coin per epoch) over `n` socket peers — the same construction
+/// as [`measure_beacon`], so the simulated and socket rows are directly
+/// comparable.
+pub fn measure_socket_beacon(n: usize, epochs: u32, seed: u64) -> SocketMeasurement {
+    let (keyring, secrets) = keys(n, seed);
+    let report = socket_group(n)
+        .run(|i| {
+            let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            Box::new(RandomBeacon::new(
+                Sid::new(&format!("socket-beacon-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                aba,
+                epochs,
+            )) as BoxedParty<Envelope, Vec<BeaconEpoch>>
+        })
+        .expect("loopback socket setup");
+    socket_measurement(n, &report)
+}
+
 /// Fits the slope of `log(value)` against `log(n)` — the empirical scaling
 /// exponent reported next to the paper's asymptotic bounds.
 pub fn fit_exponent(points: &[(usize, f64)]) -> f64 {

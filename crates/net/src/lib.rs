@@ -33,8 +33,8 @@ pub mod sim;
 pub use faults::{CrashAfter, DuplicatingParty, SilentParty};
 pub use metrics::{Metrics, SessionImbalance};
 pub use mux::{
-    envelope_session, BufferStats, Envelope, InstancePath, Leaf, MuxNode, PathSeg,
-    PreActivationBuffer, Router, SessionHost,
+    decode_cache_stats, envelope_session, BufferStats, CapPolicy, DecodeCacheStats, Envelope,
+    InstancePath, Leaf, MuxNode, PathSeg, PreActivationBuffer, Router, SessionHost,
 };
 pub use party::{PartyId, Sid};
 pub use protocol::{Dest, Outgoing, ProtocolInstance, Step};

@@ -32,7 +32,7 @@
 //!   routing on a leading session segment.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -263,8 +263,98 @@ struct DecodeCacheEntry {
     /// pointer identity used as the lookup key cannot be recycled by a new
     /// payload while the entry lives.
     payload: Arc<[u8]>,
-    type_id: std::any::TypeId,
     decoded: Box<dyn std::any::Any>,
+}
+
+/// The decode-cache key: the payload's allocation address plus the decoded
+/// type.  Every live entry holds its `Arc`, so a live key's address cannot
+/// be handed to a new allocation — address equality on a *live* entry
+/// therefore implies `Arc::ptr_eq`, which is the same key-safety argument
+/// the pre-index linear scan made by calling `Arc::ptr_eq` directly.
+type DecodeCacheKey = (usize, std::any::TypeId);
+
+fn decode_cache_key<M: 'static>(payload: &Arc<[u8]>) -> DecodeCacheKey {
+    (Arc::as_ptr(payload).cast::<u8>() as usize, std::any::TypeId::of::<M>())
+}
+
+/// Hit/occupancy counters of the calling thread's typed-decode cache (see
+/// [`decode_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups served by a cached clone.
+    pub hits: u64,
+    /// Lookups that paid a real decode (failed decodes included).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Hasher for the decode-cache index.  The key's dominant component is an
+/// allocation address, already well-spread by the allocator, so a
+/// multiply-xor mix of the written words is plenty — and the index is not
+/// attacker-seedable (capacity 128, keyed by *local* allocation identity,
+/// never by attacker-chosen bytes), so SipHash's flooding resistance buys
+/// nothing here while costing more per lookup than the 1–3-step linear
+/// probe this index replaced.
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for hash impls that feed raw bytes (TypeId on some
+        // toolchains): fold them FNV-style into the running state.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+}
+
+type BuildPtrHasher = std::hash::BuildHasherDefault<PtrHasher>;
+
+/// The typed-decode cache: a FIFO window of recently decoded payloads with
+/// an O(1) index keyed by allocation identity + decoded type.  The FIFO
+/// (`order`) decides eviction exactly as the old `VecDeque`-only cache did;
+/// the map makes the per-delivery lookup O(1) instead of an O(capacity)
+/// reverse scan (at capacity 128 that scan sat on the hot path of every
+/// leaf delivery whose payload was *not* recently shared — i.e. most of a
+/// big run under a reordering scheduler).
+struct DecodeCache {
+    order: VecDeque<DecodeCacheKey>,
+    entries: HashMap<DecodeCacheKey, DecodeCacheEntry, BuildPtrHasher>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecodeCache {
+    fn new() -> Self {
+        DecodeCache {
+            order: VecDeque::with_capacity(DECODE_CACHE_CAPACITY),
+            entries: HashMap::with_capacity_and_hasher(
+                DECODE_CACHE_CAPACITY,
+                BuildPtrHasher::default(),
+            ),
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
 std::thread_local! {
@@ -275,8 +365,7 @@ std::thread_local! {
     /// the other `n − 1` — while two *different* sends (even with equal
     /// bytes, even from an equivocating Byzantine sender) never share an
     /// entry, exactly like the simulator's envelope-level cache.
-    static DECODE_CACHE: RefCell<VecDeque<DecodeCacheEntry>> =
-        RefCell::new(VecDeque::with_capacity(DECODE_CACHE_CAPACITY));
+    static DECODE_CACHE: RefCell<DecodeCache> = RefCell::new(DecodeCache::new());
 }
 
 /// [`decode_payload`] with the per-payload typed-decode cache in front: the
@@ -289,15 +378,14 @@ pub fn decode_payload_cached<M>(payload: &Arc<[u8]>) -> Option<M>
 where
     M: Encode + Decode + Clone + 'static,
 {
-    let type_id = std::any::TypeId::of::<M>();
+    let key = decode_cache_key::<M>(payload);
     DECODE_CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
-        // Most-recent-first: a hit is one of the other n−1 copies of a
-        // *recent* send, so it sits near the back of the FIFO.
-        let hit = cache.iter().rev().find(|e| {
-            e.type_id == type_id && Arc::ptr_eq(&e.payload, payload)
-        });
-        if let Some(entry) = hit {
+        if let Some(entry) = cache.entries.get(&key) {
+            debug_assert!(
+                Arc::ptr_eq(&entry.payload, payload),
+                "decode-cache address collision on a live entry (pinned Arc recycled?)"
+            );
             let value = entry
                 .decoded
                 .downcast_ref::<M>()
@@ -308,18 +396,30 @@ where
                 payload[..],
                 "cached typed decode is not clone-transparent for this message type"
             );
+            cache.hits += 1;
             return Some(value);
         }
+        cache.misses += 1;
         let value: M = decode_payload(payload)?;
-        if cache.len() >= DECODE_CACHE_CAPACITY {
-            cache.pop_front();
+        if cache.order.len() >= DECODE_CACHE_CAPACITY {
+            let oldest = cache.order.pop_front().expect("a full cache has an oldest entry");
+            let evicted = cache.entries.remove(&oldest);
+            debug_assert!(evicted.is_some(), "FIFO order and index must stay in lockstep");
         }
-        cache.push_back(DecodeCacheEntry {
-            payload: Arc::clone(payload),
-            type_id,
-            decoded: Box::new(value.clone()),
-        });
+        cache.order.push_back(key);
+        cache
+            .entries
+            .insert(key, DecodeCacheEntry { payload: Arc::clone(payload), decoded: Box::new(value.clone()) });
         Some(value)
+    })
+}
+
+/// Snapshot of the calling thread's typed-decode cache counters — hit-rate
+/// telemetry for benches and the cache's own regression tests.
+pub fn decode_cache_stats() -> DecodeCacheStats {
+    DECODE_CACHE.with(|cache| {
+        let cache = cache.borrow();
+        DecodeCacheStats { hits: cache.hits, misses: cache.misses, entries: cache.entries.len() }
     })
 }
 
@@ -482,15 +582,62 @@ impl<P: ProtocolInstance> MuxNode for Leaf<P> {
 /// Byzantine flooder to `cap × senders` buffered envelopes per child.
 pub const DEFAULT_PER_SENDER_CAP: usize = 1024;
 
-/// Per-sender cap for routers whose children are *deep* composites (a full
-/// Coin or Election per round): a slow party can lag several rounds behind
-/// its peers, and each pending round contributes `O(n)` honest envelopes
-/// per sender, so the cap scales with `n` to keep honest traffic safely
+/// How a [`PreActivationBuffer`] sizes its per-sender cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapPolicy {
+    /// A fixed per-sender cap (the pre-PR 6 behaviour; still the right
+    /// policy for leaf-child routers whose honest traffic is `O(1)` per
+    /// sender).
+    Static(usize),
+    /// An occupancy-driven cap: per `(child, sender)` the cap starts at
+    /// `floor`, and raises to `ceiling` for a child once at least
+    /// `witnesses` **distinct senders** concurrently hold `floor / 2` or
+    /// more buffered envelopes for that same child.
+    ///
+    /// The discriminator is *breadth*, read from the buffer's own occupancy
+    /// telemetry (the per-`(child, sender)` counts behind
+    /// [`PreActivationBuffer::stats`]): honest multi-round lag is
+    /// correlated — every fast party runs ahead of the straggler together,
+    /// so many senders fill up side by side — while a Byzantine flooder
+    /// floods alone (at most `f` colluders).  With `witnesses = f + 1`, a
+    /// raise requires at least one *honest* sender near the floor, which
+    /// only happens under genuine lag; a flooder stays pinned at `floor`,
+    /// and even a flood mounted during real lag is still bounded by
+    /// `ceiling`.
+    Adaptive {
+        /// The cap while breadth is below `witnesses` — and the value the
+        /// pre-PR 6 static policy used, so behaviour under a lone flooder
+        /// is unchanged.
+        floor: usize,
+        /// The hard per-sender bound once lag is witnessed (memory stays
+        /// `O(senders · ceiling)` per child).
+        ceiling: usize,
+        /// Distinct senders (self included) that must concurrently hold
+        /// `floor / 2`+ envelopes for the child before the cap raises.
+        witnesses: usize,
+    },
+}
+
+impl From<usize> for CapPolicy {
+    fn from(cap: usize) -> Self {
+        CapPolicy::Static(cap)
+    }
+}
+
+/// Cap policy for routers whose children are *deep* composites (a full Coin
+/// or Election per round): a slow party can lag several rounds behind its
+/// peers, and each pending round contributes `O(n)` honest envelopes per
+/// sender, so the floor scales with `n` to keep typical honest traffic
 /// below it (dropping an honest pre-activation message would be a liveness
-/// bug — protocols never retransmit).  Memory stays bounded at
-/// `O(n · cap)` per child.
-pub fn composite_cap(n: usize) -> usize {
-    DEFAULT_PER_SENDER_CAP.max(64 * n)
+/// bug — protocols never retransmit).  PR 6 made the cap *adaptive* on top
+/// of that floor: deep lag at high `n` can legitimately exceed any fixed
+/// cap, so when the buffer's occupancy telemetry shows `f + 1` senders
+/// filling up together (at least one of them honest), the cap raises to an
+/// 8× ceiling — while a lone flooder still hits the floor, exactly as under
+/// the old static cap.
+pub fn composite_cap(n: usize) -> CapPolicy {
+    let floor = DEFAULT_PER_SENDER_CAP.max(64 * n);
+    CapPolicy::Adaptive { floor, ceiling: 8 * floor, witnesses: n.saturating_sub(1) / 3 + 1 }
 }
 
 /// One buffered pre-activation message.
@@ -535,7 +682,7 @@ fn envelope_digest(path: &InstancePath, payload: &[u8]) -> u64 {
 ///   — so duplicates only cost memory).
 #[derive(Debug)]
 pub struct PreActivationBuffer {
-    per_sender_cap: usize,
+    policy: CapPolicy,
     entries: BTreeMap<u16, Vec<BufferedEnvelope>>,
     counts: BTreeMap<(u16, PartyId), usize>,
     /// `(child, sender, digest)` of every buffered envelope — the duplicate
@@ -546,17 +693,51 @@ pub struct PreActivationBuffer {
     /// races ahead of the local Aux quorum).
     seen: BTreeSet<(u16, PartyId, u64)>,
     dropped: u64,
+    /// Envelopes accepted *above* the floor by an adaptive raise — the
+    /// telemetry that shows the adaptive cap actually fired.
+    raised: u64,
 }
 
 impl PreActivationBuffer {
-    /// Creates a buffer with the given per-sender cap.
+    /// Creates a buffer with a fixed per-sender cap.
     pub fn new(per_sender_cap: usize) -> Self {
+        Self::with_policy(CapPolicy::Static(per_sender_cap))
+    }
+
+    /// Creates a buffer under the given [`CapPolicy`].
+    pub fn with_policy(policy: CapPolicy) -> Self {
         PreActivationBuffer {
-            per_sender_cap,
+            policy,
             entries: BTreeMap::new(),
             counts: BTreeMap::new(),
             seen: BTreeSet::new(),
             dropped: 0,
+            raised: 0,
+        }
+    }
+
+    /// The cap currently applying to a sender holding `count` buffered
+    /// envelopes for child `index`.  Below the floor the answer is the
+    /// floor without any occupancy scan (the hot path); at the floor the
+    /// adaptive policy consults the child's occupancy breadth.
+    fn effective_cap(&self, index: u16, count: usize) -> usize {
+        match self.policy {
+            CapPolicy::Static(cap) => cap,
+            CapPolicy::Adaptive { floor, ceiling, witnesses } => {
+                if count < floor {
+                    return floor;
+                }
+                let breadth = self
+                    .counts
+                    .range((index, PartyId(0))..=(index, PartyId(usize::MAX)))
+                    .filter(|(_, &c)| c >= floor / 2)
+                    .count();
+                if breadth >= witnesses {
+                    ceiling
+                } else {
+                    floor
+                }
+            }
         }
     }
 
@@ -569,8 +750,9 @@ impl PreActivationBuffer {
         path: InstancePath,
         payload: &Arc<[u8]>,
     ) -> bool {
-        let count = self.counts.entry((index, from)).or_insert(0);
-        if *count >= self.per_sender_cap {
+        let count = self.counts.get(&(index, from)).copied().unwrap_or(0);
+        let cap = self.effective_cap(index, count);
+        if count >= cap {
             self.dropped += 1;
             return false;
         }
@@ -590,7 +772,12 @@ impl PreActivationBuffer {
                 return false;
             }
         }
-        *count += 1;
+        if let CapPolicy::Adaptive { floor, .. } = self.policy {
+            if count >= floor {
+                self.raised += 1;
+            }
+        }
+        *self.counts.entry((index, from)).or_insert(0) += 1;
         bucket.push(BufferedEnvelope { from, path, payload: Arc::clone(payload), digest });
         true
     }
@@ -624,6 +811,12 @@ impl PreActivationBuffer {
     /// Number of envelopes dropped by the cap or duplicate filter.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Number of envelopes accepted above the floor by an adaptive cap
+    /// raise (always 0 under [`CapPolicy::Static`]).
+    pub fn raised(&self) -> u64 {
+        self.raised
     }
 
     /// The buffer's occupancy/drop counters.
@@ -666,14 +859,15 @@ impl<N: MuxNode> Router<N> {
     }
 
     /// Creates an empty router with an explicit per-sender pre-activation
-    /// cap.
-    pub fn with_cap(kind: u8, per_sender_cap: usize) -> Self {
+    /// cap policy (a plain `usize` converts to [`CapPolicy::Static`];
+    /// composite parents pass [`composite_cap`]).
+    pub fn with_cap(kind: u8, cap: impl Into<CapPolicy>) -> Self {
         Router {
             kind,
             children: Vec::new(),
             retired: Vec::new(),
             retired_drops: 0,
-            buffer: PreActivationBuffer::new(per_sender_cap),
+            buffer: PreActivationBuffer::with_policy(cap.into()),
         }
     }
 
@@ -807,6 +1001,12 @@ impl<N: MuxNode> Router<N> {
     /// filter.
     pub fn buffer_dropped(&self) -> u64 {
         self.buffer.dropped()
+    }
+
+    /// Number of pre-activation envelopes accepted above the adaptive
+    /// floor (see [`CapPolicy::Adaptive`]; always 0 under a static cap).
+    pub fn buffer_raised(&self) -> u64 {
+        self.buffer.raised()
     }
 
     /// The recursive buffer telemetry of this router: its own pre-activation
@@ -1232,10 +1432,41 @@ mod tests {
         for (v, p) in payloads.iter().enumerate() {
             assert_eq!(decode_payload_cached::<u32>(p), Some(v as u32));
         }
-        DECODE_CACHE.with(|c| assert!(c.borrow().len() <= DECODE_CACHE_CAPACITY));
+        assert!(decode_cache_stats().entries <= DECODE_CACHE_CAPACITY);
+        DECODE_CACHE.with(|c| {
+            let c = c.borrow();
+            assert_eq!(c.order.len(), c.entries.len(), "FIFO order and index stay in lockstep");
+        });
         for (v, p) in payloads.iter().enumerate() {
             assert_eq!(decode_payload_cached::<u32>(p), Some(v as u32), "evicted entries re-decode");
         }
+    }
+
+    #[test]
+    fn typed_decode_cache_hit_rate_and_equivocation_safety_survive_the_index() {
+        // The O(1) index must not change *what* hits: same allocation hits,
+        // byte-identical twins and other types miss.  Counters are
+        // thread-local, so deltas are taken inside one test thread.
+        let before = decode_cache_stats();
+        let payload = setupfree_wire::to_shared_bytes(&0xfeedu16);
+        assert_eq!(decode_payload_cached::<u16>(&payload), Some(0xfeed));
+        for _ in 0..9 {
+            // The n-fold multicast fan-out: every further recipient of the
+            // same allocation is a hit.
+            assert_eq!(decode_payload_cached::<u16>(&payload), Some(0xfeed));
+        }
+        let after = decode_cache_stats();
+        assert_eq!(after.hits - before.hits, 9, "9 of 10 same-allocation decodes hit");
+        assert_eq!(after.misses - before.misses, 1, "exactly one real decode");
+
+        // Equivocation safety: a byte-identical twin allocation never hits
+        // another send's entry, exactly as before the index.
+        let twin: Arc<[u8]> = payload.to_vec().into();
+        assert!(!Arc::ptr_eq(&payload, &twin));
+        assert_eq!(decode_payload_cached::<u16>(&twin), Some(0xfeed));
+        let twinned = decode_cache_stats();
+        assert_eq!(twinned.hits, after.hits, "a distinct allocation must not hit");
+        assert_eq!(twinned.misses, after.misses + 1);
     }
 
     #[test]

@@ -150,16 +150,50 @@ pub struct SessionReport {
     pub metrics: SessionMetrics,
 }
 
+/// One worker shard that died before finishing its sessions — the
+/// structured form of what used to be a host-thread panic.  A poisoned
+/// shard now fails the run *loudly* (the failure is in the report, and
+/// [`ShardedRunReport::all_terminated`] is false) without aborting the
+/// process: the healthy shards' sessions still report normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// The shard whose worker thread died.
+    pub shard: usize,
+    /// The worker's panic payload (best-effort string form).
+    pub message: String,
+    /// Sessions assigned to this shard that never reported: the one that
+    /// killed the worker, anything still queued in its inbox, and anything
+    /// never admitted because the run aborted.
+    pub lost_sessions: Vec<usize>,
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker shard {} died ({}); sessions {:?} never reported",
+            self.shard, self.message, self.lost_sessions
+        )
+    }
+}
+
 /// The outcome of a whole sharded run.
 #[derive(Debug, Clone)]
 pub struct ShardedRunReport<O> {
-    /// One report per session, indexed by session.
+    /// One report per *closed* session, indexed by session.  Complete
+    /// (`sessions.len() == k`) exactly when [`ShardedRunReport::failures`]
+    /// is empty; a failed parallel run reports only the sessions that
+    /// closed before (or despite) the failure.
     pub sessions: Vec<SessionReport>,
-    /// Every session's per-party outputs, indexed by session then party.
+    /// Every session's per-party outputs, indexed by session then party
+    /// (empty for sessions lost to a worker failure).
     pub outputs: Vec<Vec<Option<O>>>,
     /// Maximum number of concurrently live sessions observed (merge-order
     /// dependent telemetry — *not* covered by the determinism contract).
     pub peak_live_sessions: usize,
+    /// Worker shards that died mid-run (always empty for the deterministic
+    /// [`ShardedHost::run`], which executes sessions on the host thread).
+    pub failures: Vec<WorkerFailure>,
 }
 
 impl<O> ShardedRunReport<O> {
@@ -172,9 +206,11 @@ impl<O> ShardedRunReport<O> {
             .collect()
     }
 
-    /// `true` when every session terminated with all awaited outputs.
+    /// `true` when no worker died and every session terminated with all
+    /// awaited outputs.
     pub fn all_terminated(&self) -> bool {
-        self.sessions.iter().all(|r| r.reason == StopReason::AllOutputs)
+        self.failures.is_empty()
+            && self.sessions.iter().all(|r| r.reason == StopReason::AllOutputs)
     }
 
     /// Component-wise sum of every session's metrics (`rounds` is the
@@ -348,6 +384,7 @@ where
             sessions: reports.into_iter().map(|r| r.expect("every session closed")).collect(),
             outputs,
             peak_live_sessions: peak,
+            failures: Vec::new(),
         }
     }
 
@@ -377,6 +414,8 @@ where
         let mut outputs: Vec<Vec<Option<O>>> = (0..k).map(|_| Vec::new()).collect();
         let mut peak = 0usize;
 
+        let mut failures: Vec<WorkerFailure> = Vec::new();
+
         std::thread::scope(|scope| {
             let mut workers = Vec::with_capacity(w);
             for (shard, (inbox, outbox)) in inboxes.iter().zip(&outboxes).enumerate() {
@@ -401,6 +440,7 @@ where
             let mut next = 0usize;
             let mut active = 0usize;
             let mut closed = 0usize;
+            let mut aborted = false;
             while closed < k {
                 // Room is checked BEFORE the policy is consulted: `admit`
                 // commits the admission (a token bucket debits a token), so
@@ -412,9 +452,13 @@ where
                     && inboxes[next % w].has_capacity()
                     && (policy.admit(active) || active == 0)
                 {
-                    inboxes[next % w]
-                        .try_push(next)
-                        .unwrap_or_else(|_| panic!("single-producer inbox lost capacity"));
+                    if inboxes[next % w].try_push(next).is_err() {
+                        // Unreachable while the single-producer invariant
+                        // holds; if it ever breaks, abort the run and report
+                        // it as a failure instead of taking the process down.
+                        aborted = true;
+                        break;
+                    }
                     next += 1;
                     active += 1;
                     peak = peak.max(active);
@@ -431,29 +475,76 @@ where
                         got = true;
                     }
                 }
+                if aborted {
+                    break;
+                }
                 if !got {
                     // A worker only exits after its inbox closes (below), so
                     // one finishing early has panicked — its sessions will
-                    // never report.  Fail loudly instead of spinning forever;
-                    // the scope join then surfaces the worker's own panic.
+                    // never report.  Stop admitting and collect what the
+                    // healthy shards produced instead of spinning forever (or
+                    // panicking the host thread, as this path once did).
                     if workers.iter().any(|h| h.is_finished()) {
-                        for inbox in &inboxes {
-                            inbox.close();
-                        }
-                        panic!("a worker shard terminated early (panicked) with sessions pending");
+                        aborted = true;
+                        break;
                     }
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
             }
+            // Closing the inboxes releases every healthy worker: each drains
+            // its queued indices, runs them to close, and exits.
             for inbox in &inboxes {
                 inbox.close();
+            }
+            // Join explicitly, consuming panic payloads so the scope does not
+            // re-panic on drop.  A `Err` here is the worker's own panic; its
+            // payload becomes the structured failure message.
+            let mut dead: Vec<(usize, String)> = Vec::new();
+            for (shard, handle) in workers.into_iter().enumerate() {
+                if let Err(payload) = handle.join() {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked with a non-string payload".into());
+                    dead.push((shard, message));
+                }
+            }
+            // Healthy workers kept reporting while we joined the dead one;
+            // drain the outboxes once more so their sessions are not misread
+            // as lost.
+            for outbox in &outboxes {
+                while let Some((report, outs)) = outbox.try_pop() {
+                    policy.on_deliveries(report.deliveries);
+                    policy.on_session_closed();
+                    outputs[report.session] = outs;
+                    reports[report.session] = Some(report);
+                }
+            }
+            for (shard, message) in dead {
+                let lost_sessions = (0..k)
+                    .filter(|&i| i % w == shard && reports[i].is_none())
+                    .collect();
+                failures.push(WorkerFailure { shard, message, lost_sessions });
+            }
+            if aborted && failures.is_empty() {
+                // The abort came from the coordinator side (capacity-invariant
+                // breach), not a worker panic; record it against shard `w` so
+                // the report still fails loudly.
+                let lost_sessions = (0..k).filter(|&i| reports[i].is_none()).collect();
+                failures.push(WorkerFailure {
+                    shard: w,
+                    message: "single-producer inbox lost capacity".into(),
+                    lost_sessions,
+                });
             }
         });
 
         ShardedRunReport {
-            sessions: reports.into_iter().map(|r| r.expect("every session closed")).collect(),
+            sessions: reports.into_iter().flatten().collect(),
             outputs,
             peak_live_sessions: peak,
+            failures,
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod queue;
 pub use admission::{AdmissionPolicy, MaxConcurrent, TokenBucket, Unlimited};
 pub use host::{
     SessionFactory, SessionMetrics, SessionReport, SessionSetup, ShardedHost, ShardedRunReport,
+    WorkerFailure,
 };
 pub use queue::ShardQueue;
 

@@ -1,15 +1,24 @@
-//! Bounded SPSC-style channels between the coordinator and the worker
-//! shards.
+//! Bounded blocking channels between the coordinator and the worker
+//! shards — and, since the socket transport, between a peer's reader
+//! threads and its driver.
 //!
 //! Each shard owns one inbox (coordinator → shard: admitted session
 //! indices — and, in a shared-seeding future, cross-shard envelopes) and one
-//! outbox (shard → coordinator: per-session reports).  Both are **bounded**:
-//! a producer that outruns its consumer blocks instead of growing memory,
-//! so a misbehaving shard can never buffer the whole workload.  The
-//! implementation is a `Mutex<VecDeque>` + two condvars — each endpoint has
-//! exactly one producer and one consumer (SPSC), so there is no contention
-//! to optimise away, and the workspace's `forbid(unsafe_code)` rules out a
+//! outbox (shard → coordinator: per-session reports); a socket-backed peer
+//! owns one inbox fed by `n − 1` connection reader threads (MPSC).  All are
+//! **bounded**: a producer that outruns its consumer blocks instead of
+//! growing memory, so a misbehaving shard (or a flooding connection) can
+//! never buffer the whole workload.  The implementation is a
+//! `Mutex<VecDeque>` + two condvars — correct for any number of producers
+//! and consumers (only [`ShardQueue::has_capacity`] assumes a single
+//! producer), and the workspace's `forbid(unsafe_code)` rules out a
 //! lock-free ring.
+//!
+//! The close protocol every consumer relies on: [`ShardQueue::close`] makes
+//! producers fail fast (the item is handed back), while consumers still
+//! drain the accepted backlog before seeing `None` — an accepted item is
+//! never lost.  The property tests below pin exactly this under concurrent
+//! producers and a mid-drain close.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -180,5 +189,111 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    // -----------------------------------------------------------------
+    // Close/contention semantics under concurrent producers — the
+    // transport's peer inboxes are MPSC ShardQueues torn down by `close`
+    // mid-run, so these properties are load-bearing beyond the sharded
+    // host's SPSC use:
+    //
+    //   * the run never deadlocks (producers blocked on a full queue are
+    //     woken by `close` and fail fast);
+    //   * an item whose `push` returned `Ok` is *always* delivered to the
+    //     consumer, even when the close lands mid-drain;
+    //   * an item whose `push` returned `Err` is handed back intact.
+    // -----------------------------------------------------------------
+
+    use proptest::prelude::*;
+
+    /// Runs `producers` threads pushing `per_producer` tagged items each
+    /// into a queue of `capacity`, closes the queue after the consumer has
+    /// drained `close_after` items, then drains the backlog.  Returns
+    /// `(accepted, rejected, popped)` as sorted multisets of `(producer,
+    /// seq)` tags.
+    #[allow(clippy::type_complexity)]
+    fn contention_run(
+        producers: usize,
+        capacity: usize,
+        per_producer: usize,
+        close_after: usize,
+    ) -> (Vec<(usize, usize)>, Vec<(usize, usize)>, Vec<(usize, usize)>) {
+        let q: Arc<ShardQueue<(usize, usize)>> = Arc::new(ShardQueue::new(capacity));
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    let mut rejected = Vec::new();
+                    for seq in 0..per_producer {
+                        match q.push((p, seq)) {
+                            Ok(()) => accepted.push((p, seq)),
+                            Err(item) => {
+                                assert_eq!(item, (p, seq), "a rejected item is handed back intact");
+                                rejected.push(item);
+                            }
+                        }
+                    }
+                    (accepted, rejected)
+                })
+            })
+            .collect();
+
+        // Consumer (this thread): drain `close_after` items, close mid-drain,
+        // then drain whatever backlog was accepted before the close.
+        // `close_after <= total` (the callers clamp), and every pre-close
+        // push eventually succeeds, so the blocking pops below cannot wedge.
+        let mut popped = Vec::new();
+        for _ in 0..close_after {
+            popped.push(q.pop().expect("pre-close items must arrive"));
+        }
+        q.close();
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        assert_eq!(q.pop(), None, "a closed drained queue stays ended");
+
+        let (mut accepted, mut rejected) = (Vec::new(), Vec::new());
+        for h in handles {
+            let (a, r) = h.join().expect("producer thread must not panic");
+            accepted.extend(a);
+            rejected.extend(r);
+        }
+        accepted.sort_unstable();
+        rejected.sort_unstable();
+        popped.sort_unstable();
+        (accepted, rejected, popped)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn concurrent_producers_and_mid_drain_close_lose_nothing(
+            producers in 1usize..5,
+            capacity in 1usize..5,
+            per_producer in 1usize..32,
+            close_fraction in 0usize..33,
+        ) {
+            let total = producers * per_producer;
+            let close_after = (close_fraction * total / 32).min(total);
+            let (accepted, rejected, popped) =
+                contention_run(producers, capacity, per_producer, close_after);
+            // Conservation: every push either reached the consumer or came
+            // back to its producer — nothing vanished, nothing duplicated.
+            prop_assert_eq!(&popped, &accepted);
+            prop_assert_eq!(accepted.len() + rejected.len(), total);
+            // The consumer saw at least what it drained before closing.
+            prop_assert!(popped.len() >= close_after);
+        }
+    }
+
+    #[test]
+    fn producers_blocked_on_a_full_queue_are_released_by_close() {
+        // Deterministic worst case: capacity 1, many producers, immediate
+        // close — every producer is parked on the `drained` condvar when the
+        // close lands, and all of them must come back with their item.
+        let (accepted, rejected, popped) = contention_run(4, 1, 16, 0);
+        assert_eq!(popped, accepted);
+        assert_eq!(accepted.len() + rejected.len(), 64);
     }
 }

@@ -1,0 +1,113 @@
+//! PR 6 regression: a panicking session must not take the host down.
+//!
+//! `run_parallel` used to panic in the *coordinator* thread when a worker
+//! shard died ("a worker shard terminated early (panicked) with sessions
+//! pending"), aborting the whole run — including the healthy shards' work.
+//! A poisoned shard is now a structured [`WorkerFailure`] in the
+//! [`ShardedRunReport`]: the run still fails loudly (`all_terminated()` is
+//! false) but the process stays alive and every healthy session reports.
+
+use setupfree_aba::MmrAba;
+use setupfree_core::TrustedCoinFactory;
+use setupfree_net::{
+    BoxedParty, Envelope, PartyId, ProtocolInstance, RandomScheduler, Sid, Step, StopReason,
+};
+use setupfree_runtime::{SessionSetup, ShardedHost};
+
+/// A party that panics the moment its session is activated — the sharpest
+/// possible stand-in for a machine bug inside a session, since activation
+/// happens on the worker thread right after the session index is popped.
+#[derive(Debug)]
+struct PoisonedParty;
+
+impl ProtocolInstance for PoisonedParty {
+    type Message = Envelope;
+    type Output = bool;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        panic!("injected fault: session poisoned at activation");
+    }
+
+    fn on_message(&mut self, _from: PartyId, _msg: Envelope) -> Step<Envelope> {
+        Step::none()
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+}
+
+/// Session `s` is a healthy trusted-coin ABA unless `s == poisoned`, in
+/// which case every party is a [`PoisonedParty`].
+fn session(n: usize, s: usize, poisoned: usize) -> SessionSetup<Envelope, bool> {
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
+        .map(|i| {
+            if s == poisoned {
+                Box::new(PoisonedParty) as BoxedParty<Envelope, bool>
+            } else {
+                Box::new(MmrAba::new(
+                    Sid::new("poisoned-shard").derive("session", s),
+                    PartyId(i),
+                    n,
+                    (n - 1) / 3,
+                    (i + s).is_multiple_of(2),
+                    TrustedCoinFactory,
+                )) as BoxedParty<Envelope, bool>
+            }
+        })
+        .collect();
+    SessionSetup::new(parties, Box::new(RandomScheduler::new(0xFA11 + s as u64)), 1_000_000)
+}
+
+#[test]
+fn a_panicking_session_becomes_a_structured_failure_not_a_host_panic() {
+    let n = 4;
+    let k = 6;
+    let w = 3;
+    let poisoned = 1usize;
+    // If the old behaviour regressed, this call would panic and the test
+    // would fail right here — reaching the assertions *is* the fix.
+    let report = ShardedHost::new(w, k, move |s| session(n, s, poisoned)).run_parallel();
+
+    assert!(!report.all_terminated(), "a poisoned shard must fail the run loudly");
+    assert_eq!(report.failures.len(), 1, "exactly one shard died");
+    let failure = &report.failures[0];
+    assert_eq!(failure.shard, poisoned % w, "the failure names the dead shard");
+    assert!(
+        failure.message.contains("session poisoned at activation"),
+        "the worker's panic payload is preserved: {:?}",
+        failure.message
+    );
+    // Shard 1 owned sessions 1 and 4; session 1 killed it, so session 4 —
+    // already queued in its inbox — never ran either.  Both are accounted
+    // for, and nothing outside the dead shard is blamed.
+    assert_eq!(failure.lost_sessions, vec![1, 4]);
+    let shown = failure.to_string();
+    assert!(shown.contains("shard 1") && shown.contains("[1, 4]"), "display names the damage");
+
+    // Every healthy session still closed normally and reported its outputs.
+    let mut reported: Vec<usize> = report.sessions.iter().map(|r| r.session).collect();
+    reported.sort_unstable();
+    assert_eq!(reported, vec![0, 2, 3, 5], "all healthy sessions report");
+    for r in &report.sessions {
+        assert_eq!(r.reason, StopReason::AllOutputs, "session {} closed cleanly", r.session);
+    }
+    for &s in &[0usize, 2, 3, 5] {
+        let decided: Vec<bool> = report.outputs[s].iter().map(|o| o.unwrap()).collect();
+        assert!(decided.windows(2).all(|p| p[0] == p[1]), "session {s} agreement");
+    }
+    for &s in &failure.lost_sessions {
+        assert!(report.outputs[s].is_empty(), "lost session {s} reports no outputs");
+    }
+}
+
+#[test]
+fn a_fully_healthy_parallel_run_reports_no_failures() {
+    let n = 4;
+    let k = 4;
+    // `poisoned` out of range: every session is healthy.
+    let report = ShardedHost::new(2, k, move |s| session(n, s, usize::MAX)).run_parallel();
+    assert!(report.failures.is_empty());
+    assert!(report.all_terminated());
+    assert_eq!(report.sessions.len(), k);
+}

@@ -1,0 +1,142 @@
+//! Length-prefixed framing for [`Envelope`]s on a byte stream.
+//!
+//! The simulator hands whole messages to the scheduler, so the wire codec
+//! never needed message boundaries: an [`Envelope`]'s payload simply runs to
+//! the end of the buffer.  TCP is a byte stream, so the transport adds the
+//! one thing the in-process seam got for free — a boundary — as a 4-byte
+//! little-endian length prefix per envelope.  *Inside* the frame the bytes
+//! are exactly what [`setupfree_wire::to_bytes`] produces for the envelope;
+//! a frame captured off the socket decodes with the same
+//! [`setupfree_wire::from_bytes`] call the simulator uses, so the two
+//! transports can never disagree about message contents.
+//!
+//! Connections open with a tiny hello frame (`MAGIC ‖ party-id`, both `u32`
+//! LE) so each acceptor learns which peer is on the other end before any
+//! protocol traffic flows; everything after the hello is envelope frames.
+
+use std::io::{self, Read, Write};
+
+use setupfree_net::Envelope;
+
+/// Connection-preamble magic: `"sfp1"` — *s*etup-*f*ree *p*eer, version 1.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"sfp1");
+
+/// Upper bound on a single frame (16 MiB).  Real envelopes in this
+/// workspace are a few KiB at most; anything larger is a corrupt or hostile
+/// stream and is rejected before the length is trusted for an allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Writes the connection hello identifying the dialing peer.
+pub fn write_hello(w: &mut impl Write, party: usize) -> io::Result<()> {
+    let mut hello = [0u8; 8];
+    hello[..4].copy_from_slice(&MAGIC.to_le_bytes());
+    hello[4..].copy_from_slice(&(party as u32).to_le_bytes());
+    w.write_all(&hello)
+}
+
+/// Reads the connection hello, returning the remote peer's id.
+pub fn read_hello(r: &mut impl Read) -> io::Result<usize> {
+    let mut hello = [0u8; 8];
+    r.read_exact(&mut hello)?;
+    let magic = u32::from_le_bytes(hello[..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad transport hello magic"));
+    }
+    Ok(u32::from_le_bytes(hello[4..].try_into().unwrap()) as usize)
+}
+
+/// Encodes one envelope as a single contiguous frame (`len ‖ bytes`), ready
+/// to be written with one `write_all` per destination.  A multicast encodes
+/// the envelope **once** and writes the same buffer to every peer —
+/// preserving the workspace's encode-once economics across the socket seam.
+pub fn encode_frame(env: &Envelope) -> Vec<u8> {
+    let bytes = setupfree_wire::to_bytes(env);
+    assert!(bytes.len() <= MAX_FRAME_LEN, "envelope exceeds MAX_FRAME_LEN");
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&bytes);
+    frame
+}
+
+/// Reads one length-prefixed frame and decodes it as an [`Envelope`].
+///
+/// Returns `Ok(None)` on a clean end-of-stream *at a frame boundary* (the
+/// peer closed); an EOF mid-frame is an error like any other short read.
+/// A frame that decodes to garbage is an `InvalidData` error — on a trusted
+/// loopback harness that is corruption, not a Byzantine peer (Byzantine
+/// *behaviour* lives inside the machines, which exchange well-formed
+/// envelopes with hostile contents).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Envelope>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "closed between frames" from "died mid-frame" by hand:
+    // read_exact reports both as UnexpectedEof.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        got => r.read_exact(&mut len_buf[got..])?,
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame length exceeds cap"));
+    }
+    let mut bytes = vec![0u8; len];
+    r.read_exact(&mut bytes)?;
+    setupfree_wire::from_bytes::<Envelope>(&bytes)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad envelope frame: {e:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setupfree_net::{InstancePath, PathSeg};
+
+    fn sample(nonce: u64) -> Envelope {
+        Envelope::seal(InstancePath::of(PathSeg::new(3, 7)), &nonce)
+    }
+
+    #[test]
+    fn frames_roundtrip_back_to_back() {
+        let mut stream = Vec::new();
+        for nonce in 0..5u64 {
+            stream.extend_from_slice(&encode_frame(&sample(nonce)));
+        }
+        let mut r = &stream[..];
+        for nonce in 0..5u64 {
+            let env = read_frame(&mut r).unwrap().expect("frame present");
+            assert_eq!(env, sample(nonce), "frame {nonce} must roundtrip byte-identically");
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF at the boundary");
+    }
+
+    #[test]
+    fn hello_roundtrips_and_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, 21).unwrap();
+        assert_eq!(read_hello(&mut &buf[..]).unwrap(), 21);
+        buf[0] ^= 0xFF;
+        assert!(read_hello(&mut &buf[..]).is_err(), "corrupted magic must be rejected");
+    }
+
+    #[test]
+    fn truncation_and_oversize_are_errors_not_hangs() {
+        let frame = encode_frame(&sample(9));
+        // Die mid-frame: every strict prefix longer than zero errors out.
+        for cut in 1..frame.len() {
+            let err = read_frame(&mut &frame[..cut]).expect_err("truncated frame must error");
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // A hostile length prefix is rejected before it sizes an allocation.
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn frame_decoding_matches_the_simulator_codec() {
+        // The transport's frame body IS the simulator's wire encoding.
+        let env = sample(1234);
+        let frame = encode_frame(&env);
+        let body = &frame[4..];
+        let direct: Envelope = setupfree_wire::from_bytes(body).unwrap();
+        assert_eq!(direct, env);
+    }
+}

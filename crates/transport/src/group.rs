@@ -1,0 +1,438 @@
+//! The loopback peer group: every party of a protocol run as a real
+//! socket-backed peer.
+//!
+//! [`TcpPeerGroup::run`] boots `n` peers inside one process, fully
+//! connected over TCP loopback (one duplex connection per unordered pair),
+//! and drives an unmodified [`ProtocolInstance`] per peer until every peer
+//! has produced its output — or until something goes wrong, in which case
+//! the run *terminates with a structured failure* instead of hanging.
+//!
+//! # Thread model (mirrors the sharded runtime's worker seam)
+//!
+//! Per peer:
+//!
+//! * **one driver thread** owns the state machine for its whole life — the
+//!   machines are deliberately not `Send` (they hold `Rc`-free but
+//!   thread-affine state), so the factory closure is called *on* the driver
+//!   thread, exactly like [`setupfree_runtime::SessionFactory`] sessions
+//!   are built on their worker shard.  The driver pops `(from, envelope)`
+//!   pairs from a bounded [`ShardQueue`] inbox (the same queue type, same
+//!   close protocol, as the sharded host's worker inboxes), steps the
+//!   machine, and writes the resulting envelopes to the peer sockets —
+//!   encoding each multicast **once**;
+//! * **one reader thread per remote peer** turns the byte stream back into
+//!   envelopes and pushes them into the inbox; a full inbox blocks the
+//!   reader, which backpressures the sender through TCP.
+//!
+//! Self-addressed messages (`Dest::All` includes the sender) never touch a
+//! socket: the driver loops them through a local queue, sharing the payload
+//! `Arc` just like the simulator does.
+//!
+//! # Termination guarantees
+//!
+//! The coordinator (the calling thread) watches three conditions: every
+//! peer decided (success), a peer's driver exited undecided
+//! ([`TransportFailure::PeerStopped`] — the disconnect case), or the
+//! deadline passed ([`TransportFailure::Timeout`]).  In every case it then
+//! closes all inboxes and shuts down every socket, which provably unwedges
+//! each blocked thread: `pop` returns `None`, reads return EOF, and writes
+//! error out.  No path waits on a peer that will never speak again.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use setupfree_net::{BoxedParty, Dest, Envelope, PartyId, ProtocolInstance, Step};
+use setupfree_runtime::ShardQueue;
+
+use crate::framing::{encode_frame, read_frame, read_hello, write_hello};
+
+/// Default per-peer inbox bound.  Large enough that transient bursts ride
+/// in memory, small enough that a stalled peer backpressures its senders
+/// through TCP instead of ballooning the heap.
+pub const DEFAULT_INBOX_CAPACITY: usize = 4096;
+
+/// Default wall-clock deadline for a run.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Why a socket run failed (success is the absence of a failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportFailure {
+    /// The deadline passed with peers still undecided.  The run was torn
+    /// down; nobody is left blocked.
+    Timeout {
+        /// How long the coordinator waited.
+        waited_ms: u64,
+        /// The peers that had not produced an output.
+        undecided: Vec<usize>,
+    },
+    /// A peer's driver exited before producing an output — a disconnect, a
+    /// poisoned machine (panic payload in `message`), or a peer whose every
+    /// socket died under it.
+    PeerStopped {
+        /// The peer that stopped.
+        peer: usize,
+        /// The driver's panic payload, when it panicked rather than exited.
+        message: Option<String>,
+    },
+}
+
+impl fmt::Display for TransportFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportFailure::Timeout { waited_ms, undecided } => {
+                write!(f, "timed out after {waited_ms} ms with peers {undecided:?} undecided")
+            }
+            TransportFailure::PeerStopped { peer, message: Some(m) } => {
+                write!(f, "peer {peer} died: {m}")
+            }
+            TransportFailure::PeerStopped { peer, message: None } => {
+                write!(f, "peer {peer} stopped without deciding")
+            }
+        }
+    }
+}
+
+/// Per-peer traffic counters (socket traffic only — self-deliveries bypass
+/// the sockets by design and are not counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Envelopes written to peer sockets (a multicast counts once per
+    /// destination, matching the simulator's per-message accounting).
+    pub sent_envelopes: u64,
+    /// Frame bytes written (4-byte prefix included).
+    pub sent_bytes: u64,
+    /// Envelopes received off the sockets and delivered to the machine.
+    pub received_envelopes: u64,
+    /// Sends skipped or failed because the destination's connection was
+    /// already dead — the asynchronous model's "messages to a crashed party
+    /// are lost", observed for real.
+    pub dropped_sends: u64,
+}
+
+/// The outcome of one [`TcpPeerGroup::run`].
+#[derive(Debug, Clone)]
+pub struct SocketRunReport<O> {
+    /// Each peer's output (`None` for peers that never decided).
+    pub outputs: Vec<Option<O>>,
+    /// Each peer's socket-traffic counters.
+    pub peers: Vec<PeerStats>,
+    /// Wall-clock time from first activation to teardown.
+    pub wall: Duration,
+    /// `None` on success; the structured reason otherwise.
+    pub failure: Option<TransportFailure>,
+}
+
+impl<O> SocketRunReport<O> {
+    /// `true` when the run succeeded and every peer decided.
+    pub fn all_decided(&self) -> bool {
+        self.failure.is_none() && self.outputs.iter().all(|o| o.is_some())
+    }
+
+    /// `true` when every peer that decided decided the *same* value.
+    pub fn agreed(&self) -> bool
+    where
+        O: PartialEq,
+    {
+        let vals: Vec<&O> = self.outputs.iter().flatten().collect();
+        vals.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Total envelopes written to sockets across all peers.
+    pub fn total_sent_envelopes(&self) -> u64 {
+        self.peers.iter().map(|p| p.sent_envelopes).sum()
+    }
+
+    /// Total frame bytes written to sockets across all peers.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.peers.iter().map(|p| p.sent_bytes).sum()
+    }
+}
+
+/// Builder/harness for an `n`-peer loopback group.
+#[derive(Debug, Clone)]
+pub struct TcpPeerGroup {
+    n: usize,
+    timeout: Duration,
+    inbox_capacity: usize,
+    disconnect_after: Vec<Option<u64>>,
+}
+
+impl TcpPeerGroup {
+    /// A group of `n` peers with the default timeout and inbox bound.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a peer group needs at least two peers");
+        TcpPeerGroup {
+            n,
+            timeout: DEFAULT_TIMEOUT,
+            inbox_capacity: DEFAULT_INBOX_CAPACITY,
+            disconnect_after: vec![None; n],
+        }
+    }
+
+    /// Replaces the run deadline.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Replaces the per-peer inbox bound.
+    pub fn inbox_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity inbox would deadlock the readers");
+        self.inbox_capacity = capacity;
+        self
+    }
+
+    /// Fault injection: `peer` severs all of its connections and exits after
+    /// delivering `deliveries` socket envelopes to its machine.  The
+    /// surviving peers observe a real mid-protocol disconnect; the run then
+    /// reports [`TransportFailure::PeerStopped`] (unless the peer had
+    /// already decided, in which case the others may still finish).
+    pub fn disconnect_after(mut self, peer: usize, deliveries: u64) -> Self {
+        self.disconnect_after[peer] = Some(deliveries);
+        self
+    }
+
+    /// Boots the group and runs `factory(i)`'s machine on peer `i` until
+    /// every peer decides, a peer dies, or the deadline passes.
+    ///
+    /// `Err` is reserved for *environment* failures while wiring the
+    /// loopback sockets (bind/connect/hello); once the peers are up, every
+    /// outcome — including disconnects and timeouts — terminates and comes
+    /// back as a [`SocketRunReport`].
+    pub fn run<O, F>(&self, factory: F) -> io::Result<SocketRunReport<O>>
+    where
+        O: Clone + fmt::Debug + Send,
+        F: Fn(usize) -> BoxedParty<Envelope, O> + Sync,
+    {
+        let n = self.n;
+        // --- wire the full mesh: one duplex connection per unordered pair.
+        // Peer a < b dials b's listener; the kernel's accept backlog (>= n-1
+        // here) lets the whole dial pass complete before any accept runs.
+        let listeners: Vec<TcpListener> =
+            (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<io::Result<_>>()?;
+        let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr()).collect::<io::Result<_>>()?;
+        let mut links: Vec<Vec<Option<Arc<TcpStream>>>> = (0..n).map(|_| vec![None; n]).collect();
+        for (a, row) in links.iter_mut().enumerate() {
+            for (b, link) in row.iter_mut().enumerate().skip(a + 1) {
+                let mut s = TcpStream::connect(addrs[b])?;
+                write_hello(&mut s, a)?;
+                s.set_nodelay(true)?;
+                *link = Some(Arc::new(s));
+            }
+        }
+        for (b, listener) in listeners.iter().enumerate() {
+            for _ in 0..b {
+                let (mut s, _) = listener.accept()?;
+                let a = read_hello(&mut s)?;
+                if a >= n || links[b][a].is_some() {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad hello peer id"));
+                }
+                s.set_nodelay(true)?;
+                links[b][a] = Some(Arc::new(s));
+            }
+        }
+        drop(listeners);
+        let all_streams: Vec<Arc<TcpStream>> =
+            links.iter().flatten().flatten().cloned().collect();
+
+        // --- shared run state.
+        let inboxes: Vec<ShardQueue<(PartyId, Envelope)>> =
+            (0..n).map(|_| ShardQueue::new(self.inbox_capacity)).collect();
+        let decided: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let decided_flag: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let factory = &factory;
+        let start = Instant::now();
+
+        let mut peers: Vec<PeerStats> = vec![PeerStats::default(); n];
+        let mut failure: Option<TransportFailure> = None;
+
+        std::thread::scope(|scope| {
+            let mut drivers = Vec::with_capacity(n);
+            for (i, row) in links.into_iter().enumerate() {
+                // Readers: one per remote peer, each owning its stream Arc.
+                for (j, stream) in row.iter().enumerate() {
+                    let Some(stream) = stream.clone() else { continue };
+                    debug_assert_ne!(i, j);
+                    let inbox = &inboxes[i];
+                    scope.spawn(move || {
+                        let mut r = BufReader::new(stream.as_ref());
+                        while let Ok(Some(env)) = read_frame(&mut r) {
+                            if inbox.push((PartyId(j), env)).is_err() {
+                                break; // inbox closed: the run is over
+                            }
+                        }
+                    });
+                }
+                let inbox = &inboxes[i];
+                let decided_slot = &decided[i];
+                let decided_flag = &decided_flag[i];
+                let done = &done[i];
+                let disconnect_after = self.disconnect_after[i];
+                drivers.push(scope.spawn(move || {
+                    // The machine is built *here*, on its driver thread, and
+                    // never leaves it.
+                    let mut io = PeerIo { me: i, links: row, alive: vec![true; n], stats: PeerStats::default(), pending: VecDeque::new() };
+                    let mut machine = factory(i);
+                    io.dispatch(machine.on_activation());
+                    let mut delivered = 0u64;
+                    loop {
+                        // Self-addressed traffic loops locally, socket-free.
+                        while let Some(env) = io.pending.pop_front() {
+                            let step = machine.on_message(PartyId(i), env);
+                            io.dispatch(step);
+                        }
+                        if !decided_flag.load(Ordering::Acquire) {
+                            if let Some(out) = machine.output() {
+                                *decided_slot.lock().unwrap() = Some(out);
+                                decided_flag.store(true, Ordering::Release);
+                            }
+                        }
+                        if let Some(limit) = disconnect_after {
+                            if delivered >= limit {
+                                io.sever(); // fault injection: vanish mid-protocol
+                                break;
+                            }
+                        }
+                        let Some((from, env)) = inbox.pop() else { break };
+                        delivered += 1;
+                        io.stats.received_envelopes += 1;
+                        let step = machine.on_message(from, env);
+                        io.dispatch(step);
+                    }
+                    done.store(true, Ordering::Release);
+                    io.stats
+                }));
+            }
+
+            // --- coordinator: watch for success, a dead peer, or the clock.
+            let deadline = start + self.timeout;
+            failure = loop {
+                if decided_flag.iter().all(|f| f.load(Ordering::Acquire)) {
+                    break None;
+                }
+                if let Some(peer) = (0..n).find(|&i| {
+                    done[i].load(Ordering::Acquire) && !decided_flag[i].load(Ordering::Acquire)
+                }) {
+                    break Some(TransportFailure::PeerStopped { peer, message: None });
+                }
+                if Instant::now() > deadline {
+                    let undecided =
+                        (0..n).filter(|&i| !decided_flag[i].load(Ordering::Acquire)).collect();
+                    break Some(TransportFailure::Timeout {
+                        waited_ms: start.elapsed().as_millis() as u64,
+                        undecided,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            };
+
+            // --- teardown, in an order that unwedges every blocked thread:
+            // closed inboxes release poppers AND pushers; shut-down sockets
+            // turn blocked reads into EOF and blocked writes into errors.
+            for inbox in &inboxes {
+                inbox.close();
+            }
+            for s in &all_streams {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            for (i, handle) in drivers.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(stats) => peers[i] = stats,
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "driver panicked".into());
+                        match &mut failure {
+                            Some(TransportFailure::PeerStopped { peer, message: slot })
+                                if *peer == i =>
+                            {
+                                *slot = Some(message);
+                            }
+                            Some(_) => {}
+                            none => {
+                                *none =
+                                    Some(TransportFailure::PeerStopped { peer: i, message: Some(message) });
+                            }
+                        }
+                    }
+                }
+            }
+            // Reader threads exit on socket EOF; the scope joins them here.
+        });
+
+        let outputs = decided.into_iter().map(|m| m.into_inner().unwrap()).collect();
+        Ok(SocketRunReport { outputs, peers, wall: start.elapsed(), failure })
+    }
+}
+
+/// A peer's writing half: its row of connections, liveness per destination,
+/// and the local loopback queue for self-addressed envelopes.
+struct PeerIo {
+    me: usize,
+    links: Vec<Option<Arc<TcpStream>>>,
+    alive: Vec<bool>,
+    stats: PeerStats,
+    pending: VecDeque<Envelope>,
+}
+
+impl PeerIo {
+    /// Sends every outgoing message of a step: multicasts encode once and
+    /// fan the same frame out; self-copies share the payload `Arc` locally.
+    fn dispatch(&mut self, step: Step<Envelope>) {
+        for out in step.outgoing {
+            match out.dest {
+                Dest::All => {
+                    let frame = encode_frame(&out.msg);
+                    for j in 0..self.links.len() {
+                        if j != self.me {
+                            self.write(j, &frame);
+                        }
+                    }
+                    self.pending.push_back(out.msg);
+                }
+                Dest::One(PartyId(p)) if p == self.me => self.pending.push_back(out.msg),
+                Dest::One(PartyId(p)) => {
+                    let frame = encode_frame(&out.msg);
+                    self.write(p, &frame);
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, j: usize, frame: &[u8]) {
+        if !self.alive[j] {
+            self.stats.dropped_sends += 1;
+            return;
+        }
+        let Some(stream) = &self.links[j] else {
+            self.stats.dropped_sends += 1;
+            return;
+        };
+        // A failed write marks the link dead and the message lost — the
+        // asynchronous model's treatment of crashed receivers.  The machine
+        // is NOT told: protocols tolerate f silent peers by design.
+        if stream.as_ref().write_all(frame).is_err() {
+            self.alive[j] = false;
+            self.stats.dropped_sends += 1;
+        } else {
+            self.stats.sent_envelopes += 1;
+            self.stats.sent_bytes += frame.len() as u64;
+        }
+    }
+
+    /// Severs every connection this peer owns (both directions die: reads on
+    /// the far side hit EOF, writes hit errors).
+    fn sever(&self) {
+        for stream in self.links.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Real sockets under the protocol stack — the transport seam, made of TCP.
+//!
+//! Everything below the [`Envelope`](setupfree_net::Envelope) is swappable
+//! by construction: the state machines are sans-IO, the wire codec is
+//! transport-agnostic, and the simulator is just one way of moving sealed
+//! envelopes between parties.  This crate is the second way: `n` peers in
+//! one process, each with its own driver thread and socket mesh, exchanging
+//! the *same bytes* the simulator's schedulers would carry — over loopback
+//! TCP with a 4-byte length prefix as the only addition ([`framing`]).
+//!
+//! The protocol crates are untouched: a [`TcpPeerGroup`] runs the identical
+//! `Coin`/`MmrAba`/`RandomBeacon` machines the simulator runs, built by the
+//! same kind of factory closure the sharded runtime uses.  What changes is
+//! only who calls `on_message`: a reader thread fed by a socket instead of
+//! an adversarial scheduler.  (That also means the *delivery order* is now
+//! whatever the kernel produces — benign and roughly FIFO per link.  The
+//! adversarial schedules stay in the simulator, which remains the place
+//! correctness is argued; the transport is where wall-clock is measured.)
+//!
+//! See `ARCHITECTURE.md` § "Transport" for the full picture and
+//! `examples/socket_beacon.rs` for a runnable demo.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod framing;
+pub mod group;
+
+pub use framing::{encode_frame, read_frame, read_hello, write_hello, MAGIC, MAX_FRAME_LEN};
+pub use group::{
+    PeerStats, SocketRunReport, TcpPeerGroup, TransportFailure, DEFAULT_INBOX_CAPACITY,
+    DEFAULT_TIMEOUT,
+};

@@ -1,0 +1,198 @@
+//! End-to-end tests: the unmodified protocol stack over real TCP loopback
+//! peers, plus the failure modes (disconnect, wedge) that must terminate
+//! with a structured error instead of hanging the process.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use setupfree_aba::{MmrAba, MmrAbaFactory};
+use setupfree_app::beacon::{BeaconEpoch, RandomBeacon};
+use setupfree_core::coin::{Coin, CoinOutput, CoinProtocolFactory, CoreSetMode};
+use setupfree_core::TrustedCoinFactory;
+use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
+use setupfree_net::{
+    BoxedParty, Envelope, InstancePath, PartyId, ProtocolInstance, Sid, Step,
+};
+use setupfree_transport::{TcpPeerGroup, TransportFailure};
+
+fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+/// The smallest all-to-all protocol: multicast your id once, decide on the
+/// full roster once you have heard everyone (yourself included).
+#[derive(Debug)]
+struct Ping {
+    me: usize,
+    n: usize,
+    seen: BTreeSet<usize>,
+}
+
+impl ProtocolInstance for Ping {
+    type Message = Envelope;
+    type Output = Vec<usize>;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        Step::multicast(Envelope::seal(InstancePath::root(), &(self.me as u64)))
+    }
+
+    fn on_message(&mut self, _from: PartyId, msg: Envelope) -> Step<Envelope> {
+        if let Some(id) = msg.open::<u64>() {
+            self.seen.insert(id as usize);
+        }
+        Step::none()
+    }
+
+    fn output(&self) -> Option<Vec<usize>> {
+        (self.seen.len() == self.n).then(|| self.seen.iter().copied().collect())
+    }
+}
+
+/// A peer that says nothing and never decides — for driving the watchdog.
+#[derive(Debug)]
+struct Mute;
+
+impl ProtocolInstance for Mute {
+    type Message = Envelope;
+    type Output = bool;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        Step::none()
+    }
+
+    fn on_message(&mut self, _from: PartyId, _msg: Envelope) -> Step<Envelope> {
+        Step::none()
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+}
+
+#[test]
+fn every_peer_hears_every_peer() {
+    let n = 4;
+    let report = TcpPeerGroup::new(n)
+        .run(|i| Box::new(Ping { me: i, n, seen: BTreeSet::new() }) as BoxedParty<Envelope, _>)
+        .expect("loopback setup");
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+    let roster: Vec<usize> = (0..n).collect();
+    for (i, out) in report.outputs.iter().enumerate() {
+        assert_eq!(out.as_deref(), Some(&roster[..]), "peer {i} roster");
+    }
+    // Each peer multicasts exactly one envelope to n − 1 sockets and reads
+    // n − 1 back; self-copies never touch the wire.
+    for (i, p) in report.peers.iter().enumerate() {
+        assert_eq!(p.sent_envelopes, (n - 1) as u64, "peer {i} sends");
+        assert_eq!(p.received_envelopes, (n - 1) as u64, "peer {i} receives");
+        assert_eq!(p.dropped_sends, 0, "peer {i} drops");
+    }
+}
+
+#[test]
+fn the_setup_free_coin_flips_over_sockets() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 0x50C7);
+    let report = TcpPeerGroup::new(n)
+        .run(|i| {
+            Box::new(Coin::with_core_mode(
+                Sid::new("socket-coin"),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                CoreSetMode::Weak,
+            )) as BoxedParty<Envelope, CoinOutput>
+        })
+        .expect("loopback setup");
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+    let bits: Vec<bool> = report.outputs.iter().flatten().map(|o| o.bit).collect();
+    assert_eq!(bits.len(), n);
+    assert!(bits.windows(2).all(|w| w[0] == w[1]), "coin agreement over sockets");
+    assert!(report.total_sent_envelopes() > 0 && report.total_sent_bytes() > 0);
+}
+
+#[test]
+fn the_full_setup_free_aba_decides_over_sockets() {
+    let n = 4;
+    let (keyring, secrets) = keys(n, 0xABA5);
+    let report = TcpPeerGroup::new(n)
+        .run(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(MmrAba::new(
+                Sid::new("socket-aba"),
+                PartyId(i),
+                n,
+                keyring.f(),
+                i % 2 == 0,
+                factory,
+            )) as BoxedParty<Envelope, bool>
+        })
+        .expect("loopback setup");
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+    assert!(report.agreed(), "ABA agreement over sockets: {:?}", report.outputs);
+}
+
+#[test]
+fn the_random_beacon_runs_end_to_end_over_sockets() {
+    let n = 4;
+    let epochs = 2;
+    let (keyring, secrets) = keys(n, 0xBEAC);
+    let report = TcpPeerGroup::new(n)
+        .run(|i| {
+            let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            Box::new(RandomBeacon::new(
+                Sid::new("socket-beacon"),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                aba,
+                epochs,
+            )) as BoxedParty<Envelope, Vec<BeaconEpoch>>
+        })
+        .expect("loopback setup");
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+    assert!(report.agreed(), "beacon agreement over sockets");
+    let history = report.outputs[0].as_ref().unwrap();
+    assert_eq!(history.len(), epochs as usize, "every epoch closed");
+}
+
+#[test]
+fn a_disconnecting_peer_surfaces_as_an_error_not_a_hang() {
+    let n = 4;
+    // Peer 3 vanishes after its very first socket delivery — before it can
+    // possibly have heard all n hellos, so it exits undecided.
+    let report = TcpPeerGroup::new(n)
+        .timeout(Duration::from_secs(20))
+        .disconnect_after(3, 1)
+        .run(|i| Box::new(Ping { me: i, n, seen: BTreeSet::new() }) as BoxedParty<Envelope, _>)
+        .expect("loopback setup");
+    assert_eq!(
+        report.failure,
+        Some(TransportFailure::PeerStopped { peer: 3, message: None }),
+        "the disconnect is detected and named"
+    );
+    assert!(report.outputs[3].is_none(), "the severed peer cannot have decided");
+    // Fail-fast: detection comes from the dead driver, not the deadline.
+    assert!(report.wall < Duration::from_secs(20), "no timeout wait, took {:?}", report.wall);
+}
+
+#[test]
+fn a_wedged_run_times_out_with_the_undecided_peers_named() {
+    let n = 2;
+    let report = TcpPeerGroup::new(n)
+        .timeout(Duration::from_millis(300))
+        .run(|_| Box::new(Mute) as BoxedParty<Envelope, bool>)
+        .expect("loopback setup");
+    match report.failure {
+        Some(TransportFailure::Timeout { waited_ms, ref undecided }) => {
+            assert!(waited_ms >= 300, "the deadline was honoured");
+            assert_eq!(undecided, &vec![0, 1], "both mute peers are named");
+        }
+        ref other => panic!("expected a timeout, got {other:?}"),
+    }
+    // The teardown returned: nothing is left blocked on a socket or queue
+    // (reaching this assertion at all is the proof).
+    assert!(!report.all_decided());
+}

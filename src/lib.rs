@@ -49,6 +49,7 @@ pub use setupfree_net as net;
 pub use setupfree_rbc as rbc;
 pub use setupfree_runtime as runtime;
 pub use setupfree_seeding as seeding;
+pub use setupfree_transport as transport;
 pub use setupfree_vba as vba;
 pub use setupfree_wcs as wcs;
 pub use setupfree_wire as wire;
@@ -75,6 +76,7 @@ pub mod prelude {
         MaxConcurrent, SessionSetup, ShardedHost, TokenBucket, Unlimited,
     };
     pub use setupfree_seeding::{Seeding, SeedingMessage};
+    pub use setupfree_transport::{SocketRunReport, TcpPeerGroup, TransportFailure};
     pub use setupfree_vba::{accept_all, Predicate, Vba, VbaMessage};
     pub use setupfree_wcs::{Wcs, WcsMessage};
 }

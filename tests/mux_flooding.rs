@@ -19,7 +19,7 @@
 //!   agreement under a sweep of adversarial schedules.
 
 use setupfree::prelude::*;
-use setupfree_net::mux::DEFAULT_PER_SENDER_CAP;
+use setupfree_net::mux::{composite_cap, CapPolicy, DEFAULT_PER_SENDER_CAP};
 use setupfree_net::Step;
 use setupfree_testkit::{sweep, Adversary, Ensemble};
 
@@ -61,13 +61,75 @@ fn per_sender_cap_bounds_the_pre_activation_buffer() {
         "byte-identical duplicates must be dropped"
     );
 
-    // Distinct senders get independent caps (total stays O(n · cap), never
-    // unbounded).
+    // Distinct senders get independent caps — and at n = 4 the second
+    // sender reaching cap scale *is* the adaptive witness quorum
+    // (f + 1 = 2): two distinct senders filling up for the same child reads
+    // as correlated lag, so the cap raises to the ceiling for that child
+    // and the second sender's whole burst is accepted.  Total occupancy
+    // stays bounded by O(senders · ceiling), never unbounded.
     for nonce in 0..(2 * DEFAULT_PER_SENDER_CAP as u64) {
         let env = coin_flood_envelope(63, nonce);
         let _ = aba.on_envelope(PartyId(1), env.path, &env.payload);
     }
-    assert_eq!(aba.buffered_coin_messages(), 2 * DEFAULT_PER_SENDER_CAP + 1);
+    assert_eq!(aba.buffered_coin_messages(), 3 * DEFAULT_PER_SENDER_CAP + 1);
+}
+
+/// PR 6 regression: a deep composite at high `n` no longer drops honest
+/// multi-round lag (the old static `max(1024, 64n)` cap did), while a lone
+/// flooder still hits the floor and even witnessed children stay bounded by
+/// the ceiling.
+#[test]
+fn adaptive_cap_spares_honest_lag_while_a_flooder_still_hits_the_cap() {
+    let n = 40;
+    let f = (n - 1) / 3;
+    let CapPolicy::Adaptive { floor, ceiling, witnesses } = composite_cap(n) else {
+        panic!("composite routers must use the adaptive cap");
+    };
+    assert_eq!(floor, 64 * n, "the old static cap is the adaptive floor");
+    assert_eq!(witnesses, f + 1, "a raise needs at least one honest witness");
+
+    let mut aba = TrustedAba::new(Sid::new("lag"), PartyId(0), n, f, true, TrustedCoinFactory);
+    let _ = MuxNode::on_activation(&mut aba);
+
+    // Honest multi-round lag: this party is the straggler, and all n − 1
+    // peers run ahead together, streaming round-42 coin traffic that
+    // reaches 1.5× the old static cap *per sender*.  Interleaved, as lag
+    // traffic actually arrives.  Under the static cap a third of every
+    // sender's envelopes would be dropped — a liveness bug, since nothing
+    // here is retransmitted; under the adaptive cap nothing may be lost.
+    let senders = n - 1;
+    let per_sender = floor + floor / 2;
+    for seq in 0..per_sender {
+        for s in 1..n {
+            let env = coin_flood_envelope(42, (seq * n + s) as u64);
+            let _ = aba.on_envelope(PartyId(s), env.path, &env.payload);
+        }
+    }
+    let lag = MuxNode::pre_activation_stats(&aba);
+    assert_eq!(lag.dropped, 0, "honest multi-round lag must survive the adaptive cap");
+    assert_eq!(lag.buffered, (senders * per_sender) as u64);
+
+    // A lone flooder aimed at a *different* child has no witnesses there:
+    // its cap is the floor, exactly as under the old static policy.
+    for nonce in 0..(2 * floor) as u64 {
+        let env = coin_flood_envelope(43, nonce);
+        let _ = aba.on_envelope(PartyId(7), env.path, &env.payload);
+    }
+    let flooded = MuxNode::pre_activation_stats(&aba);
+    assert_eq!(flooded.dropped - lag.dropped, floor as u64, "a lone flooder still hits the cap");
+    assert_eq!(flooded.buffered - lag.buffered, floor as u64);
+
+    // Even a flood mounted *during* witnessed lag is bounded: the raised
+    // child's cap is the ceiling, not infinity.
+    let overshoot = 500;
+    let budget = ceiling - per_sender + overshoot;
+    for extra in 0..budget {
+        let env = coin_flood_envelope(42, (1 << 32) + extra as u64);
+        let _ = aba.on_envelope(PartyId(1), env.path, &env.payload);
+    }
+    let capped = MuxNode::pre_activation_stats(&aba);
+    assert_eq!(capped.dropped - flooded.dropped, overshoot as u64, "the ceiling still bounds");
+    assert_eq!(capped.buffered - flooded.buffered, (ceiling - per_sender) as u64);
 }
 
 /// A Byzantine machine that behaves like a silent party except that every
