@@ -38,7 +38,7 @@ use std::sync::Arc;
 use setupfree_core::coin::CoinOutput;
 use setupfree_core::traits::{AbaFactory, CoinFactory};
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::mux::{composite_cap, decode_payload, Envelope, InstancePath};
+use setupfree_net::mux::{committee_cap, composite_cap, decode_payload, Envelope, InstancePath};
 use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -117,11 +117,33 @@ struct RoundState {
 
 /// One party's state machine for a single ABA instance, generic over the
 /// common-coin factory.
+///
+/// # Committee mode
+///
+/// The instance is parameterised by a [`Committee`].  Under
+/// [`Committee::full`] (the default of [`MmrAba::new`]) the protocol is the
+/// classic all-to-all MMR — bit-identical messages, destinations and
+/// thresholds.  Under a *proper* committee
+/// ([`MmrAba::with_committee`] / [`MmrAbaFactory::with_committee`]):
+///
+/// * **members** run the full protocol among themselves: `BVal`/`Aux` fan
+///   out point-to-point to the `m` members only, thresholds are
+///   committee-relative (`f_c = ⌊(m−1)/3⌋`, quorum `m − f_c`), and
+///   `BVal`/`Aux`/coin traffic from non-members is dropped outright;
+/// * **`Finish` is still multicast to all `n` parties** — it is the bridge
+///   to the listeners;
+/// * **non-members** send nothing.  They adopt the committee's decision
+///   once `f_c + 1` distinct members sent `Finish` for the same value (at
+///   least one of them is honest, and the first honest `Finish` for a value
+///   only follows a decision), and they drop coin-path traffic instead of
+///   buffering it — they will never mount round coins, so buffering would
+///   be a memory hole, not a service.
 pub struct MmrAba<F: CoinFactory> {
     sid: Sid,
     me: PartyId,
     n: usize,
     f: usize,
+    committee: Committee,
     coin_factory: F,
     est: bool,
     round: u32,
@@ -148,23 +170,58 @@ impl<F: CoinFactory> std::fmt::Debug for MmrAba<F> {
 }
 
 impl<F: CoinFactory> MmrAba<F> {
-    /// Creates the ABA state machine for party `me` with input bit `input`.
+    /// Creates the all-to-all ABA state machine for party `me` with input
+    /// bit `input` (a [`Committee::full`] committee).
     pub fn new(sid: Sid, me: PartyId, n: usize, f: usize, input: bool, coin_factory: F) -> Self {
+        Self::with_committee(sid, me, n, f, input, coin_factory, Committee::full(n))
+    }
+
+    /// Creates the ABA state machine running inside `committee` (see the
+    /// type-level docs for member / listener roles).  The coin router's
+    /// pre-activation cap is sized to the committee, not to `n`: only
+    /// members legitimately send coin traffic.
+    pub fn with_committee(
+        sid: Sid,
+        me: PartyId,
+        n: usize,
+        f: usize,
+        input: bool,
+        coin_factory: F,
+        committee: Committee,
+    ) -> Self {
+        assert_eq!(committee.n(), n, "committee sampled over a different party set");
+        let cap = if committee.is_proper() {
+            committee_cap(committee.size())
+        } else {
+            composite_cap(n)
+        };
         MmrAba {
             sid,
             me,
             n,
             f,
+            committee,
             coin_factory,
             est: input,
             round: 0,
             rounds: BTreeMap::new(),
-            coins: Router::with_cap(K_COIN, composite_cap(n)),
+            coins: Router::with_cap(K_COIN, cap),
             finish_sent: false,
             finish_from: [BTreeSet::new(), BTreeSet::new()],
             output: None,
             max_rounds: 64,
         }
+    }
+
+    /// The committee this instance runs in.
+    pub fn committee(&self) -> &Committee {
+        &self.committee
+    }
+
+    /// Whether this party actively runs the protocol (always true in
+    /// all-to-all mode; committee members only otherwise).
+    pub fn is_member(&self) -> bool {
+        self.committee.is_member(self.me)
     }
 
     /// The current round number (diagnostics / benchmarks).
@@ -178,8 +235,28 @@ impl<F: CoinFactory> MmrAba<F> {
         self.coins.buffered()
     }
 
+    /// The Byzantine tolerance of the active participant set: `f` in
+    /// all-to-all mode, `f_c = ⌊(m−1)/3⌋` inside a proper committee.
+    fn fault_bound(&self) -> usize {
+        if self.committee.is_proper() {
+            self.committee.f()
+        } else {
+            self.f
+        }
+    }
+
     fn quorum(&self) -> usize {
-        self.n - self.f
+        if self.committee.is_proper() {
+            self.committee.quorum()
+        } else {
+            self.n - self.f
+        }
+    }
+
+    /// Fans a protocol message out to the active participants: a true
+    /// multicast in all-to-all mode, per-member sends otherwise.
+    fn fan(&self, step: &mut Step<Envelope>, env: Envelope) {
+        self.committee.fan_out(step, env);
     }
 
     fn local(msg: &AbaMessage) -> Envelope {
@@ -191,32 +268,50 @@ impl<F: CoinFactory> MmrAba<F> {
     }
 
     fn start_round(&mut self, round: u32) -> Step<Envelope> {
+        if !self.is_member() {
+            return Step::none();
+        }
         let est = self.est;
-        let state = self.round_state(round);
+        let fresh = {
+            let state = self.round_state(round);
+            !state.bval_sent[est as usize] && {
+                state.bval_sent[est as usize] = true;
+                true
+            }
+        };
         let mut step = Step::none();
-        if !state.bval_sent[est as usize] {
-            state.bval_sent[est as usize] = true;
-            step.push_multicast(Self::local(&AbaMessage::BVal { round, value: est }));
+        if fresh {
+            self.fan(&mut step, Self::local(&AbaMessage::BVal { round, value: est }));
         }
         step
     }
 
     fn on_bval(&mut self, round: u32, from: PartyId, value: bool) -> Step<Envelope> {
-        let f = self.f;
-        let state = self.round_state(round);
-        state.bval_from[value as usize].insert(from.index());
-        let count = state.bval_from[value as usize].len();
-        let mut step = Step::none();
-        if count > f && !state.bval_sent[value as usize] {
-            state.bval_sent[value as usize] = true;
-            step.push_multicast(Self::local(&AbaMessage::BVal { round, value }));
-        }
-        if count > 2 * f && !state.bin_values[value as usize] {
-            state.bin_values[value as usize] = true;
-            if !state.aux_sent {
-                state.aux_sent = true;
-                step.push_multicast(Self::local(&AbaMessage::Aux { round, value }));
+        let f = self.fault_bound();
+        let (relay, aux) = {
+            let state = self.round_state(round);
+            state.bval_from[value as usize].insert(from.index());
+            let count = state.bval_from[value as usize].len();
+            let relay = count > f && !state.bval_sent[value as usize] && {
+                state.bval_sent[value as usize] = true;
+                true
+            };
+            let mut aux = false;
+            if count > 2 * f && !state.bin_values[value as usize] {
+                state.bin_values[value as usize] = true;
+                if !state.aux_sent {
+                    state.aux_sent = true;
+                    aux = true;
+                }
             }
+            (relay, aux)
+        };
+        let mut step = Step::none();
+        if relay {
+            self.fan(&mut step, Self::local(&AbaMessage::BVal { round, value }));
+        }
+        if aux {
+            self.fan(&mut step, Self::local(&AbaMessage::Aux { round, value }));
         }
         step.extend(self.try_invoke_coin(round));
         step
@@ -309,14 +404,29 @@ impl<F: CoinFactory> MmrAba<F> {
     }
 
     fn on_finish(&mut self, from: PartyId, value: bool) -> Step<Envelope> {
+        // Only the active participants' Finishes count — in all-to-all mode
+        // that is everyone, in committee mode a non-member's Finish is
+        // noise (honest non-members never send one).
+        if !self.committee.is_member(from) {
+            return Step::none();
+        }
         self.finish_from[value as usize].insert(from.index());
         let count = self.finish_from[value as usize].len();
+        let f = self.fault_bound();
         let mut step = Step::none();
-        if count > self.f && !self.finish_sent {
-            self.finish_sent = true;
-            step.push_multicast(Self::local(&AbaMessage::Finish { value }));
-        }
-        if count > 2 * self.f && self.output.is_none() {
+        if self.is_member() {
+            if count > f && !self.finish_sent {
+                self.finish_sent = true;
+                step.push_multicast(Self::local(&AbaMessage::Finish { value }));
+            }
+            if count > 2 * f && self.output.is_none() {
+                self.output = Some(value);
+            }
+        } else if count > f && self.output.is_none() {
+            // Listen/adopt: `f_c + 1` distinct members finished with this
+            // value, so at least one honest member did — and the first
+            // honest `Finish` for a value only ever follows a decision, so
+            // this is the committee's decided value.
             self.output = Some(value);
         }
         step
@@ -325,19 +435,26 @@ impl<F: CoinFactory> MmrAba<F> {
     fn on_local(&mut self, from: PartyId, msg: AbaMessage) -> Step<Envelope> {
         match msg {
             AbaMessage::BVal { round, value } => {
-                if round >= self.max_rounds {
+                if round >= self.max_rounds || !self.active_exchange(from) {
                     return Step::none();
                 }
                 self.on_bval(round, from, value)
             }
             AbaMessage::Aux { round, value } => {
-                if round >= self.max_rounds {
+                if round >= self.max_rounds || !self.active_exchange(from) {
                     return Step::none();
                 }
                 self.on_aux(round, from, value)
             }
             AbaMessage::Finish { value } => self.on_finish(from, value),
         }
+    }
+
+    /// Whether a `BVal`/`Aux`/coin exchange between this party and `from`
+    /// is part of the protocol: both ends must be active participants.
+    /// Always true in all-to-all mode.
+    fn active_exchange(&self, from: PartyId) -> bool {
+        self.is_member() && self.committee.is_member(from)
     }
 }
 
@@ -365,6 +482,15 @@ impl<F: CoinFactory> MuxNode for MmrAba<F> {
             Some((seg, rest)) => {
                 let round = seg.index as u32;
                 if seg.kind != K_COIN || round >= self.max_rounds {
+                    return Step::none();
+                }
+                // Committee mode: coin traffic is members-only in both
+                // directions.  Dropping it *here* — instead of letting it
+                // reach the router — is what keeps non-member filtering
+                // from tripping (or consuming) the pre-activation cap: a
+                // listener never mounts round coins, and a member never
+                // buffers a non-member's coin spray.
+                if !self.active_exchange(from) {
                     return Step::none();
                 }
                 let mut step = self.coins.route(from, seg.index, rest, payload);
@@ -411,13 +537,29 @@ pub struct MmrAbaFactory<F: CoinFactory + Clone> {
     me: PartyId,
     n: usize,
     f: usize,
+    committee: Committee,
     coin_factory: F,
 }
 
 impl<F: CoinFactory + Clone> MmrAbaFactory<F> {
-    /// Creates a factory for party `me` over an `(n, f)` system.
+    /// Creates a factory for party `me` over an `(n, f)` system
+    /// (all-to-all).
     pub fn new(me: PartyId, n: usize, f: usize, coin_factory: F) -> Self {
-        MmrAbaFactory { me, n, f, coin_factory }
+        Self::with_committee(me, n, f, coin_factory, Committee::full(n))
+    }
+
+    /// Creates a factory whose instances run inside `committee` — the
+    /// committee-sampled VBA plugs this in so its per-round vote-ABAs stay
+    /// member-only.
+    pub fn with_committee(
+        me: PartyId,
+        n: usize,
+        f: usize,
+        coin_factory: F,
+        committee: Committee,
+    ) -> Self {
+        assert_eq!(committee.n(), n, "committee sampled over a different party set");
+        MmrAbaFactory { me, n, f, committee, coin_factory }
     }
 }
 
@@ -425,7 +567,15 @@ impl<F: CoinFactory + Clone> AbaFactory for MmrAbaFactory<F> {
     type Instance = MmrAba<F>;
 
     fn create(&self, sid: Sid, input: bool) -> MmrAba<F> {
-        MmrAba::new(sid, self.me, self.n, self.f, input, self.coin_factory.clone())
+        MmrAba::with_committee(
+            sid,
+            self.me,
+            self.n,
+            self.f,
+            input,
+            self.coin_factory.clone(),
+            self.committee.clone(),
+        )
     }
 }
 
@@ -447,8 +597,10 @@ pub fn trusted_coin_aba_factory(me: PartyId, n: usize, f: usize) -> MmrAbaFactor
     MmrAbaFactory::new(me, n, f, setupfree_core::TrustedCoinFactory)
 }
 
-// Re-export for downstream convenience.
+// Re-export for downstream convenience (`Committee` doubles as this
+// crate's import of the type).
 pub use setupfree_core::coin::CoinProtocolFactory;
+pub use setupfree_core::committee::{Committee, CommitteeConfig};
 #[allow(unused_imports)]
 pub use setupfree_core::TrustedCoinFactory;
 
@@ -567,6 +719,123 @@ mod tests {
         let report = sim.run(50_000_000);
         assert_eq!(report.reason, StopReason::AllOutputs);
         check_agreement_validity(&sim.outputs(), &inputs, n);
+    }
+
+    fn committee_parties(
+        n: usize,
+        committee: &Committee,
+        inputs: &[bool],
+    ) -> Vec<BoxedParty<Envelope, bool>> {
+        (0..n)
+            .map(|i| {
+                Box::new(TrustedAba::with_committee(
+                    Sid::new("committee-aba"),
+                    PartyId(i),
+                    n,
+                    (n - 1) / 3,
+                    inputs[i],
+                    TrustedCoinFactory,
+                    committee.clone(),
+                )) as BoxedParty<Envelope, bool>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn committee_aba_decides_for_members_and_listeners() {
+        let n = 22;
+        let committee = Committee::sample(
+            &CommitteeConfig::new(10, "aba"),
+            &0xFEEDu64.to_le_bytes(),
+            n,
+        );
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        for seed in 0..5 {
+            let mut sim = Simulation::new(
+                committee_parties(n, &committee, &inputs),
+                Box::new(RandomScheduler::new(seed)),
+            );
+            let report = sim.run(5_000_000);
+            assert_eq!(report.reason, StopReason::AllOutputs, "seed {seed}");
+            let outputs = sim.outputs();
+            let decided: Vec<bool> = outputs.iter().map(|o| o.unwrap()).collect();
+            assert!(decided.windows(2).all(|w| w[0] == w[1]), "agreement incl. listeners");
+            // Committee validity: the decision is some *member's* input.
+            let member_inputs: Vec<bool> =
+                committee.members().iter().map(|p| inputs[p.index()]).collect();
+            assert!(member_inputs.contains(&decided[0]));
+        }
+    }
+
+    #[test]
+    fn committee_aba_tolerates_f_c_byzantine_members() {
+        let n = 22;
+        let committee = Committee::sample(
+            &CommitteeConfig::new(10, "aba"),
+            &0xFEEDu64.to_le_bytes(),
+            n,
+        );
+        let f_c = committee.f();
+        assert_eq!(f_c, 3);
+        let inputs = vec![true; n];
+        for seed in 0..5 {
+            let mut parties = committee_parties(n, &committee, &inputs);
+            let corrupt: Vec<usize> =
+                committee.members().iter().take(f_c).map(|p| p.index()).collect();
+            for &c in &corrupt {
+                parties[c] = Box::new(SilentParty::new());
+            }
+            let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+            for &c in &corrupt {
+                sim.mark_byzantine(PartyId(c));
+            }
+            let report = sim.run(5_000_000);
+            assert_eq!(report.reason, StopReason::AllOutputs, "seed {seed}");
+            let outputs = sim.outputs();
+            for (i, out) in outputs.iter().enumerate() {
+                if corrupt.contains(&i) {
+                    continue;
+                }
+                assert_eq!(*out, Some(true), "party {i} under seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_members_send_nothing_and_drop_coin_traffic() {
+        let n = 10;
+        let committee = Committee::sample(
+            &CommitteeConfig::new(4, "aba"),
+            &7u64.to_le_bytes(),
+            n,
+        );
+        let listener = (0..n).find(|&i| !committee.is_member(PartyId(i))).unwrap();
+        let mut aba = TrustedAba::with_committee(
+            Sid::new("quiet"),
+            PartyId(listener),
+            n,
+            3,
+            true,
+            TrustedCoinFactory,
+            committee.clone(),
+        );
+        assert!(MuxNode::on_activation(&mut aba).is_empty(), "listeners never speak");
+        // Coin-path traffic is dropped, not buffered (the listener will
+        // never mount round coins).
+        let member = committee.members()[0];
+        let env = Envelope::seal(
+            InstancePath::of(setupfree_net::PathSeg::new(K_COIN, 1)),
+            &42u64,
+        );
+        let step = aba.on_envelope(member, env.path, &env.payload);
+        assert!(step.is_empty());
+        assert_eq!(aba.buffered_coin_messages(), 0, "listeners must not buffer coin traffic");
+        // Adoption: f_c + 1 = 2 member Finishes decide the listener.
+        for &m in committee.members().iter().take(2) {
+            let fin = Envelope::seal(InstancePath::root(), &AbaMessage::Finish { value: false });
+            let _ = aba.on_envelope(m, fin.path, &fin.payload);
+        }
+        assert_eq!(MuxNode::output(&aba), Some(false));
     }
 
     #[test]

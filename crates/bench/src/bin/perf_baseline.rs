@@ -1,19 +1,21 @@
 //! Records the workspace's end-to-end performance baseline: wall-clock
 //! timings and delivery throughput of the coin, AVSS, beacon and ABA through
-//! the simulator at n ∈ {4, 10, 22, 40}, **simulated-vs-socket** wall-clock
-//! for the coin / full ABA / beacon over real TCP loopback peers
-//! (`setupfree-transport`) at n ∈ {4, 10, 22}, a session-starvation fairness
-//! sweep (per-session delivery split under `SessionTargetedDelayScheduler`),
-//! and the batched-vs-per-transcript PVSS verification micro-comparison.
-//! Results go to `BENCH_pr6.json` at the workspace root — the trajectory
-//! every later performance PR is judged against.  (The PR 5 concurrent- and
+//! the simulator at n ∈ {4, 10, 22, 40}, the **committee-subsampling grid**
+//! (all-to-all vs committee-sampled ABA/VBA at n ∈ {40, 100, 250}, committee
+//! sizes swept), **simulated-vs-socket** wall-clock for the coin / full ABA
+//! / beacon over real TCP loopback peers (`setupfree-transport`) at
+//! n ∈ {4, 10, 22}, a session-starvation fairness sweep (per-session
+//! delivery split under `SessionTargetedDelayScheduler`), and the
+//! batched-vs-per-transcript PVSS verification micro-comparison.  Results go
+//! to `BENCH_pr7.json` at the workspace root — the trajectory every later
+//! performance PR is judged against.  (The PR 5 concurrent- and
 //! sharded-session grid is *not* re-recorded here; `BENCH_pr5.json` stays
 //! committed as that record.)
 //!
 //! Usage:
 //!
 //! ```sh
-//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr6.json
+//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr7.json
 //! cargo run --release -p setupfree-bench --bin perf_baseline -- --smoke # CI gate, prints only
 //! ```
 //!
@@ -22,13 +24,14 @@
 //! delivery budget**, that the **starved-session fairness sweep stays live**
 //! (a starved session that fails to terminate fails the job), that the
 //! **socket transport is live** (a 4-peer beacon over real loopback TCP must
-//! decide, agree, and come home inside a minute), and replays the
-//! single-loop ABA at n ∈ {22, 40} — replaying more than 20 % more
-//! deliveries than the committed `BENCH_pr4.json` fails the job (the
-//! simulator is deterministic, so the same seeds must do the same work on
-//! any machine; wall-clock against the historical file is printed for the
-//! reviewer but is advisory, because it measures the runner as much as the
-//! code).
+//! decide, agree, and come home inside a minute), that **committee-sampled
+//! ABA at n = 100 is live and agrees** (members decide, listeners adopt),
+//! and replays the single-loop ABA at n ∈ {22, 40} — the simulator is
+//! deterministic and committee mode must leave the all-to-all paths
+//! byte-identical, so the delivery counts must match the committed
+//! `BENCH_pr4.json` **exactly** (405 666 / 1 398 566); wall-clock against
+//! the historical file is printed for the reviewer but is advisory, because
+//! it measures the runner as much as the code.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,9 +39,11 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use setupfree_bench::{
-    measure_avss, measure_beacon, measure_coin, measure_setupfree_aba, measure_sharded_abas,
-    measure_sharded_pipelined_beacon, measure_socket_aba, measure_socket_beacon,
-    measure_socket_coin, measure_starved_session_abas, Measurement, SocketMeasurement,
+    measure_avss, measure_beacon, measure_coin, measure_committee_aba, measure_committee_vba,
+    measure_setupfree_aba, measure_sharded_abas, measure_sharded_pipelined_beacon,
+    measure_socket_aba, measure_socket_beacon, measure_socket_coin,
+    measure_starved_session_abas, measure_trusted_aba, measure_trusted_vba, Measurement,
+    SocketMeasurement,
 };
 use setupfree_core::coin::CoreSetMode;
 use setupfree_crypto::pvss::{
@@ -83,6 +88,111 @@ fn timed(protocol: impl Into<String>, run: impl FnOnce() -> Measurement) -> Time
         m.rounds
     );
     t
+}
+
+/// One cell of the committee-subsampling grid.  `m == n` marks the
+/// all-to-all comparator rows (a full committee, bit-identical to the
+/// pre-committee protocol); `m < n` is a sampled committee with `n − m`
+/// listeners.  Both arms use the trusted coin/election so the cell isolates
+/// the fan-out the committee removes.
+struct CommitteeCell {
+    protocol: &'static str,
+    m: usize,
+    wall_ms: f64,
+    meas: Measurement,
+}
+
+impl CommitteeCell {
+    fn per_node_messages(&self) -> f64 {
+        self.meas.honest_messages as f64 / self.meas.n as f64
+    }
+}
+
+fn committee_cell(
+    protocol: &'static str,
+    m: usize,
+    run: impl FnOnce() -> Measurement,
+) -> CommitteeCell {
+    let start = Instant::now();
+    let meas = run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let cell = CommitteeCell { protocol, m, wall_ms, meas };
+    println!(
+        "  {:<4} n={:<4} m={:<4} {:>10.1} ms  msgs/node={:<10.1} bytes={:<12} msgs={:<9} agreed={}",
+        protocol,
+        meas.n,
+        m,
+        wall_ms,
+        cell.per_node_messages(),
+        meas.honest_bytes,
+        meas.honest_messages,
+        meas.agreed
+    );
+    cell
+}
+
+/// The committee-subsampling grid: all-to-all comparators at
+/// n ∈ {40, 100, 250} (VBA comparators stop at n = 100 — its signature
+/// verification work grows ~n³ and the ABA comparator already anchors the
+/// n = 250 column), committee cells sweeping m at each n.
+fn committee_grid() -> Vec<CommitteeCell> {
+    let mut cells = Vec::new();
+    for &n in &[40usize, 100, 250] {
+        cells.push(committee_cell("aba", n, || measure_trusted_aba(n, 7_800 + n as u64)));
+        for &m in &[10usize, 22] {
+            cells.push(committee_cell("aba", m, || measure_committee_aba(n, m, 7_800 + n as u64)));
+        }
+    }
+    for &n in &[40usize, 100] {
+        cells.push(committee_cell("vba", n, || measure_trusted_vba(n, 32, 7_850 + n as u64)));
+    }
+    for &n in &[40usize, 100, 250] {
+        for &m in &[10usize, 16] {
+            cells.push(committee_cell("vba", m, || {
+                measure_committee_vba(n, m, 32, 7_850 + n as u64)
+            }));
+        }
+    }
+    cells
+}
+
+/// Every committee cell must agree (members decide, listeners adopt the
+/// same value) and the sampled cells' per-node message counts must be
+/// sublinear in n: at fixed m, growing n from 100 to 250 must not grow
+/// per-node messages by more than the listener-side O(1) adoption traffic
+/// allows (we gate at 1.5×, far under the 2.5× a linear term would show).
+fn committee_gate(cells: &[CommitteeCell]) {
+    let mut failures = Vec::new();
+    for cell in cells {
+        if !cell.meas.agreed {
+            failures.push(format!(
+                "{} n={} m={} did not agree",
+                cell.protocol, cell.meas.n, cell.m
+            ));
+        }
+    }
+    for protocol in ["aba", "vba"] {
+        for m in [10usize, 16, 22] {
+            let at = |n: usize| {
+                cells
+                    .iter()
+                    .find(|c| c.protocol == protocol && c.m == m && c.meas.n == n)
+                    .map(CommitteeCell::per_node_messages)
+            };
+            if let (Some(small), Some(large)) = (at(100), at(250)) {
+                if large > 1.5 * small {
+                    failures.push(format!(
+                        "{protocol} m={m}: per-node messages grew {small:.1} -> {large:.1} \
+                         from n=100 to n=250 (not sublinear)"
+                    ));
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("COMMITTEE GATE: {}", failures.join("; "));
+        std::process::exit(1);
+    }
 }
 
 /// One starved-session fairness run and its per-session delivery split.
@@ -257,6 +367,7 @@ fn pvss_comparison(n: usize, reps: u32) -> PvssComparison {
 
 fn json_escape_free(
     rows: &[Timed],
+    committee: &[CommitteeCell],
     transport: &[TransportRow],
     pr4: &str,
     fairness: &[FairnessRow],
@@ -264,19 +375,19 @@ fn json_escape_free(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 6,\n");
+    out.push_str("  \"pr\": 7,\n");
     out.push_str(
-        "  \"description\": \"End-to-end baseline after the socket transport \
-         (crates/transport): the unchanged protocol machines run both through the simulator \
-         (exact byte/message/round accounting, deterministic adversarial schedules) and over \
-         real loopback TCP peers (one driver thread per peer, one reader thread per connection, \
-         length-prefixed Envelope frames, kernel-ordered delivery). The transport section pairs \
-         the two wall-clocks for coin / full setup-free ABA / 2-epoch beacon at n in {4, 10, 22} \
-         under identical PKI seeds; socket rows also record socket-level traffic (multicasts \
-         fan out n-1 copies on the wire, so socket bytes exceed the simulator's honest-bytes \
-         accounting by design). The concurrent- and sharded-session grid is recorded in \
-         BENCH_pr5.json and is not re-run here. Timings are single-run, release build, on a \
-         single-core container; socket runs include thread and mesh setup.\",\n",
+        "  \"description\": \"Baseline after committee subsampling (PR 7): an m-member \
+         committee derived from a shared seed runs the ABA/VBA pipeline with committee-relative \
+         quorums while the other n - m parties listen and adopt, pushing the grid to n in \
+         {100, 250}. The committee section records all-to-all comparator rows (m = n, the \
+         trusted-coin/election arms, bit-identical to the pre-committee machines) against \
+         sampled cells sweeping m; per_node_messages is the sublinearity observable — at fixed \
+         m it must stay nearly flat as n grows, where all-to-all rows grow linearly. The \
+         end_to_end, transport, fairness and PVSS sections repeat the PR 6 instrumentation on \
+         the unchanged (full-committee) paths; the PR 4 delivery goldens must reproduce \
+         exactly. Timings are single-run, release build, on a single-core container; socket \
+         runs include thread and mesh setup.\",\n",
     );
     out.push_str("  \"end_to_end\": [\n");
     for (i, t) in rows.iter().enumerate() {
@@ -295,6 +406,29 @@ fn json_escape_free(
             t.m.rounds,
             t.m.deliveries,
             if i + 1 == rows.len() { "\n" } else { ",\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"committee\": [\n");
+    for (i, c) in committee.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"protocol\": \"committee-{}\", \"n\": {}, \"m\": {}, \"all_to_all\": {}, \
+             \"wall_ms\": {:.1}, \"honest_bytes\": {}, \"honest_messages\": {}, \
+             \"per_node_messages\": {:.1}, \"rounds\": {}, \"deliveries\": {}, \"agreed\": \
+             {}}}{}",
+            c.protocol,
+            c.meas.n,
+            c.m,
+            c.m == c.meas.n,
+            c.wall_ms,
+            c.meas.honest_bytes,
+            c.meas.honest_messages,
+            c.per_node_messages(),
+            c.meas.rounds,
+            c.meas.deliveries,
+            c.meas.agreed,
+            if i + 1 == committee.len() { "\n" } else { ",\n" }
         );
     }
     out.push_str("  ],\n");
@@ -327,7 +461,7 @@ fn json_escape_free(
         let prev = baseline_field(pr4, &t.protocol, t.m.n, "wall_ms").expect("filtered above");
         let _ = write!(
             out,
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"pr4_wall_ms\": {prev}, \"pr6_wall_ms\": \
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"pr4_wall_ms\": {prev}, \"pr7_wall_ms\": \
              {:.1}, \"speedup\": {:.2}}}{}",
             t.protocol,
             t.m.n,
@@ -397,11 +531,12 @@ fn liveness_gate(rows: &[Timed]) {
 ///
 /// The *fatal* check (under `gate`, the `--smoke` CI mode) is on
 /// **delivery counts**: the simulator is deterministic, so the same seeds
-/// must replay the same protocol work on any machine — PR 4 and PR 5 both
-/// recorded exactly 405 666 / 1 398 566 deliveries for these two rows.  A
-/// delivery count more than [`MAX_REGRESSION`] above the baseline means the
-/// protocol or runtime genuinely started doing more work, which no runner
-/// speed can excuse.
+/// must replay the same protocol work on any machine — PRs 4–6 all recorded
+/// exactly 405 666 / 1 398 566 deliveries for these two rows, and since
+/// PR 7's committee mode defaults to `Committee::full(n)` (all-to-all,
+/// bit-identical), the gate demands **exact equality**, not just staying
+/// inside [`MAX_REGRESSION`] (which remains the advisory threshold outside
+/// the gate).
 ///
 /// Wall-clock is compared and *printed* but never fatal: the baseline file
 /// records one machine state, the gate runs on another (shared CI runners,
@@ -432,7 +567,16 @@ fn regression_gate(rows: &[Timed], pr4: &str, gate: bool) {
                      {prev_deliveries:.0} ({:+.2} %)",
                     (ratio - 1.0) * 100.0
                 );
-                if ratio > 1.0 + MAX_REGRESSION {
+                // Committee mode rides on `Committee::full(n)` defaults that
+                // must leave the all-to-all paths byte-identical, so under
+                // the gate the deterministic replay must match the recorded
+                // count *exactly* — any drift means the default path changed.
+                if gate && deliveries != prev_deliveries as u64 {
+                    failures.push(format!(
+                        "aba at n={n} replays {deliveries} deliveries vs PR 4's exact \
+                         {prev_deliveries:.0} — the all-to-all path is no longer byte-identical"
+                    ));
+                } else if ratio > 1.0 + MAX_REGRESSION {
                     failures.push(format!(
                         "aba at n={n} now replays {deliveries} deliveries vs PR 4 \
                          {prev_deliveries:.0} ({:+.0} %)",
@@ -489,6 +633,22 @@ fn main() {
         }));
     }
 
+    // Committee-sampled liveness at the scale the tentpole unlocks: a
+    // committee of 22 inside n = 100 must decide *and* its 78 listeners must
+    // adopt, in both modes (the smoke gate and the recorded grid).
+    println!("\ncommittee — committee-sampled ABA liveness at n = 100");
+    let committee_smoke = committee_cell("aba", 22, || measure_committee_aba(100, 22, 7_900));
+    committee_gate(std::slice::from_ref(&committee_smoke));
+
+    let committee = if smoke {
+        Vec::new()
+    } else {
+        println!("\ncommittee grid — all-to-all (m = n) vs sampled committees, n up to 250");
+        let cells = committee_grid();
+        committee_gate(&cells);
+        cells
+    };
+
     // Liveness gate: a run that regressed to BudgetExhausted is a failure,
     // not a data point (the measure_* helpers also assert this — the
     // explicit check keeps the guarantee even if that assert ever moves).
@@ -536,14 +696,14 @@ fn main() {
     if smoke {
         println!(
             "\n--smoke: all runners (single-loop, sharded, parallel) reached AllOutputs, the \
-             starved-session sweep terminated, the socket transport is live, and the ABA \
-             delivery counts are within {:.0} % of BENCH_pr4.json; no baseline file written.",
-            MAX_REGRESSION * 100.0
+             starved-session sweep terminated, the socket transport is live, committee-sampled \
+             ABA at n=100 decided with listener adoption, and the ABA delivery counts match \
+             BENCH_pr4.json exactly; no baseline file written."
         );
         return;
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
-    std::fs::write(path, json_escape_free(&rows, &transport, &pr4, &fairness, &pvss))
-        .expect("write BENCH_pr6.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+    std::fs::write(path, json_escape_free(&rows, &committee, &transport, &pr4, &fairness, &pvss))
+        .expect("write BENCH_pr7.json");
     println!("\nwrote {path}");
 }

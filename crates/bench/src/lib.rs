@@ -23,7 +23,7 @@ use setupfree_baselines::{LocalCoinFactory, SquaredAvssCoin, SquaredCoinMessage}
 use setupfree_core::coin::{Coin, CoinOutput, CoinProtocolFactory, CoreSetMode};
 use setupfree_core::election::{Election, ElectionOutput};
 use setupfree_core::traits::ElectionFactory;
-use setupfree_core::TrustedCoinFactory;
+use setupfree_core::{Committee, CommitteeConfig, TrustedCoinFactory, TrustedElectionFactory};
 use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
 use setupfree_net::{
     envelope_session, BoxedParty, Envelope, PartyId, ProtocolInstance, RandomScheduler, Scheduler,
@@ -383,6 +383,103 @@ pub fn measure_vba(n: usize, payload: usize, seed: u64) -> Measurement {
                 ef,
                 af,
             )) as BoxedParty<<V as ProtocolInstance>::Message, Vec<u8>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 30, all_equal)
+}
+
+// ---------------------------------------------------------------------------
+// Committee-subsampled workloads (PR 7): an m-member committee runs the
+// protocol, the other n − m parties listen and adopt — the standard scaling
+// move for pushing agreement to n in the hundreds.  Committee rows plug the
+// trusted (zero-message) coin and election, because the setup-free Coin and
+// Election are all-n constructions; the directly comparable all-to-all row
+// is therefore [`measure_trusted_aba`] / [`measure_trusted_vba`], not the
+// full setup-free stack.
+// ---------------------------------------------------------------------------
+
+/// Samples the benchmark committee for one `(n, m, seed)` cell (fixed
+/// domain, so a cell is reproducible from its arguments alone).
+pub fn bench_committee(n: usize, m: usize, seed: u64) -> Committee {
+    Committee::sample(&CommitteeConfig::new(m, "bench"), &seed.to_le_bytes(), n)
+}
+
+/// Measures one committee-sampled trusted-coin ABA: `m` members run MMR,
+/// `n − m` listeners adopt the committee's Finish quorum.  Mixed inputs
+/// across members.
+pub fn measure_committee_aba(n: usize, m: usize, seed: u64) -> Measurement {
+    let committee = bench_committee(n, m, seed);
+    let f = (n - 1) / 3;
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
+        .map(|i| {
+            Box::new(MmrAba::with_committee(
+                Sid::new(&format!("bench-caba-{seed}")),
+                PartyId(i),
+                n,
+                f,
+                i % 2 == 0,
+                TrustedCoinFactory,
+                committee.clone(),
+            )) as BoxedParty<Envelope, bool>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 28, all_equal)
+}
+
+/// Measures the all-to-all VBA with the trusted (zero-message) election and
+/// trusted-coin vote-ABAs — the directly comparable baseline row for
+/// [`measure_committee_vba`], isolating what committee sampling saves from
+/// what the pluggable election costs.
+pub fn measure_trusted_vba(n: usize, payload: usize, seed: u64) -> Measurement {
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<Envelope, Vec<u8>>> = (0..n)
+        .map(|i| {
+            let af = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
+            Box::new(Vba::new(
+                Sid::new(&format!("bench-tvba-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                vec![i as u8; payload],
+                accept_all(),
+                TrustedElectionFactory::new(n),
+                af,
+            )) as BoxedParty<Envelope, Vec<u8>>
+        })
+        .collect();
+    let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    finish(sim, n, 1 << 30, all_equal)
+}
+
+/// Measures one committee-sampled VBA (trusted election + committee
+/// trusted-coin vote-ABAs over the same committee): members run the
+/// consistent-broadcast / election / vote pipeline, listeners adopt the
+/// `Decide` announcements.
+pub fn measure_committee_vba(n: usize, m: usize, payload: usize, seed: u64) -> Measurement {
+    let committee = bench_committee(n, m, seed);
+    let (keyring, secrets) = keys(n, seed);
+    let parties: Vec<BoxedParty<Envelope, Vec<u8>>> = (0..n)
+        .map(|i| {
+            let af = MmrAbaFactory::with_committee(
+                PartyId(i),
+                n,
+                keyring.f(),
+                TrustedCoinFactory,
+                committee.clone(),
+            );
+            Box::new(Vba::with_committee(
+                Sid::new(&format!("bench-cvba-{seed}")),
+                PartyId(i),
+                keyring.clone(),
+                secrets[i].clone(),
+                vec![i as u8; payload],
+                accept_all(),
+                TrustedElectionFactory::new(n),
+                af,
+                committee.clone(),
+            )) as BoxedParty<Envelope, Vec<u8>>
         })
         .collect();
     let sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
@@ -931,5 +1028,20 @@ mod tests {
         let m = measure_trusted_aba(4, 9);
         assert!(m.agreed);
         assert!(m.honest_messages > 0);
+    }
+
+    #[test]
+    fn committee_measurements_agree_and_save_messages() {
+        let all = measure_trusted_aba(22, 9);
+        let com = measure_committee_aba(22, 10, 9);
+        assert!(all.agreed && com.agreed);
+        assert!(
+            com.honest_messages < all.honest_messages,
+            "committee {} vs all-to-all {}",
+            com.honest_messages,
+            all.honest_messages
+        );
+        let vba = measure_committee_vba(22, 10, 8, 9);
+        assert!(vba.agreed);
     }
 }

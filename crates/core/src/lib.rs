@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod coin;
+pub mod committee;
 pub mod election;
 pub mod traits;
 pub mod trusted;
 
 pub use coin::{Coin, CoinMessage, CoinOutput};
+pub use committee::{worst_committee_seed, Committee, CommitteeConfig};
 pub use election::{Election, ElectionOutput};
 pub use traits::{AbaFactory, CoinFactory, ElectionFactory};
-pub use trusted::{TrustedCoin, TrustedCoinFactory};
+pub use trusted::{TrustedCoin, TrustedCoinFactory, TrustedElection, TrustedElectionFactory};

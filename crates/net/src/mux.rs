@@ -640,6 +640,23 @@ pub fn composite_cap(n: usize) -> CapPolicy {
     CapPolicy::Adaptive { floor, ceiling: 8 * floor, witnesses: n.saturating_sub(1) / 3 + 1 }
 }
 
+/// Cap policy for composite children hosted *inside a committee*: only the
+/// `m` committee members ever legitimately send child traffic, so both the
+/// floor (honest per-sender lag is `O(m)` per pending round, not `O(n)`)
+/// and the witness quorum (`f_c + 1` of the committee's own tolerance,
+/// since only members can be honest witnesses) scale with the committee
+/// size.  Sizing these from the full `n` — as [`composite_cap`] does —
+/// would hand every non-member flooder an `n/m`-times-too-generous budget
+/// and make the adaptive raise unreachable for small committees.
+pub fn committee_cap(committee_size: usize) -> CapPolicy {
+    let floor = DEFAULT_PER_SENDER_CAP.max(64 * committee_size);
+    CapPolicy::Adaptive {
+        floor,
+        ceiling: 8 * floor,
+        witnesses: committee_size.saturating_sub(1) / 3 + 1,
+    }
+}
+
 /// One buffered pre-activation message.
 #[derive(Debug, Clone)]
 struct BufferedEnvelope {

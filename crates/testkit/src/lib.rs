@@ -160,6 +160,26 @@ impl Adversary {
         (0..seeds).map(|seed| Adversary::Random { seed }).collect()
     }
 
+    /// The sweep for committee-subsampled protocols: FIFO, `seeds` random
+    /// schedules, a targeted-delay starvation of the first committee
+    /// **member** (the schedule most likely to break a member-quorum
+    /// protocol), a starvation of the first **listener** (must not matter —
+    /// listeners send nothing), and a half/half partition of all `n`
+    /// parties (which also splits the committee, since members are spread
+    /// across the index space).
+    pub fn committee_sweep(n: usize, members: &[usize], seeds: u64) -> Vec<Adversary> {
+        let mut sweep = vec![Adversary::Fifo];
+        sweep.extend((0..seeds).map(|seed| Adversary::Random { seed }));
+        if let Some(&member) = members.first() {
+            sweep.push(Adversary::TargetedDelay { targets: vec![member], seed: 0xc0 });
+        }
+        if let Some(listener) = (0..n).find(|i| !members.contains(i)) {
+            sweep.push(Adversary::TargetedDelay { targets: vec![listener], seed: 0xc1 });
+        }
+        sweep.push(Adversary::Partition { boundary: n / 2, seed: 0xc2 });
+        sweep
+    }
+
     /// The per-session fairness sweep for a `k`-session concurrent workload:
     /// `seeds` random schedules, a targeted starvation of session 0, and a
     /// partition starving the trailing half of the sessions.  Ensembles run
@@ -400,6 +420,27 @@ impl<O: Clone + fmt::Debug> SweepRun<O> {
         }
     }
 
+    /// Committee-aware termination + agreement: every awaited party —
+    /// member and listener alike — produced an output, all honest outputs
+    /// are pairwise equal, **and** at least one honest *member* decided.
+    /// The last clause keeps the assertion non-vacuous: listeners only
+    /// adopt, so a run where no member decided could not have terminated
+    /// for a legitimate reason.
+    pub fn assert_committee_agreement(&self, members: &[usize])
+    where
+        O: PartialEq,
+    {
+        self.assert_termination();
+        self.assert_agreement();
+        let member_decided =
+            members.iter().any(|&i| self.honest[i] && self.outputs[i].is_some());
+        assert!(
+            member_decided,
+            "no honest committee member decided under {}",
+            self.adversary
+        );
+    }
+
     /// The first honest output (panics if there is none — call
     /// [`Self::assert_termination`] first).
     pub fn first_output(&self) -> O {
@@ -529,6 +570,17 @@ mod tests {
         assert!(matches!(sweep[1], Adversary::Random { seed: 0 }));
         assert!(matches!(sweep[4], Adversary::TargetedDelay { .. }));
         assert!(matches!(sweep[5], Adversary::Partition { boundary: 2, .. }));
+    }
+
+    #[test]
+    fn committee_sweep_targets_a_member_and_a_listener() {
+        let sweep = Adversary::committee_sweep(10, &[2, 5, 9], 2);
+        assert_eq!(sweep.len(), 6);
+        assert_eq!(sweep[0], Adversary::Fifo);
+        // Starves member 2, then listener 0 (first non-member index).
+        assert_eq!(sweep[3], Adversary::TargetedDelay { targets: vec![2], seed: 0xc0 });
+        assert_eq!(sweep[4], Adversary::TargetedDelay { targets: vec![0], seed: 0xc1 });
+        assert!(matches!(sweep[5], Adversary::Partition { boundary: 5, .. }));
     }
 
     #[test]

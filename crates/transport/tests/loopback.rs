@@ -159,6 +159,56 @@ fn the_random_beacon_runs_end_to_end_over_sockets() {
 }
 
 #[test]
+fn committee_aba_over_sockets_keeps_non_members_nearly_silent() {
+    use setupfree_core::{Committee, CommitteeConfig};
+
+    let (n, size) = (22, 10);
+    let config = CommitteeConfig::new(size, "socket-committee");
+    let committee = Committee::sample(&config, &0x50C1A1u64.to_le_bytes(), n);
+    let report = TcpPeerGroup::new(n)
+        .timeout(Duration::from_secs(60))
+        .run(|i| {
+            Box::new(MmrAba::with_committee(
+                Sid::new("socket-committee-aba"),
+                PartyId(i),
+                n,
+                (n - 1) / 3,
+                i % 2 == 0,
+                TrustedCoinFactory,
+                committee.clone(),
+            )) as BoxedParty<Envelope, bool>
+        })
+        .expect("loopback setup");
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+    assert!(report.agreed(), "committee ABA agreement over sockets: {:?}", report.outputs);
+
+    // The whole point of the committee: non-members listen.  On the real
+    // wire a member pushes the BVal/Aux exchange plus the Finish broadcast;
+    // a listener sends nothing at all.  Give the assertion slack only in
+    // the comparison direction — per peer, a listener's bytes must be under
+    // a tenth of the *minimum* member's.
+    let member_min_bytes = committee
+        .members()
+        .iter()
+        .map(|p| report.peers[p.index()].sent_bytes)
+        .min()
+        .expect("non-empty committee");
+    for i in 0..n {
+        let stats = &report.peers[i];
+        if committee.is_member(PartyId(i)) {
+            assert!(stats.sent_envelopes > 0, "member {i} must speak");
+        } else {
+            assert_eq!(stats.sent_envelopes, 0, "listener {i} sent envelopes");
+            assert!(
+                stats.sent_bytes * 10 < member_min_bytes.max(1),
+                "listener {i} sent {} bytes, min member sent {member_min_bytes}",
+                stats.sent_bytes
+            );
+        }
+    }
+}
+
+#[test]
 fn a_disconnecting_peer_surfaces_as_an_error_not_a_hang() {
     let n = 4;
     // Peer 3 vanishes after its very first socket delivery — before it can

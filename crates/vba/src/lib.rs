@@ -30,12 +30,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use setupfree_core::committee::Committee;
 use setupfree_core::election::ElectionOutput;
 use setupfree_core::traits::{AbaFactory, ElectionFactory};
 use setupfree_crypto::hash::sha256;
 use setupfree_crypto::sig::Signature;
 use setupfree_crypto::{Keyring, PartySecrets};
-use setupfree_net::mux::{composite_cap, decode_payload, Envelope, InstancePath};
+use setupfree_net::mux::{committee_cap, composite_cap, decode_payload, Envelope, InstancePath};
 use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -84,6 +85,15 @@ pub enum VbaMessage {
         /// The leader's committed value and certificate, if known.
         proposal: Option<(Vec<u8>, Cert)>,
     },
+    /// Committee mode only: a member announces its decided value to all `n`
+    /// parties so non-members can adopt it.  A value is adopted once
+    /// `f_c + 1` distinct members announced it (at least one honest, and
+    /// honest members only announce their actual output).  Never sent — and
+    /// ignored — in all-to-all mode.
+    Decide {
+        /// The decided value.
+        value: Vec<u8>,
+    },
 }
 
 impl Encode for VbaMessage {
@@ -109,6 +119,10 @@ impl Encode for VbaMessage {
                 w.write_u32(*round);
                 proposal.encode(w);
             }
+            VbaMessage::Decide { value } => {
+                w.write_u8(4);
+                value.encode(w);
+            }
         }
     }
 }
@@ -127,6 +141,7 @@ impl Decode for VbaMessage {
                 round: r.read_u32()?,
                 proposal: Option::<(Vec<u8>, Cert)>::decode(r)?,
             }),
+            4 => Ok(VbaMessage::Decide { value: Vec::<u8>::decode(r)? }),
             tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "VbaMessage" }),
         }
     }
@@ -144,6 +159,24 @@ struct RoundState {
 }
 
 /// One party's state machine for a single VBA instance.
+///
+/// # Committee mode
+///
+/// Parameterised by a [`Committee`], like the ABA.  Under
+/// [`Committee::full`] (the [`Vba::new`] default) this is the classic
+/// all-to-all protocol, bit-identical.  Under a proper committee
+/// ([`Vba::with_committee`]):
+///
+/// * only **members** propose, acknowledge, confirm and vote, and all four
+///   exchanges fan out to members only; certificates carry
+///   `m − f_c` *member* signatures (non-member signatures are rejected);
+/// * the plugged election's leader (over `0..n`) is mapped onto a member
+///   via [`Committee::member_at`], and the per-round vote-ABA should be a
+///   committee ABA over the *same* committee
+///   ([`MmrAbaFactory::with_committee`](setupfree_aba::MmrAbaFactory));
+/// * a member that outputs multicasts [`VbaMessage::Decide`] to all `n`
+///   parties; **non-members** send nothing and adopt a value announced by
+///   `f_c + 1` distinct members.
 pub struct Vba<EF: ElectionFactory, AF: AbaFactory> {
     sid: Sid,
     me: PartyId,
@@ -151,6 +184,7 @@ pub struct Vba<EF: ElectionFactory, AF: AbaFactory> {
     secrets: Arc<PartySecrets>,
     predicate: Predicate,
     input: Vec<u8>,
+    committee: Committee,
     election_factory: EF,
     aba_factory: AF,
     /// Parties we have acknowledged (first proposal only).
@@ -166,6 +200,9 @@ pub struct Vba<EF: ElectionFactory, AF: AbaFactory> {
     abas: Router<AF::Instance>,
     current_round: u32,
     election_started: bool,
+    /// Committee mode: decided-value digest → (value, announcing members).
+    decides: BTreeMap<[u8; 32], (Vec<u8>, BTreeSet<usize>)>,
+    decide_sent: bool,
     output: Option<Vec<u8>>,
     max_rounds: u32,
 }
@@ -197,6 +234,41 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         aba_factory: AF,
     ) -> Self {
         let n = keyring.n();
+        Self::with_committee(
+            sid,
+            me,
+            keyring,
+            secrets,
+            input,
+            predicate,
+            election_factory,
+            aba_factory,
+            Committee::full(n),
+        )
+    }
+
+    /// Creates the VBA state machine running inside `committee` (see the
+    /// type-level docs for member / listener roles).  The vote-ABA factory
+    /// should build committee ABAs over the same committee.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_committee(
+        sid: Sid,
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+        input: Vec<u8>,
+        predicate: Predicate,
+        election_factory: EF,
+        aba_factory: AF,
+        committee: Committee,
+    ) -> Self {
+        let n = keyring.n();
+        assert_eq!(committee.n(), n, "committee sampled over a different party set");
+        let cap = if committee.is_proper() {
+            committee_cap(committee.size())
+        } else {
+            composite_cap(n)
+        };
         Vba {
             sid,
             me,
@@ -204,6 +276,7 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             secrets,
             predicate,
             input,
+            committee,
             election_factory,
             aba_factory,
             acked: BTreeSet::new(),
@@ -212,10 +285,12 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             confirm_sent: false,
             committed: BTreeMap::new(),
             rounds: BTreeMap::new(),
-            elections: Router::with_cap(K_ELECTION, composite_cap(n)),
-            abas: Router::with_cap(K_VOTE_ABA, composite_cap(n)),
+            elections: Router::with_cap(K_ELECTION, cap),
+            abas: Router::with_cap(K_VOTE_ABA, cap),
             current_round: 0,
             election_started: false,
+            decides: BTreeMap::new(),
+            decide_sent: false,
             output: None,
             max_rounds: 32,
         }
@@ -226,7 +301,32 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     }
 
     fn quorum(&self) -> usize {
-        self.keyring.quorum()
+        if self.committee.is_proper() {
+            self.committee.quorum()
+        } else {
+            self.keyring.quorum()
+        }
+    }
+
+    /// The committee this instance runs in.
+    pub fn committee(&self) -> &Committee {
+        &self.committee
+    }
+
+    /// Whether this party actively runs the protocol.
+    fn is_member(&self) -> bool {
+        self.committee.is_member(self.me)
+    }
+
+    /// Whether a protocol exchange with `from` is part of the active run:
+    /// both endpoints must be members (always true under a full committee).
+    fn active_exchange(&self, from: PartyId) -> bool {
+        self.is_member() && self.committee.is_member(from)
+    }
+
+    /// Fans a protocol message out to the active participants.
+    fn fan(&self, step: &mut Step<Envelope>, env: Envelope) {
+        self.committee.fan_out(step, env);
     }
 
     /// The round the party is currently working on (diagnostics).
@@ -253,6 +353,11 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             if pid.index() >= self.n() || !seen.insert(pid.index()) {
                 return false;
             }
+            // Committee mode: only member acknowledgements carry weight —
+            // a quorum padded with non-member signatures must not verify.
+            if !self.committee.is_member(*pid) {
+                return false;
+            }
             if !self.keyring.sig_key(pid.index()).verify(&ctx, &digest, sig) {
                 return false;
             }
@@ -266,11 +371,16 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
 
     /// Drives every pending condition to quiescence.
     fn advance(&mut self) -> Step<Envelope> {
+        if !self.is_member() {
+            // Listeners run no pipeline; they adopt through `Decide`.
+            return Step::none();
+        }
         let mut step = Step::none();
         loop {
             let mut progressed = false;
 
-            // Start the first election round once n − f proposals committed.
+            // Start the first election round once a quorum of proposals
+            // committed (n − f all-to-all, m − f_c inside a committee).
             if !self.election_started && self.committed.len() >= self.quorum() {
                 self.election_started = true;
                 step.extend(self.start_round(0));
@@ -283,11 +393,13 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                 let election_output =
                     self.elections.get(round as usize).and_then(|e| e.output());
                 let leader = {
+                    // The plugged election elects over 0..n; map the index
+                    // onto a member (identity when full).
+                    let mapped = election_output
+                        .map(|out| self.committee.member_at(out.leader.index()));
                     let state = self.round_state(round);
                     if state.leader.is_none() {
-                        if let Some(out) = election_output {
-                            state.leader = Some(out.leader);
-                        }
+                        state.leader = mapped;
                     }
                     state.leader
                 };
@@ -296,7 +408,7 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                     if !state_vote_sent {
                         self.round_state(round).vote_sent = true;
                         let proposal = self.committed.get(&leader.index()).cloned();
-                        step.push_multicast(Self::local(&VbaMessage::Vote { round, proposal }));
+                        self.fan(&mut step, Self::local(&VbaMessage::Vote { round, proposal }));
                         progressed = true;
                     }
                     // Enough votes → cast ABA input.
@@ -328,7 +440,16 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                                 // Agreement: the leader's committed value is
                                 // unique (per-proposer uniqueness of the
                                 // consistent broadcast) and externally valid.
+                                let value = value.clone();
                                 self.output = Some(value.clone());
+                                // Committee mode: announce the decision to all
+                                // n parties so listeners terminate too.
+                                if self.committee.is_proper() && !self.decide_sent {
+                                    self.decide_sent = true;
+                                    step.push_multicast(Self::local(&VbaMessage::Decide {
+                                        value,
+                                    }));
+                                }
                                 progressed = true;
                             }
                             // Otherwise wait: some honest party voted 1, so its
@@ -359,6 +480,9 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     }
 
     fn on_propose(&mut self, from: PartyId, value: Vec<u8>) -> Step<Envelope> {
+        if !self.active_exchange(from) {
+            return Step::none();
+        }
         if self.acked.contains(&from.index()) || !(self.predicate)(&value) {
             return Step::none();
         }
@@ -371,6 +495,9 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     }
 
     fn on_ack(&mut self, from: PartyId, proposer: u32, signature: Signature) -> Step<Envelope> {
+        if !self.active_exchange(from) {
+            return Step::none();
+        }
         if proposer as usize != self.me.index() || self.confirm_sent {
             return Step::none();
         }
@@ -385,11 +512,16 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
         self.own_cert.push((from, signature));
         if self.own_cert.len() >= self.quorum() {
             self.confirm_sent = true;
-            return Step::multicast(Self::local(&VbaMessage::Confirm {
-                proposer: self.me.index() as u32,
-                value: self.input.clone(),
-                cert: self.own_cert.clone(),
-            }));
+            let mut step = Step::none();
+            self.fan(
+                &mut step,
+                Self::local(&VbaMessage::Confirm {
+                    proposer: self.me.index() as u32,
+                    value: self.input.clone(),
+                    cert: self.own_cert.clone(),
+                }),
+            );
+            return step;
         }
         Step::none()
     }
@@ -409,11 +541,13 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             VbaMessage::Propose { value } => self.on_propose(from, value),
             VbaMessage::Ack { proposer, signature } => self.on_ack(from, proposer, signature),
             VbaMessage::Confirm { proposer, value, cert } => {
-                self.record_committed(proposer as usize, value, cert);
+                if self.active_exchange(from) {
+                    self.record_committed(proposer as usize, value, cert);
+                }
                 Step::none()
             }
             VbaMessage::Vote { round, proposal } => {
-                if round >= self.max_rounds {
+                if !self.active_exchange(from) || round >= self.max_rounds {
                     return Step::none();
                 }
                 // A vote may carry the leader's committed proposal; verify and
@@ -438,7 +572,29 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
                 self.round_state(round).votes_from.insert(from.index());
                 Step::none()
             }
+            VbaMessage::Decide { value } => self.on_decide(from, value),
         }
+    }
+
+    /// Committee mode: adopt a value once `f_c + 1` distinct members
+    /// announced it — at least one of them is honest, and honest members
+    /// only announce their actual (agreed) output.
+    fn on_decide(&mut self, from: PartyId, value: Vec<u8>) -> Step<Envelope> {
+        if !self.committee.is_proper()
+            || !self.committee.is_member(from)
+            || self.output.is_some()
+        {
+            return Step::none();
+        }
+        let entry = self
+            .decides
+            .entry(sha256(&value))
+            .or_insert_with(|| (value, BTreeSet::new()));
+        entry.1.insert(from.index());
+        if entry.1.len() >= self.committee.adopt_threshold() {
+            self.output = Some(entry.0.clone());
+        }
+        Step::none()
     }
 }
 
@@ -446,12 +602,17 @@ impl<EF: ElectionFactory, AF: AbaFactory> MuxNode for Vba<EF, AF> {
     type Output = Vec<u8>;
 
     fn on_activation(&mut self) -> Step<Envelope> {
+        if !self.is_member() {
+            // Listeners contribute no proposal and send nothing; they
+            // terminate by adopting the committee's `Decide` announcements.
+            return Step::none();
+        }
         assert!(
             (self.predicate)(&self.input),
             "VBA requires an input satisfying the external-validity predicate"
         );
-        let mut step =
-            Step::multicast(Self::local(&VbaMessage::Propose { value: self.input.clone() }));
+        let mut step = Step::none();
+        self.fan(&mut step, Self::local(&VbaMessage::Propose { value: self.input.clone() }));
         step.extend(self.advance());
         step
     }
@@ -473,6 +634,12 @@ impl<EF: ElectionFactory, AF: AbaFactory> MuxNode for Vba<EF, AF> {
             Some((seg, rest)) => {
                 let round = seg.index as u32;
                 if round >= self.max_rounds {
+                    return Step::none();
+                }
+                // Committee mode: election/vote-ABA traffic is a members-only
+                // exchange.  Dropping (rather than buffering) non-member
+                // traffic keeps listeners' pre-activation buffers empty.
+                if !self.active_exchange(from) {
                     return Step::none();
                 }
                 match seg.kind {
@@ -674,6 +841,92 @@ mod tests {
         let _ = parties[0].on_activation();
     }
 
+    #[allow(clippy::type_complexity)]
+    fn make_committee_parties(
+        n: usize,
+        size: usize,
+        committee_seed: u64,
+        pki_seed: u64,
+    ) -> (Committee, Vec<BoxedParty<Envelope, Vec<u8>>>, Vec<Vec<u8>>) {
+        use setupfree_core::{CommitteeConfig, TrustedElectionFactory};
+        let config = CommitteeConfig::new(size, "vba-test");
+        let committee = Committee::sample(&config, &committee_seed.to_le_bytes(), n);
+        let inputs: Vec<Vec<u8>> = (0..n).map(|i| format!("val-{i}").into_bytes()).collect();
+        let (keyring, secrets) = generate_pki(n, pki_seed);
+        let keyring = Arc::new(keyring);
+        let secrets: Vec<Arc<PartySecrets>> = secrets.into_iter().map(Arc::new).collect();
+        let parties = (0..n)
+            .map(|i| {
+                let af = MmrAbaFactory::with_committee(
+                    PartyId(i),
+                    n,
+                    keyring.f(),
+                    TrustedCoinFactory,
+                    committee.clone(),
+                );
+                Box::new(Vba::with_committee(
+                    Sid::new("cvba"),
+                    PartyId(i),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                    inputs[i].clone(),
+                    accept_all(),
+                    TrustedElectionFactory::new(n),
+                    af,
+                    committee.clone(),
+                )) as BoxedParty<Envelope, Vec<u8>>
+            })
+            .collect();
+        (committee, parties, inputs)
+    }
+
+    #[test]
+    fn committee_vba_members_and_listeners_agree() {
+        let (n, size) = (22, 10);
+        for seed in 0..3u64 {
+            let (committee, parties, inputs) = make_committee_parties(n, size, 0xFEED, 40 + seed);
+            let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+            let report = sim.run(200_000_000);
+            assert_eq!(report.reason, StopReason::AllOutputs, "seed {seed}");
+            let outputs = sim.outputs();
+            let decided: Vec<&Vec<u8>> =
+                outputs.iter().map(|o| o.as_ref().expect("every party decides")).collect();
+            assert!(decided.windows(2).all(|w| w[0] == w[1]), "agreement violated");
+            // Validity: the decided value is a *member's* proposal (listeners
+            // never propose).
+            let member_inputs: Vec<&Vec<u8>> =
+                committee.members().iter().map(|p| &inputs[p.index()]).collect();
+            assert!(member_inputs.contains(&decided[0]), "seed {seed}: non-member value decided");
+        }
+    }
+
+    #[test]
+    fn committee_vba_tolerates_f_c_silent_members() {
+        let (n, size) = (22, 10);
+        let (committee, mut parties, inputs) = make_committee_parties(n, size, 0xFEED, 77);
+        let f_c = committee.f();
+        assert_eq!(f_c, 3);
+        let silenced: Vec<PartyId> = committee.members()[..f_c].to_vec();
+        for p in &silenced {
+            parties[p.index()] = Box::new(SilentParty::new());
+        }
+        let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(11)));
+        for p in &silenced {
+            sim.mark_byzantine(*p);
+        }
+        let report = sim.run(300_000_000);
+        assert_eq!(report.reason, StopReason::AllOutputs);
+        let outputs = sim.outputs();
+        let decided: Vec<&Vec<u8>> = outputs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !silenced.contains(&PartyId(*i)))
+            .map(|(_, o)| o.as_ref().expect("honest party must decide"))
+            .collect();
+        assert!(decided.windows(2).all(|w| w[0] == w[1]));
+        assert!(inputs.contains(decided[0]));
+    }
+
     #[test]
     fn message_wire_roundtrip() {
         let (_, secrets) = generate_pki(4, 9);
@@ -683,6 +936,7 @@ mod tests {
             VbaMessage::Ack { proposer: 2, signature: sig },
             VbaMessage::Confirm { proposer: 1, value: vec![9], cert: vec![(PartyId(0), sig)] },
             VbaMessage::Vote { round: 1, proposal: Some((vec![4], vec![(PartyId(2), sig)])) },
+            VbaMessage::Decide { value: vec![7, 7, 7] },
         ];
         for msg in msgs {
             let env = Envelope::seal(InstancePath::root(), &msg);

@@ -132,6 +132,145 @@ fn adaptive_cap_spares_honest_lag_while_a_flooder_still_hits_the_cap() {
     assert_eq!(capped.buffered - flooded.buffered, (ceiling - per_sender) as u64);
 }
 
+/// PR 7 (committee subsampling): committee-hosted children size their cap to
+/// the committee, and non-member traffic never reaches the buffer at all.
+///
+/// The first property is the cap-scaling fix: a committee ABA's coin router
+/// used to inherit `composite_cap(n)`, so at n = 40 a single Byzantine
+/// *member* could park `64n = 2560` envelopes per victim child even though
+/// only `m = 10` parties may legitimately lag.  [`committee_cap`] pins the
+/// floor to the committee size.  The second property is the listener
+/// filter: coin traffic from outside the committee (or arriving at a
+/// listener) is dropped before the pre-activation buffer, so an outsider
+/// cannot occupy even one slot.
+#[test]
+fn committee_cap_scales_to_the_committee_and_non_members_never_buffer() {
+    use setupfree_core::{Committee, CommitteeConfig};
+    use setupfree_net::mux::committee_cap;
+
+    let (n, m) = (40, 10);
+    let f = (n - 1) / 3;
+    let CapPolicy::Adaptive { floor, ceiling, witnesses } = committee_cap(m) else {
+        panic!("committee routers must use the adaptive cap");
+    };
+    assert_eq!(floor, DEFAULT_PER_SENDER_CAP.max(64 * m));
+    assert_eq!(ceiling, 8 * floor);
+    assert_eq!(witnesses, (m - 1) / 3 + 1, "a raise needs an honest committee witness");
+    let CapPolicy::Adaptive { floor: full_floor, .. } = composite_cap(n) else {
+        panic!("composite routers must use the adaptive cap");
+    };
+    assert!(floor < full_floor, "the committee floor must scale with m, not n");
+
+    let committee =
+        Committee::sample(&CommitteeConfig::new(m, "flood-unit"), &1u64.to_le_bytes(), n);
+    let victim = committee.members()[0];
+    let insider = committee.members()[1];
+    let outsider = PartyId((0..n).find(|&i| !committee.is_member(PartyId(i))).unwrap());
+
+    let mut aba = TrustedAba::with_committee(
+        Sid::new("cflood"),
+        victim,
+        n,
+        f,
+        true,
+        TrustedCoinFactory,
+        committee.clone(),
+    );
+    let _ = MuxNode::on_activation(&mut aba);
+
+    // An outsider sprays twice the *all-to-all* floor at a member: zero
+    // slots occupied — the membership filter runs before the buffer.
+    for nonce in 0..(2 * full_floor) as u64 {
+        let env = coin_flood_envelope(63, nonce);
+        let step = aba.on_envelope(outsider, env.path, &env.payload);
+        assert!(step.is_empty(), "outsider flood must not trigger sends");
+    }
+    assert_eq!(aba.buffered_coin_messages(), 0, "non-member flood must never buffer");
+
+    // A Byzantine *member* flooding the same child is pinned at the
+    // committee floor — 1024 here, not the 2560 the n-sized cap allowed.
+    for nonce in 0..(2 * full_floor) as u64 {
+        let env = coin_flood_envelope(63, nonce);
+        let _ = aba.on_envelope(insider, env.path, &env.payload);
+    }
+    assert_eq!(aba.buffered_coin_messages(), floor, "member flooder pinned at committee floor");
+
+    // A listener mounts no children and buffers nothing, even for traffic
+    // that *claims* to come from a member.
+    let mut listener = TrustedAba::with_committee(
+        Sid::new("cflood-listener"),
+        outsider,
+        n,
+        f,
+        true,
+        TrustedCoinFactory,
+        committee,
+    );
+    let _ = MuxNode::on_activation(&mut listener);
+    for nonce in 0..floor as u64 {
+        let env = coin_flood_envelope(2, nonce);
+        let _ = listener.on_envelope(insider, env.path, &env.payload);
+    }
+    assert_eq!(listener.buffered_coin_messages(), 0, "listeners never buffer coin traffic");
+}
+
+/// Ensemble-level committee flooding regression: a Byzantine **non-member**
+/// sprays pre-activation coin traffic at everyone mid-protocol; the
+/// committee still agrees and the flood never registers in the buffer
+/// telemetry (it is dropped at the membership filter, before the router).
+#[test]
+fn committee_honest_agree_despite_a_non_member_flooder() {
+    use setupfree_core::{Committee, CommitteeConfig};
+
+    let n = 10;
+    let committee =
+        Committee::sample(&CommitteeConfig::new(6, "flood-sweep"), &3u64.to_le_bytes(), n);
+    let flooder = (0..n).find(|&i| !committee.is_member(PartyId(i))).unwrap();
+    let adversaries = {
+        let mut a = vec![Adversary::Fifo];
+        a.extend((0..3).map(|seed| Adversary::Random { seed }));
+        a
+    };
+    let runs = sweep(&adversaries, 5_000_000, |_| {
+        let committee = committee.clone();
+        Ensemble::build(n, |me| {
+            if me.index() == flooder {
+                Box::new(FloodingParty {
+                    nonce: 0,
+                    burst: 64,
+                    total: 2 * DEFAULT_PER_SENDER_CAP as u64,
+                }) as BoxedParty<Envelope, bool>
+            } else {
+                Box::new(TrustedAba::with_committee(
+                    Sid::new("cflood-sweep"),
+                    me,
+                    n,
+                    (n - 1) / 3,
+                    me.index() % 2 == 0,
+                    TrustedCoinFactory,
+                    committee.clone(),
+                )) as BoxedParty<Envelope, bool>
+            }
+        })
+        .mark_byzantine(flooder)
+    });
+    let members: Vec<usize> = committee.members().iter().map(|p| p.index()).collect();
+    for run in &runs {
+        run.assert_committee_agreement(&members);
+        // Contrast with the all-to-all flooding sweep above, where the same
+        // flood drives at least `cap` worth of buffer pressure: filtered at
+        // the membership check, it must stay invisible to the router.
+        assert!(
+            run.metrics.pre_activation_buffered + run.metrics.pre_activation_dropped
+                < DEFAULT_PER_SENDER_CAP as u64,
+            "under {}: a non-member flood must never reach the buffers (buffered {} + dropped {})",
+            run.adversary,
+            run.metrics.pre_activation_buffered,
+            run.metrics.pre_activation_dropped
+        );
+    }
+}
+
 /// A Byzantine machine that behaves like a silent party except that every
 /// delivery triggers a burst of distinct pre-activation coin traffic for a
 /// far-future ABA round, until a total flood volume well past the
