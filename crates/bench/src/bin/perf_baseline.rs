@@ -4,18 +4,21 @@
 //! (all-to-all vs committee-sampled ABA/VBA at n ∈ {40, 100, 250}, committee
 //! sizes swept), **simulated-vs-socket** wall-clock for the coin / full ABA
 //! / beacon over real TCP loopback peers (`setupfree-transport`) at
-//! n ∈ {4, 10, 22}, a session-starvation fairness sweep (per-session
-//! delivery split under `SessionTargetedDelayScheduler`), and the
-//! batched-vs-per-transcript PVSS verification micro-comparison.  Results go
-//! to `BENCH_pr7.json` at the workspace root — the trajectory every later
-//! performance PR is judged against.  (The PR 5 concurrent- and
-//! sharded-session grid is *not* re-recorded here; `BENCH_pr5.json` stays
-//! committed as that record.)
+//! n ∈ {4, 10, 22}, the **clean-vs-chaos socket grid** (PR 8: the same
+//! coin / ABA / beacon at n ∈ {4, 10} over a mesh shaped by a seeded
+//! `LinkFaultPlan` — 1 % frame drops, ≤ 20 ms jitter, one forced link cut —
+//! recording wall-clock overhead, retransmissions and redials), a
+//! session-starvation fairness sweep (per-session delivery split under
+//! `SessionTargetedDelayScheduler`), and the batched-vs-per-transcript PVSS
+//! verification micro-comparison.  Results go to `BENCH_pr8.json` at the
+//! workspace root — the trajectory every later performance PR is judged
+//! against.  (The PR 5 concurrent- and sharded-session grid is *not*
+//! re-recorded here; `BENCH_pr5.json` stays committed as that record.)
 //!
 //! Usage:
 //!
 //! ```sh
-//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr7.json
+//! cargo run --release -p setupfree-bench --bin perf_baseline            # full run, writes BENCH_pr8.json
 //! cargo run --release -p setupfree-bench --bin perf_baseline -- --smoke # CI gate, prints only
 //! ```
 //!
@@ -24,11 +27,13 @@
 //! delivery budget**, that the **starved-session fairness sweep stays live**
 //! (a starved session that fails to terminate fails the job), that the
 //! **socket transport is live** (a 4-peer beacon over real loopback TCP must
-//! decide, agree, and come home inside a minute), that **committee-sampled
-//! ABA at n = 100 is live and agrees** (members decide, listeners adopt),
-//! and replays the single-loop ABA at n ∈ {22, 40} — the simulator is
-//! deterministic and committee mode must leave the all-to-all paths
-//! byte-identical, so the delivery counts must match the committed
+//! decide, agree, and come home inside a minute), that the transport
+//! **survives chaos** (the same beacon under 1 % drops plus a forced link
+//! cut must still decide and agree — the PR 8 liveness gate), that
+//! **committee-sampled ABA at n = 100 is live and agrees** (members decide,
+//! listeners adopt), and replays the single-loop ABA at n ∈ {22, 40} — the
+//! simulator is deterministic and committee mode must leave the all-to-all
+//! paths byte-identical, so the delivery counts must match the committed
 //! `BENCH_pr4.json` **exactly** (405 666 / 1 398 566); wall-clock against
 //! the historical file is printed for the reviewer but is advisory, because
 //! it measures the runner as much as the code.
@@ -41,10 +46,12 @@ use rand::SeedableRng;
 use setupfree_bench::{
     measure_avss, measure_beacon, measure_coin, measure_committee_aba, measure_committee_vba,
     measure_setupfree_aba, measure_sharded_abas, measure_sharded_pipelined_beacon,
-    measure_socket_aba, measure_socket_beacon, measure_socket_coin,
+    measure_socket_aba, measure_socket_aba_chaos, measure_socket_beacon,
+    measure_socket_beacon_chaos, measure_socket_coin, measure_socket_coin_chaos,
     measure_starved_session_abas, measure_trusted_aba, measure_trusted_vba, Measurement,
     SocketMeasurement,
 };
+use setupfree_transport::LinkFaultPlan;
 use setupfree_core::coin::CoreSetMode;
 use setupfree_crypto::pvss::{
     verify_single_dealer_batch, PvssDecryptionKey, PvssParams, PvssScript,
@@ -288,6 +295,75 @@ fn transport_gate(protocol: &str, socket: &SocketMeasurement) {
     }
 }
 
+/// One clean-vs-chaos socket cell: the same machines, same PKI seeds, once
+/// over a quiet mesh and once under the PR 8 fault plan.
+struct ChaosRow {
+    protocol: &'static str,
+    clean: SocketMeasurement,
+    chaos: SocketMeasurement,
+}
+
+impl ChaosRow {
+    fn overhead(&self) -> f64 {
+        self.chaos.wall_ms / self.clean.wall_ms
+    }
+}
+
+/// The chaos plan of the recorded grid: 1 % frame drops, up to 20 ms of
+/// per-frame jitter, and one forced cut of the 0→1 link at its 50th frame —
+/// enough to force redials and outbox replays on every run without pushing
+/// wall-clock past CI patience.
+fn chaos_plan(seed: u64) -> LinkFaultPlan {
+    LinkFaultPlan::new(seed)
+        .drop_probability(0.01)
+        .delay(std::time::Duration::ZERO, std::time::Duration::from_millis(20))
+        .cut_link(0, 1, 50)
+}
+
+/// Runs the clean-vs-chaos grid at n ∈ {4, 10}.  Chaos runs are held to the
+/// same gate as clean ones: the plan injects faults the reconnect layer must
+/// absorb, so a failure or disagreement under chaos is a resilience bug,
+/// not noise.
+fn chaos_rows() -> Vec<ChaosRow> {
+    let mut out = Vec::new();
+    for &n in &[4usize, 10] {
+        for protocol in ["coin", "aba", "beacon"] {
+            let plan = chaos_plan(0x0C8A05 + n as u64);
+            let (clean, chaos) = match protocol {
+                "coin" => (
+                    measure_socket_coin(n, 7_000 + n as u64),
+                    measure_socket_coin_chaos(n, 7_000 + n as u64, Some(&plan)),
+                ),
+                "aba" => (
+                    measure_socket_aba(n, 7_300 + n as u64),
+                    measure_socket_aba_chaos(n, 7_300 + n as u64, Some(&plan)),
+                ),
+                _ => (
+                    measure_socket_beacon(n, 2, 7_200 + n as u64),
+                    measure_socket_beacon_chaos(n, 2, 7_200 + n as u64, Some(&plan)),
+                ),
+            };
+            transport_gate(protocol, &clean);
+            transport_gate(protocol, &chaos);
+            let row = ChaosRow { protocol, clean, chaos };
+            println!(
+                "  {:<8} n={:<3} clean {:>9.1} ms  chaos {:>9.1} ms ({:>5.2}x)  \
+                 drops={:<5} retransmitted={:<5} redials={}",
+                protocol,
+                n,
+                row.clean.wall_ms,
+                row.chaos.wall_ms,
+                row.overhead(),
+                row.chaos.drops_injected,
+                row.chaos.retransmitted,
+                row.chaos.redials,
+            );
+            out.push(row);
+        }
+    }
+    out
+}
+
 /// Reads the recorded `wall_ms` for `(protocol, n)` out of the committed
 /// `BENCH_pr4.json` (a flat, machine-written file; a fixed-shape string scan
 /// keeps the workspace free of a JSON dependency).
@@ -369,25 +445,27 @@ fn json_escape_free(
     rows: &[Timed],
     committee: &[CommitteeCell],
     transport: &[TransportRow],
+    chaos: &[ChaosRow],
     pr4: &str,
     fairness: &[FairnessRow],
     pvss: &PvssComparison,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"pr\": 7,\n");
+    out.push_str("  \"pr\": 8,\n");
     out.push_str(
-        "  \"description\": \"Baseline after committee subsampling (PR 7): an m-member \
-         committee derived from a shared seed runs the ABA/VBA pipeline with committee-relative \
-         quorums while the other n - m parties listen and adopt, pushing the grid to n in \
-         {100, 250}. The committee section records all-to-all comparator rows (m = n, the \
-         trusted-coin/election arms, bit-identical to the pre-committee machines) against \
-         sampled cells sweeping m; per_node_messages is the sublinearity observable — at fixed \
-         m it must stay nearly flat as n grows, where all-to-all rows grow linearly. The \
-         end_to_end, transport, fairness and PVSS sections repeat the PR 6 instrumentation on \
-         the unchanged (full-committee) paths; the PR 4 delivery goldens must reproduce \
-         exactly. Timings are single-run, release build, on a single-core container; socket \
-         runs include thread and mesh setup.\",\n",
+        "  \"description\": \"Baseline after the chaos transport (PR 8): the TCP peer mesh \
+         gains a seed-driven LinkFaultPlan (frame drops, delay and jitter, one-shot link cuts, \
+         scheduled partitions) and a reconnect layer (per-link outboxes, exponential-backoff \
+         redials, a resume handshake with sequence-numbered frames and cumulative acks) that \
+         delivers exactly-once in order across every fault. The chaos section is the new \
+         observable: the same coin / ABA / beacon machines over a clean mesh vs one shaped by \
+         1 percent drops, up to 20 ms jitter and a forced link cut — wall_overhead is the price \
+         of surviving, retransmitted and redials count the healing work. The end_to_end, \
+         committee, transport, fairness and PVSS sections repeat the PR 7 instrumentation on \
+         the unchanged paths; the PR 4 delivery goldens must reproduce exactly. Timings are \
+         single-run, release build, on a single-core container; socket runs include thread and \
+         mesh setup.\",\n",
     );
     out.push_str("  \"end_to_end\": [\n");
     for (i, t) in rows.iter().enumerate() {
@@ -449,6 +527,29 @@ fn json_escape_free(
             r.socket.sent_bytes,
             r.socket.agreed,
             if i + 1 == transport.len() { "\n" } else { ",\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"chaos\": [\n");
+    for (i, r) in chaos.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"f\": {}, \"clean_wall_ms\": {:.1}, \
+             \"chaos_wall_ms\": {:.1}, \"wall_overhead\": {:.2}, \"drops_injected\": {}, \
+             \"retransmitted\": {}, \"redials\": {}, \"chaos_sent_envelopes\": {}, \
+             \"agreed\": {}}}{}",
+            r.protocol,
+            r.chaos.n,
+            r.chaos.f,
+            r.clean.wall_ms,
+            r.chaos.wall_ms,
+            r.overhead(),
+            r.chaos.drops_injected,
+            r.chaos.retransmitted,
+            r.chaos.redials,
+            r.chaos.sent_envelopes,
+            r.chaos.agreed,
+            if i + 1 == chaos.len() { "\n" } else { ",\n" }
         );
     }
     out.push_str("  ],\n");
@@ -654,7 +755,7 @@ fn main() {
     // explicit check keeps the guarantee even if that assert ever moves).
     liveness_gate(&rows);
 
-    let transport = if smoke {
+    let (transport, chaos) = if smoke {
         // Transport liveness gate: a 4-peer beacon over real loopback TCP
         // must decide, agree, and come home fast.  The group's own watchdog
         // bounds the run; the explicit wall-clock cap catches a transport
@@ -670,10 +771,26 @@ fn main() {
             "  beacon   n=4   socket {:>9.1} ms  envelopes={} bytes={}",
             socket.wall_ms, socket.sent_envelopes, socket.sent_bytes
         );
-        Vec::new()
+        // Chaos liveness gate (PR 8): the same beacon must also survive a
+        // hostile mesh — 1 % frame drops plus one forced link cut — by
+        // redialling and replaying its outboxes, and still decide + agree.
+        println!("\nchaos liveness — the same beacon under 1 % drops and a forced link cut");
+        let hostile = measure_socket_beacon_chaos(4, 2, 7_204, Some(&chaos_plan(0x0C8A05)));
+        transport_gate("beacon-chaos", &hostile);
+        if hostile.wall_ms > 120_000.0 {
+            eprintln!("CHAOS REGRESSION: 4-peer chaos beacon took {:.0} ms", hostile.wall_ms);
+            std::process::exit(1);
+        }
+        println!(
+            "  beacon   n=4   chaos  {:>9.1} ms  drops={} retransmitted={} redials={}",
+            hostile.wall_ms, hostile.drops_injected, hostile.retransmitted, hostile.redials
+        );
+        (Vec::new(), Vec::new())
     } else {
         println!("\ntransport — simulated vs socket-backed wall-clock (loopback TCP peers)");
-        transport_rows(&rows)
+        let transport = transport_rows(&rows);
+        println!("\nchaos — clean vs fault-plan-shaped sockets (1 % drop, <=20 ms jitter, one cut)");
+        (transport, chaos_rows())
     };
 
     println!("\nfairness — one session starved by SessionTargetedDelay, must still terminate");
@@ -696,14 +813,18 @@ fn main() {
     if smoke {
         println!(
             "\n--smoke: all runners (single-loop, sharded, parallel) reached AllOutputs, the \
-             starved-session sweep terminated, the socket transport is live, committee-sampled \
-             ABA at n=100 decided with listener adoption, and the ABA delivery counts match \
-             BENCH_pr4.json exactly; no baseline file written."
+             starved-session sweep terminated, the socket transport is live and survives chaos \
+             (1 % drops + a forced cut), committee-sampled ABA at n=100 decided with listener \
+             adoption, and the ABA delivery counts match BENCH_pr4.json exactly; no baseline \
+             file written."
         );
         return;
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
-    std::fs::write(path, json_escape_free(&rows, &committee, &transport, &pr4, &fairness, &pvss))
-        .expect("write BENCH_pr7.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json");
+    std::fs::write(
+        path,
+        json_escape_free(&rows, &committee, &transport, &chaos, &pr4, &fairness, &pvss),
+    )
+    .expect("write BENCH_pr8.json");
     println!("\nwrote {path}");
 }

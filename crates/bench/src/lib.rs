@@ -877,13 +877,27 @@ pub struct SocketMeasurement {
     pub agreed: bool,
     /// `None` on success; the transport failure rendered to text otherwise.
     pub failure: Option<String>,
+    /// Frames the chaos plan deliberately dropped or cut (0 on clean runs).
+    pub drops_injected: u64,
+    /// Frames replayed from per-link outboxes during recovery resumes.
+    pub retransmitted: u64,
+    /// Successful link re-establishments after a cut or failure.
+    pub redials: u64,
 }
 
-fn socket_group(n: usize) -> setupfree_transport::TcpPeerGroup {
+fn socket_group(
+    n: usize,
+    plan: Option<&setupfree_transport::LinkFaultPlan>,
+) -> setupfree_transport::TcpPeerGroup {
     // Generous deadline: these runs finish in well under a minute even at
     // n = 22 on one core; the deadline only exists so a regression terminates
     // with a recorded failure instead of hanging the bench.
-    setupfree_transport::TcpPeerGroup::new(n).timeout(std::time::Duration::from_secs(240))
+    let group =
+        setupfree_transport::TcpPeerGroup::new(n).timeout(std::time::Duration::from_secs(240));
+    match plan {
+        Some(plan) => group.chaos(plan.clone()),
+        None => group,
+    }
 }
 
 fn socket_measurement<O: PartialEq>(
@@ -898,13 +912,27 @@ fn socket_measurement<O: PartialEq>(
         sent_bytes: report.total_sent_bytes(),
         agreed: report.all_decided() && report.agreed(),
         failure: report.failure.as_ref().map(|f| f.to_string()),
+        drops_injected: report.total_drops_injected(),
+        retransmitted: report.total_retransmitted(),
+        redials: report.total_redials(),
     }
 }
 
 /// Runs the private-setup-free common coin over `n` socket-backed peers.
 pub fn measure_socket_coin(n: usize, seed: u64) -> SocketMeasurement {
+    measure_socket_coin_chaos(n, seed, None)
+}
+
+/// [`measure_socket_coin`] with an optional [`LinkFaultPlan`] underneath —
+/// the clean-vs-chaos comparison rows of `perf_baseline` run the *same*
+/// machines through both.
+pub fn measure_socket_coin_chaos(
+    n: usize,
+    seed: u64,
+    plan: Option<&setupfree_transport::LinkFaultPlan>,
+) -> SocketMeasurement {
     let (keyring, secrets) = keys(n, seed);
-    let report = socket_group(n)
+    let report = socket_group(n, plan)
         .run(|i| {
             Box::new(Coin::with_core_mode(
                 Sid::new(&format!("socket-coin-{seed}")),
@@ -924,8 +952,17 @@ pub fn measure_socket_coin(n: usize, seed: u64) -> SocketMeasurement {
 
 /// Runs the full setup-free ABA (real coin inside) over `n` socket peers.
 pub fn measure_socket_aba(n: usize, seed: u64) -> SocketMeasurement {
+    measure_socket_aba_chaos(n, seed, None)
+}
+
+/// [`measure_socket_aba`] over an optionally chaos-shaped mesh.
+pub fn measure_socket_aba_chaos(
+    n: usize,
+    seed: u64,
+    plan: Option<&setupfree_transport::LinkFaultPlan>,
+) -> SocketMeasurement {
     let (keyring, secrets) = keys(n, seed);
-    let report = socket_group(n)
+    let report = socket_group(n, plan)
         .run(|i| {
             let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
             Box::new(MmrAba::new(
@@ -946,8 +983,18 @@ pub fn measure_socket_aba(n: usize, seed: u64) -> SocketMeasurement {
 /// as [`measure_beacon`], so the simulated and socket rows are directly
 /// comparable.
 pub fn measure_socket_beacon(n: usize, epochs: u32, seed: u64) -> SocketMeasurement {
+    measure_socket_beacon_chaos(n, epochs, seed, None)
+}
+
+/// [`measure_socket_beacon`] over an optionally chaos-shaped mesh.
+pub fn measure_socket_beacon_chaos(
+    n: usize,
+    epochs: u32,
+    seed: u64,
+    plan: Option<&setupfree_transport::LinkFaultPlan>,
+) -> SocketMeasurement {
     let (keyring, secrets) = keys(n, seed);
-    let report = socket_group(n)
+    let report = socket_group(n, plan)
         .run(|i| {
             let aba = MmrAbaFactory::new(PartyId(i), n, keyring.f(), TrustedCoinFactory);
             Box::new(RandomBeacon::new(

@@ -66,16 +66,48 @@ where
     pub byzantine: Vec<usize>,
     /// Parties crashed before the session starts.
     pub crashed_at_start: Vec<usize>,
+    /// Parties wrapped by [`SessionSetup::crash_after`]: honest, but not
+    /// awaited for termination (they will go silent mid-run).
+    pub crash_faulty: Vec<usize>,
 }
 
 impl<M, O> SessionSetup<M, O>
 where
     M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
-    O: Clone + fmt::Debug,
+    O: Clone + fmt::Debug + 'static,
 {
     /// An all-honest session with the given parties, scheduler and budget.
     pub fn new(parties: Vec<BoxedParty<M, O>>, scheduler: Box<dyn Scheduler>, budget: u64) -> Self {
-        SessionSetup { parties, scheduler, budget, byzantine: Vec::new(), crashed_at_start: Vec::new() }
+        SessionSetup {
+            parties,
+            scheduler,
+            budget,
+            byzantine: Vec::new(),
+            crashed_at_start: Vec::new(),
+            crash_faulty: Vec::new(),
+        }
+    }
+
+    /// Wraps party `i` so it crashes (goes permanently silent) after
+    /// `activations` deliveries — the testkit's mid-run crash fault, now
+    /// composable with per-session schedulers: a fairness sweep can starve
+    /// one session *and* crash a quorum member of another.  The party stays
+    /// honest (pre-crash traffic is charged to the honest complexity, a
+    /// pre-crash output joins the agreement quantifier); it is just no
+    /// longer awaited for termination.
+    pub fn crash_after(mut self, i: usize, activations: usize) -> Self {
+        let machine =
+            std::mem::replace(&mut self.parties[i], Box::new(setupfree_net::SilentParty::new()));
+        self.parties[i] = Box::new(setupfree_net::CrashAfter::new(machine, activations));
+        self.crash_faulty.push(i);
+        self
+    }
+
+    /// Replaces party `i` with a fully silent Byzantine machine.
+    pub fn silence(mut self, i: usize) -> Self {
+        self.parties[i] = Box::new(setupfree_net::SilentParty::new());
+        self.byzantine.push(i);
+        self
     }
 }
 
@@ -569,6 +601,11 @@ where
     }
     for &i in &setup.crashed_at_start {
         sim.crash(PartyId(i));
+    }
+    for &i in &setup.crash_faulty {
+        // Honest-but-crash-faulty: still in the agreement quantifier and
+        // the honest communication metrics, just not awaited.
+        sim.mark_crash_faulty(PartyId(i));
     }
     sim.activate_all();
     LiveSession { session: index, sim, budget: setup.budget, deliveries: 0 }

@@ -26,6 +26,9 @@ use std::sync::{Condvar, Mutex};
 struct State<T> {
     queue: VecDeque<T>,
     closed: bool,
+    /// Highest occupancy ever observed — how close the queue came to
+    /// exercising backpressure.  Reported per peer inbox by the transport.
+    high_water: usize,
 }
 
 /// A bounded blocking FIFO channel for one producer and one consumer.
@@ -44,7 +47,7 @@ impl<T> ShardQueue<T> {
         assert!(capacity > 0, "a zero-capacity queue can never transfer anything");
         ShardQueue {
             capacity,
-            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false, high_water: 0 }),
             filled: Condvar::new(),
             drained: Condvar::new(),
         }
@@ -61,6 +64,7 @@ impl<T> ShardQueue<T> {
             return Err(item);
         }
         state.queue.push_back(item);
+        state.high_water = state.high_water.max(state.queue.len());
         drop(state);
         self.filled.notify_one();
         Ok(())
@@ -73,6 +77,7 @@ impl<T> ShardQueue<T> {
             return Err(item);
         }
         state.queue.push_back(item);
+        state.high_water = state.high_water.max(state.queue.len());
         drop(state);
         self.filled.notify_one();
         Ok(())
@@ -134,6 +139,13 @@ impl<T> ShardQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Highest occupancy the queue ever reached — `capacity` here means
+    /// producers actually blocked (or, for `try_push` callers, items were
+    /// refused) at least once.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").high_water
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +164,7 @@ mod tests {
         assert_eq!(q.try_pop(), Some(2));
         assert_eq!(q.try_pop(), Some(3));
         assert_eq!(q.try_pop(), None);
+        assert_eq!(q.high_water(), 2, "the high-water mark survives the drain");
     }
 
     #[test]

@@ -1,55 +1,88 @@
 //! The loopback peer group: every party of a protocol run as a real
-//! socket-backed peer.
+//! socket-backed peer — now with a hostile network underneath, if asked.
 //!
 //! [`TcpPeerGroup::run`] boots `n` peers inside one process, fully
 //! connected over TCP loopback (one duplex connection per unordered pair),
-//! and drives an unmodified [`ProtocolInstance`] per peer until every peer
-//! has produced its output — or until something goes wrong, in which case
-//! the run *terminates with a structured failure* instead of hanging.
+//! and drives an unmodified [`ProtocolInstance`] per peer until the run
+//! resolves — success, degraded success, structured failure — never a hang.
 //!
 //! # Thread model (mirrors the sharded runtime's worker seam)
 //!
 //! Per peer:
 //!
 //! * **one driver thread** owns the state machine for its whole life — the
-//!   machines are deliberately not `Send` (they hold `Rc`-free but
-//!   thread-affine state), so the factory closure is called *on* the driver
-//!   thread, exactly like [`setupfree_runtime::SessionFactory`] sessions
-//!   are built on their worker shard.  The driver pops `(from, envelope)`
-//!   pairs from a bounded [`ShardQueue`] inbox (the same queue type, same
-//!   close protocol, as the sharded host's worker inboxes), steps the
-//!   machine, and writes the resulting envelopes to the peer sockets —
-//!   encoding each multicast **once**;
-//! * **one reader thread per remote peer** turns the byte stream back into
-//!   envelopes and pushes them into the inbox; a full inbox blocks the
-//!   reader, which backpressures the sender through TCP.
+//!   machines are deliberately not `Send`, so the factory closure is called
+//!   *on* the driver thread, exactly like
+//!   [`setupfree_runtime::SessionFactory`] sessions are built on their
+//!   worker shard.  The driver pops `(from, envelope)` pairs from a bounded
+//!   [`ShardQueue`] inbox, steps the machine, and offers the resulting
+//!   envelopes to its per-destination [`Link`]s — encoding each multicast
+//!   **once**;
+//! * **one accept thread** owns the peer's listener for the whole run and
+//!   completes the resume handshake for every inbound (re)connection;
+//! * **one redial thread** dials every peer this one is the *dialer* for
+//!   (the lower id always dials, so a redial never races an accept for the
+//!   same pair) with exponential backoff, and reaps accept-side links
+//!   whose dialer has been gone too long;
+//! * **one reader thread per live connection** turns the byte stream back
+//!   into envelopes, enforces per-link sequencing (duplicates dropped,
+//!   gaps fatal), applies the fault plan's receive delay, and pushes into
+//!   the inbox; a full inbox blocks the reader, which backpressures the
+//!   sender through TCP.
 //!
-//! Self-addressed messages (`Dest::All` includes the sender) never touch a
-//! socket: the driver loops them through a local queue, sharing the payload
-//! `Arc` just like the simulator does.
+//! Self-addressed messages never touch a socket: the driver loops them
+//! through a local queue, sharing the payload just like the simulator.
 //!
-//! # Termination guarantees
+//! # Resilience semantics
 //!
-//! The coordinator (the calling thread) watches three conditions: every
-//! peer decided (success), a peer's driver exited undecided
-//! ([`TransportFailure::PeerStopped`] — the disconnect case), or the
-//! deadline passed ([`TransportFailure::Timeout`]).  In every case it then
-//! closes all inboxes and shuts down every socket, which provably unwedges
-//! each blocked thread: `pop` returns `None`, reads return EOF, and writes
-//! error out.  No path waits on a peer that will never speak again.
+//! Every ordered link runs the [`reconnect`](crate::reconnect) state
+//! machine: a failed or fault-injected write severs the connection and
+//! parks traffic in a bounded outbox; the redial loop re-establishes it
+//! (resume hello + cumulative acks guarantee exactly-once, in-order
+//! delivery across the cut); a link whose retry budget or death timer
+//! expires goes `Dead`, and further traffic to it is *dropped* — the
+//! asynchronous model's "messages to a crashed party are lost", observed
+//! for real.  A [`LinkFaultPlan`] makes the hostility deterministic and
+//! replayable.
+//!
+//! # Termination and degradation
+//!
+//! The coordinator (the calling thread) resolves the run as:
+//!
+//! * **success** — every peer decided;
+//! * **degraded success** — every *surviving* peer decided, and the peers
+//!   that died undecided number at most the crash budget (default
+//!   `f = (n−1)/3`, the model's fault tolerance).  The dead are listed in
+//!   [`SocketRunReport::degraded`];
+//! * [`TransportFailure::PeerStopped`] — more peers died than the budget
+//!   tolerates (a budget of 0 restores PR 6's fail-fast);
+//! * [`TransportFailure::Timeout`] — the deadline passed, undecided peers
+//!   named.
+//!
+//! Teardown then closes all inboxes and shuts down every socket ever
+//! created, which provably unwedges each blocked thread: `pop` returns
+//! `None`, reads return EOF, writes error out, and the handshake and poll
+//! loops run on short timeouts.  No path waits on a peer that will never
+//! speak again.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, BufReader, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use setupfree_net::{BoxedParty, Dest, Envelope, PartyId, ProtocolInstance, Step};
 use setupfree_runtime::ShardQueue;
 
-use crate::framing::{encode_frame, read_frame, read_hello, write_hello};
+use crate::chaos::LinkFaultPlan;
+use crate::framing::{
+    encode_ack_frame, encode_envelope, read_frame, read_hello, read_hello_ack, write_hello,
+    write_hello_ack, Frame, Hello,
+};
+use crate::reconnect::{Link, LinkStats, LinkStatus, ReconnectPolicy};
 
 /// Default per-peer inbox bound.  Large enough that transient bursts ride
 /// in memory, small enough that a stalled peer backpressures its senders
@@ -59,7 +92,17 @@ pub const DEFAULT_INBOX_CAPACITY: usize = 4096;
 /// Default wall-clock deadline for a run.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Why a socket run failed (success is the absence of a failure).
+/// Read timeout covering the resume handshake only — long enough for a
+/// loaded loopback exchange, short enough that a half-open dial (a crashed
+/// peer's backlog, a stray connection) cannot wedge an accept or redial
+/// thread past teardown.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Poll interval for the accept, redial, and coordinator loops.
+const POLL: Duration = Duration::from_millis(1);
+
+/// Why a socket run failed (success — possibly degraded — is the absence
+/// of a failure).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportFailure {
     /// The deadline passed with peers still undecided.  The run was torn
@@ -70,11 +113,12 @@ pub enum TransportFailure {
         /// The peers that had not produced an output.
         undecided: Vec<usize>,
     },
-    /// A peer's driver exited before producing an output — a disconnect, a
-    /// poisoned machine (panic payload in `message`), or a peer whose every
-    /// socket died under it.
+    /// More peers stopped undecided than the crash budget tolerates — a
+    /// disconnect beyond `f`, a poisoned machine (panic payload in
+    /// `message`), or fail-fast mode (`crash_budget(0)`) observing its
+    /// first death.
     PeerStopped {
-        /// The peer that stopped.
+        /// The first peer over budget.
         peer: usize,
         /// The driver's panic payload, when it panicked rather than exited.
         message: Option<String>,
@@ -97,21 +141,41 @@ impl fmt::Display for TransportFailure {
     }
 }
 
+/// A peer's health at teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Decided (or still running) with every link up.
+    Alive,
+    /// At least one of the peer's links was mid-recovery when the run
+    /// ended (severed, redialing, or given up) — typical for survivors of
+    /// a degraded run, whose links to the dead peer never come back.
+    Reconnecting,
+    /// The peer's driver exited without deciding — crash-stopped.
+    Dead,
+}
+
 /// Per-peer traffic counters (socket traffic only — self-deliveries bypass
 /// the sockets by design and are not counted).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PeerStats {
-    /// Envelopes written to peer sockets (a multicast counts once per
-    /// destination, matching the simulator's per-message accounting).
+    /// Data frames written to peer sockets, retransmissions included (a
+    /// multicast counts once per destination, matching the simulator's
+    /// per-message accounting; transport-internal acks are *not* counted).
     pub sent_envelopes: u64,
-    /// Frame bytes written (4-byte prefix included).
+    /// Data-frame bytes written (frame headers included).
     pub sent_bytes: u64,
     /// Envelopes received off the sockets and delivered to the machine.
     pub received_envelopes: u64,
-    /// Sends skipped or failed because the destination's connection was
-    /// already dead — the asynchronous model's "messages to a crashed party
+    /// Frames abandoned because their link was `Dead` or its outbox
+    /// overflowed — the asynchronous model's "messages to a crashed party
     /// are lost", observed for real.
     pub dropped_sends: u64,
+    /// Highest occupancy the peer's inbox ever reached (capacity means the
+    /// reader threads actually exercised backpressure).
+    pub inbox_high_water: usize,
+    /// Per-destination link counters (`links[j]` is this peer's ordered
+    /// link *to* `j`; the self entry is all zeros).
+    pub links: Vec<LinkStats>,
 }
 
 /// The outcome of one [`TcpPeerGroup::run`].
@@ -121,6 +185,11 @@ pub struct SocketRunReport<O> {
     pub outputs: Vec<Option<O>>,
     /// Each peer's socket-traffic counters.
     pub peers: Vec<PeerStats>,
+    /// Each peer's health at teardown.
+    pub health: Vec<PeerHealth>,
+    /// Peers that crash-stopped undecided on a *successful* run (at most
+    /// the crash budget; empty on a clean success and on failures).
+    pub degraded: Vec<usize>,
     /// Wall-clock time from first activation to teardown.
     pub wall: Duration,
     /// `None` on success; the structured reason otherwise.
@@ -128,9 +197,23 @@ pub struct SocketRunReport<O> {
 }
 
 impl<O> SocketRunReport<O> {
-    /// `true` when the run succeeded and every peer decided.
+    /// `true` when the run succeeded and every peer decided (a degraded
+    /// success is *not* `all_decided` — see
+    /// [`surviving_decided`](Self::surviving_decided)).
     pub fn all_decided(&self) -> bool {
         self.failure.is_none() && self.outputs.iter().all(|o| o.is_some())
+    }
+
+    /// `true` when the run succeeded and every peer outside
+    /// [`degraded`](Self::degraded) decided — the liveness the model
+    /// actually promises with ≤ f crash-stops.
+    pub fn surviving_decided(&self) -> bool {
+        self.failure.is_none()
+            && self
+                .outputs
+                .iter()
+                .enumerate()
+                .all(|(i, o)| o.is_some() || self.degraded.contains(&i))
     }
 
     /// `true` when every peer that decided decided the *same* value.
@@ -142,14 +225,62 @@ impl<O> SocketRunReport<O> {
         vals.windows(2).all(|w| w[0] == w[1])
     }
 
-    /// Total envelopes written to sockets across all peers.
+    /// Total data frames written to sockets across all peers.
     pub fn total_sent_envelopes(&self) -> u64 {
         self.peers.iter().map(|p| p.sent_envelopes).sum()
     }
 
-    /// Total frame bytes written to sockets across all peers.
+    /// Total data-frame bytes written to sockets across all peers.
     pub fn total_sent_bytes(&self) -> u64 {
         self.peers.iter().map(|p| p.sent_bytes).sum()
+    }
+
+    /// Total frames replayed by the retransmission path across all links.
+    pub fn total_retransmitted(&self) -> u64 {
+        self.peers.iter().flat_map(|p| &p.links).map(|l| l.retransmitted).sum()
+    }
+
+    /// Total successful redials across all links.
+    pub fn total_redials(&self) -> u64 {
+        self.peers.iter().flat_map(|p| &p.links).map(|l| l.redials).sum()
+    }
+
+    /// Total frames eaten by the fault injector across all links.
+    pub fn total_drops_injected(&self) -> u64 {
+        self.peers.iter().flat_map(|p| &p.links).map(|l| l.drops_injected).sum()
+    }
+
+    /// The ordered link `from → to`'s counters.
+    pub fn link(&self, from: usize, to: usize) -> &LinkStats {
+        &self.peers[from].links[to]
+    }
+
+    /// Asserts the per-link conservation law on a quiescent run: every
+    /// frame `from` offered to `to` was delivered at `to`, abandoned
+    /// (`dropped`), or still parked — nothing vanished, nothing was
+    /// double-delivered.  Call this only for protocols that are silent
+    /// after deciding (teardown on a chattering protocol catches frames
+    /// mid-flight, which is in-flight loss, not a transport bug).
+    pub fn assert_conservation(&self) {
+        for from in 0..self.peers.len() {
+            for to in 0..self.peers.len() {
+                if from == to {
+                    continue;
+                }
+                let out = self.link(from, to);
+                let inbound = self.link(to, from);
+                assert_eq!(
+                    out.offered,
+                    inbound.delivered + out.dropped + out.parked,
+                    "conservation violated on link {from} → {to}: \
+                     offered {} != delivered {} + dropped {} + parked {}",
+                    out.offered,
+                    inbound.delivered,
+                    out.dropped,
+                    out.parked
+                );
+            }
+        }
     }
 }
 
@@ -160,10 +291,14 @@ pub struct TcpPeerGroup {
     timeout: Duration,
     inbox_capacity: usize,
     disconnect_after: Vec<Option<u64>>,
+    chaos: LinkFaultPlan,
+    reconnect: ReconnectPolicy,
+    crash_budget: Option<usize>,
 }
 
 impl TcpPeerGroup {
-    /// A group of `n` peers with the default timeout and inbox bound.
+    /// A group of `n` peers with the default timeout, inbox bound,
+    /// reconnect policy, crash budget `f = (n−1)/3`, and no fault plan.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "a peer group needs at least two peers");
         TcpPeerGroup {
@@ -171,6 +306,9 @@ impl TcpPeerGroup {
             timeout: DEFAULT_TIMEOUT,
             inbox_capacity: DEFAULT_INBOX_CAPACITY,
             disconnect_after: vec![None; n],
+            chaos: LinkFaultPlan::default(),
+            reconnect: ReconnectPolicy::default(),
+            crash_budget: None,
         }
     }
 
@@ -187,89 +325,93 @@ impl TcpPeerGroup {
         self
     }
 
-    /// Fault injection: `peer` severs all of its connections and exits after
-    /// delivering `deliveries` socket envelopes to its machine.  The
-    /// surviving peers observe a real mid-protocol disconnect; the run then
-    /// reports [`TransportFailure::PeerStopped`] (unless the peer had
-    /// already decided, in which case the others may still finish).
+    /// Installs a deterministic link-fault schedule for the run.
+    pub fn chaos(mut self, plan: LinkFaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Replaces the reconnect/retransmission tuning.
+    pub fn reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// How many peers may crash-stop undecided before the run is declared
+    /// failed.  Defaults to the model's `f = (n−1)/3`; `0` restores the
+    /// PR 6 fail-fast behaviour (first death → `PeerStopped`).
+    pub fn crash_budget(mut self, budget: usize) -> Self {
+        self.crash_budget = Some(budget);
+        self
+    }
+
+    /// Fault injection: `peer` gives up all of its links and exits after
+    /// delivering `deliveries` socket envelopes to its machine — a real
+    /// mid-protocol crash-stop.  Within the crash budget the run proceeds
+    /// degraded; beyond it, [`TransportFailure::PeerStopped`].
     pub fn disconnect_after(mut self, peer: usize, deliveries: u64) -> Self {
         self.disconnect_after[peer] = Some(deliveries);
         self
     }
 
     /// Boots the group and runs `factory(i)`'s machine on peer `i` until
-    /// every peer decides, a peer dies, or the deadline passes.
+    /// every surviving peer decides, the crash budget is exceeded, or the
+    /// deadline passes.
     ///
-    /// `Err` is reserved for *environment* failures while wiring the
-    /// loopback sockets (bind/connect/hello); once the peers are up, every
-    /// outcome — including disconnects and timeouts — terminates and comes
-    /// back as a [`SocketRunReport`].
+    /// `Err` is reserved for *environment* failures binding the loopback
+    /// listeners; once the peers are up, every outcome — crashes, cuts,
+    /// partitions, timeouts — terminates and comes back as a
+    /// [`SocketRunReport`].
     pub fn run<O, F>(&self, factory: F) -> io::Result<SocketRunReport<O>>
     where
         O: Clone + fmt::Debug + Send,
         F: Fn(usize) -> BoxedParty<Envelope, O> + Sync,
     {
         let n = self.n;
-        // --- wire the full mesh: one duplex connection per unordered pair.
-        // Peer a < b dials b's listener; the kernel's accept backlog (>= n-1
-        // here) lets the whole dial pass complete before any accept runs.
         let listeners: Vec<TcpListener> =
             (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<io::Result<_>>()?;
-        let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr()).collect::<io::Result<_>>()?;
-        let mut links: Vec<Vec<Option<Arc<TcpStream>>>> = (0..n).map(|_| vec![None; n]).collect();
-        for (a, row) in links.iter_mut().enumerate() {
-            for (b, link) in row.iter_mut().enumerate().skip(a + 1) {
-                let mut s = TcpStream::connect(addrs[b])?;
-                write_hello(&mut s, a)?;
-                s.set_nodelay(true)?;
-                *link = Some(Arc::new(s));
-            }
-        }
-        for (b, listener) in listeners.iter().enumerate() {
-            for _ in 0..b {
-                let (mut s, _) = listener.accept()?;
-                let a = read_hello(&mut s)?;
-                if a >= n || links[b][a].is_some() {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "bad hello peer id"));
-                }
-                s.set_nodelay(true)?;
-                links[b][a] = Some(Arc::new(s));
-            }
-        }
-        drop(listeners);
-        let all_streams: Vec<Arc<TcpStream>> =
-            links.iter().flatten().flatten().cloned().collect();
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(|l| l.local_addr()).collect::<io::Result<_>>()?;
 
-        // --- shared run state.
-        let inboxes: Vec<ShardQueue<(PartyId, Envelope)>> =
-            (0..n).map(|_| ShardQueue::new(self.inbox_capacity)).collect();
+        let mesh = Mesh {
+            n,
+            nonce: fresh_nonce(),
+            addrs,
+            links: (0..n)
+                .map(|i| (0..n).map(|j| (i != j).then(Link::new).map(Arc::new)).collect())
+                .collect(),
+            inboxes: (0..n).map(|_| ShardQueue::new(self.inbox_capacity)).collect(),
+            plan: self.chaos.clone(),
+            policy: self.reconnect.clone(),
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            peer_down: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            streams: Mutex::new(Vec::new()),
+        };
+        let mesh = &mesh;
+
         let decided: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let decided_flag: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
         let factory = &factory;
-        let start = Instant::now();
+        let budget = self.crash_budget.unwrap_or((n - 1) / 3);
 
         let mut peers: Vec<PeerStats> = vec![PeerStats::default(); n];
         let mut failure: Option<TransportFailure> = None;
+        let mut degraded: Vec<usize> = Vec::new();
+        let mut statuses: Vec<Vec<LinkStatus>> = vec![vec![LinkStatus::Up; n]; n];
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
+            // Connection plumbing: every link starts `Reconnecting`, and the
+            // accept + redial threads wire the initial mesh through the same
+            // resume path later recoveries use.
+            for (i, listener) in listeners.into_iter().enumerate() {
+                scope.spawn(move || mesh.accept_loop(scope, i, listener));
+                scope.spawn(move || mesh.redial_loop(scope, i));
+            }
+
             let mut drivers = Vec::with_capacity(n);
-            for (i, row) in links.into_iter().enumerate() {
-                // Readers: one per remote peer, each owning its stream Arc.
-                for (j, stream) in row.iter().enumerate() {
-                    let Some(stream) = stream.clone() else { continue };
-                    debug_assert_ne!(i, j);
-                    let inbox = &inboxes[i];
-                    scope.spawn(move || {
-                        let mut r = BufReader::new(stream.as_ref());
-                        while let Ok(Some(env)) = read_frame(&mut r) {
-                            if inbox.push((PartyId(j), env)).is_err() {
-                                break; // inbox closed: the run is over
-                            }
-                        }
-                    });
-                }
-                let inbox = &inboxes[i];
+            for i in 0..n {
                 let decided_slot = &decided[i];
                 let decided_flag = &decided_flag[i];
                 let done = &done[i];
@@ -277,15 +419,15 @@ impl TcpPeerGroup {
                 drivers.push(scope.spawn(move || {
                     // The machine is built *here*, on its driver thread, and
                     // never leaves it.
-                    let mut io = PeerIo { me: i, links: row, alive: vec![true; n], stats: PeerStats::default(), pending: VecDeque::new() };
+                    let mut sender = PeerSender { mesh, me: i, pending: VecDeque::new() };
                     let mut machine = factory(i);
-                    io.dispatch(machine.on_activation());
+                    sender.dispatch(machine.on_activation());
                     let mut delivered = 0u64;
                     loop {
                         // Self-addressed traffic loops locally, socket-free.
-                        while let Some(env) = io.pending.pop_front() {
+                        while let Some(env) = sender.pending.pop_front() {
                             let step = machine.on_message(PartyId(i), env);
-                            io.dispatch(step);
+                            sender.dispatch(step);
                         }
                         if !decided_flag.load(Ordering::Acquire) {
                             if let Some(out) = machine.output() {
@@ -295,55 +437,95 @@ impl TcpPeerGroup {
                         }
                         if let Some(limit) = disconnect_after {
                             if delivered >= limit {
-                                io.sever(); // fault injection: vanish mid-protocol
+                                mesh.mark_peer_down(i); // crash-stop mid-run
                                 break;
                             }
                         }
-                        let Some((from, env)) = inbox.pop() else { break };
+                        let Some((from, env)) = mesh.inboxes[i].pop() else { break };
                         delivered += 1;
-                        io.stats.received_envelopes += 1;
                         let step = machine.on_message(from, env);
-                        io.dispatch(step);
+                        sender.dispatch(step);
                     }
                     done.store(true, Ordering::Release);
-                    io.stats
+                    delivered
                 }));
             }
 
-            // --- coordinator: watch for success, a dead peer, or the clock.
-            let deadline = start + self.timeout;
+            // --- coordinator: resolve the run, then tear everything down.
+            let deadline = mesh.start + self.timeout;
             failure = loop {
-                if decided_flag.iter().all(|f| f.load(Ordering::Acquire)) {
-                    break None;
+                let dead: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        done[i].load(Ordering::Acquire) && !decided_flag[i].load(Ordering::Acquire)
+                    })
+                    .collect();
+                if dead.len() > budget {
+                    break Some(TransportFailure::PeerStopped { peer: dead[0], message: None });
                 }
-                if let Some(peer) = (0..n).find(|&i| {
-                    done[i].load(Ordering::Acquire) && !decided_flag[i].load(Ordering::Acquire)
+                if (0..n).all(|i| {
+                    decided_flag[i].load(Ordering::Acquire) || done[i].load(Ordering::Acquire)
                 }) {
-                    break Some(TransportFailure::PeerStopped { peer, message: None });
+                    degraded = dead; // ≤ budget crash-stops: degraded success
+                    break None;
                 }
                 if Instant::now() > deadline {
                     let undecided =
                         (0..n).filter(|&i| !decided_flag[i].load(Ordering::Acquire)).collect();
                     break Some(TransportFailure::Timeout {
-                        waited_ms: start.elapsed().as_millis() as u64,
+                        waited_ms: mesh.start.elapsed().as_millis() as u64,
                         undecided,
                     });
                 }
-                std::thread::sleep(Duration::from_millis(1));
+                thread::sleep(POLL);
             };
 
+            // Capture link health before teardown severs everything (a
+            // closing socket would otherwise report every link as
+            // mid-recovery).
+            for (i, row) in statuses.iter_mut().enumerate() {
+                for (j, status) in row.iter_mut().enumerate() {
+                    if i != j {
+                        *status = mesh.link(i, j).status();
+                    }
+                }
+            }
+
             // --- teardown, in an order that unwedges every blocked thread:
-            // closed inboxes release poppers AND pushers; shut-down sockets
-            // turn blocked reads into EOF and blocked writes into errors.
-            for inbox in &inboxes {
+            // the shutdown flag stops the poll loops; closed inboxes release
+            // poppers AND pushers; shut-down sockets turn blocked reads into
+            // EOF and blocked writes into errors.  The stream registry is
+            // shut down *without* taking link locks, so even a driver
+            // blocked inside a socket write under its link lock is released.
+            mesh.shutdown.store(true, Ordering::Release);
+            for inbox in &mesh.inboxes {
                 inbox.close();
             }
-            for s in &all_streams {
-                let _ = s.shutdown(Shutdown::Both);
-            }
+            mesh.shutdown_all_streams();
+            let wall = mesh.start.elapsed();
             for (i, handle) in drivers.into_iter().enumerate() {
                 match handle.join() {
-                    Ok(stats) => peers[i] = stats,
+                    Ok(delivered) => {
+                        let links: Vec<LinkStats> = (0..n)
+                            .map(|j| {
+                                if i == j {
+                                    return LinkStats::default();
+                                }
+                                let mut s = mesh.link(i, j).snapshot();
+                                s.status = statuses[i][j];
+                                s.partitioned_ms =
+                                    mesh.plan.partitioned_for(i, j, wall).as_millis() as u64;
+                                s
+                            })
+                            .collect();
+                        peers[i] = PeerStats {
+                            sent_envelopes: links.iter().map(|l| l.sent).sum(),
+                            sent_bytes: links.iter().map(|l| l.sent_bytes).sum(),
+                            received_envelopes: delivered,
+                            dropped_sends: links.iter().map(|l| l.dropped).sum(),
+                            inbox_high_water: mesh.inboxes[i].high_water(),
+                            links,
+                        };
+                    }
                     Err(payload) => {
                         let message = payload
                             .downcast_ref::<&str>()
@@ -358,81 +540,298 @@ impl TcpPeerGroup {
                             }
                             Some(_) => {}
                             none => {
-                                *none =
-                                    Some(TransportFailure::PeerStopped { peer: i, message: Some(message) });
+                                *none = Some(TransportFailure::PeerStopped {
+                                    peer: i,
+                                    message: Some(message),
+                                });
                             }
                         }
                     }
                 }
             }
-            // Reader threads exit on socket EOF; the scope joins them here.
+            // Accept/redial threads exit on the shutdown flag, readers on
+            // socket EOF; the scope joins them all here.
         });
 
+        let health: Vec<PeerHealth> = (0..n)
+            .map(|i| {
+                if done[i].load(Ordering::Acquire) && !decided_flag[i].load(Ordering::Acquire) {
+                    PeerHealth::Dead
+                } else if (0..n).any(|j| j != i && statuses[i][j] != LinkStatus::Up) {
+                    PeerHealth::Reconnecting
+                } else {
+                    PeerHealth::Alive
+                }
+            })
+            .collect();
+        if failure.is_some() {
+            degraded.clear();
+        }
         let outputs = decided.into_iter().map(|m| m.into_inner().unwrap()).collect();
-        Ok(SocketRunReport { outputs, peers, wall: start.elapsed(), failure })
+        Ok(SocketRunReport {
+            outputs,
+            peers,
+            health,
+            degraded,
+            wall: Instant::now().duration_since(mesh.start),
+            failure,
+        })
     }
 }
 
-/// A peer's writing half: its row of connections, liveness per destination,
-/// and the local loopback queue for self-addressed envelopes.
-struct PeerIo {
+/// A process-unique-enough session nonce: wall-clock nanos mixed with a
+/// global counter, so concurrent groups in one test binary — and stray
+/// dialers from a previous run reusing a port — can never complete each
+/// other's handshakes.
+fn fresh_nonce() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    t ^ COUNTER.fetch_add(1, Ordering::Relaxed).rotate_left(40)
+}
+
+/// The non-generic shared state of one run: addresses, link state, inboxes,
+/// the fault plan, and the teardown plumbing.  Everything the accept,
+/// redial, and reader threads need.
+struct Mesh {
+    n: usize,
+    nonce: u64,
+    addrs: Vec<SocketAddr>,
+    /// `links[i][j]`: peer `i`'s endpoint of the `i ↔ j` connection —
+    /// writer state for `i → j`, receive sequencing for `j → i`.
+    links: Vec<Vec<Option<Arc<Link>>>>,
+    inboxes: Vec<ShardQueue<(PartyId, Envelope)>>,
+    plan: LinkFaultPlan,
+    policy: ReconnectPolicy,
+    start: Instant,
+    shutdown: AtomicBool,
+    peer_down: Vec<AtomicBool>,
+    /// Every connection ever established, so teardown can shut them all
+    /// down without touching a single link lock.
+    streams: Mutex<Vec<Arc<TcpStream>>>,
+}
+
+impl Mesh {
+    fn link(&self, i: usize, j: usize) -> &Link {
+        self.links[i][j].as_ref().expect("no self-links")
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Offers one envelope payload to the ordered link `i → j`, applying
+    /// the fault plan's verdicts for the frame's sequence number.  Only
+    /// peer `i`'s driver calls this, so peeking the sequence number before
+    /// sending is race-free.
+    fn send_frame(&self, i: usize, j: usize, payload: &[u8]) {
+        let link = self.link(i, j);
+        let (inject_drop, inject_cut) = if self.plan.is_noop() {
+            (false, false)
+        } else {
+            let seq = link.peek_next_seq();
+            let partitioned = self.plan.partitioned(i, j, self.start.elapsed());
+            (self.plan.should_drop(i, j, seq) || partitioned, self.plan.cuts_at(i, j, seq))
+        };
+        link.send(payload, &self.policy, inject_drop, inject_cut);
+    }
+
+    /// Crash-stop: peer `i` abandons every link (their parked frames are
+    /// lost, their sockets shut down, so remote readers see EOF), and its
+    /// accept thread starts refusing inbound dials.
+    fn mark_peer_down(&self, i: usize) {
+        self.peer_down[i].store(true, Ordering::Release);
+        for j in 0..self.n {
+            if j != i {
+                self.link(i, j).give_up();
+            }
+        }
+    }
+
+    fn shutdown_all_streams(&self) {
+        for s in self.streams.lock().unwrap().iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Owns peer `me`'s listener: completes the resume handshake for every
+    /// inbound (re)connection and spawns its reader.  The listener stays
+    /// nonblocking so the loop can watch the shutdown flag.
+    fn accept_loop<'s, 'e>(&'s self, scope: &'s thread::Scope<'s, 'e>, me: usize, listener: TcpListener) {
+        if listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        while !self.stopping() {
+            match listener.accept() {
+                Ok((stream, _)) => self.handle_accept(scope, me, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+                Err(_) => thread::sleep(POLL),
+            }
+        }
+    }
+
+    fn handle_accept<'s, 'e>(&'s self, scope: &'s thread::Scope<'s, 'e>, me: usize, mut stream: TcpStream) {
+        // A crashed peer accepts nothing: dropping the connection makes the
+        // dialer's handshake fail fast, so its retry budget burns in
+        // backoffs, not read timeouts.
+        if self.peer_down[me].load(Ordering::Acquire) {
+            return;
+        }
+        if stream.set_nonblocking(false).is_err()
+            || stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).is_err()
+        {
+            return;
+        }
+        let Ok(hello) = read_hello(&mut stream) else { return };
+        // The dialer-role invariant (lower id dials) plus the session nonce
+        // reject strays: cross-run connections, self-dials, ids out of
+        // range.  A rejected dialer just sees its connection die and
+        // retries into its budget.
+        if hello.nonce != self.nonce || hello.peer >= self.n || hello.peer >= me {
+            return;
+        }
+        if self.peer_down[hello.peer].load(Ordering::Acquire) {
+            return;
+        }
+        // A scheduled partition refuses the handshake at the acceptor too,
+        // so a dial launched just before the window opened cannot slip a
+        // connection through it.
+        if self.plan.partitioned(hello.peer, me, self.start.elapsed()) {
+            return;
+        }
+        let link = self.link(me, hello.peer);
+        if write_hello_ack(&mut stream, self.nonce, link.next_expected_in()).is_err() {
+            return;
+        }
+        let _ = stream.set_read_timeout(None);
+        let _ = stream.set_nodelay(true);
+        let stream = Arc::new(stream);
+        self.streams.lock().unwrap().push(stream.clone());
+        if let Ok(generation) = link.resume(stream.clone(), hello.next_expected, &self.policy) {
+            let from = hello.peer;
+            scope.spawn(move || self.reader_loop(me, from, stream, generation));
+        }
+    }
+
+    /// Peer `me`'s dial side: redials every link it is the dialer for
+    /// (peers `> me`) per the backoff schedule, and reaps accept-side
+    /// links (peers `< me`) whose dialer has been gone past the death
+    /// timer.  Scheduled partitions stall both clocks.
+    fn redial_loop<'s, 'e>(&'s self, scope: &'s thread::Scope<'s, 'e>, me: usize) {
+        while !self.stopping() {
+            if self.peer_down[me].load(Ordering::Acquire) {
+                return; // crashed peers don't redial
+            }
+            let now = Instant::now();
+            let elapsed = self.start.elapsed();
+            for j in me + 1..self.n {
+                let stalled = self.plan.partitioned(me, j, elapsed);
+                if self.link(me, j).redial_due(now, &self.policy, stalled).is_some() {
+                    self.try_dial(scope, me, j);
+                }
+            }
+            for j in 0..me {
+                let stalled = self.plan.partitioned(me, j, elapsed);
+                self.link(me, j).reap_if_expired(now, &self.policy, stalled);
+            }
+            thread::sleep(POLL);
+        }
+    }
+
+    /// One dial attempt `me → j` (the attempt is already charged by
+    /// `redial_due`): connect, resume handshake, install the connection,
+    /// spawn its reader.  Every failure path just drops the socket — the
+    /// next attempt is on the backoff schedule.
+    fn try_dial<'s, 'e>(&'s self, scope: &'s thread::Scope<'s, 'e>, me: usize, j: usize) {
+        let link = self.link(me, j);
+        let Ok(mut stream) = TcpStream::connect(self.addrs[j]) else { return };
+        if stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).is_err() {
+            return;
+        }
+        let hello = Hello { peer: me, nonce: self.nonce, next_expected: link.next_expected_in() };
+        if write_hello(&mut stream, &hello).is_err() {
+            return;
+        }
+        let Ok((nonce, peer_next_expected)) = read_hello_ack(&mut stream) else { return };
+        if nonce != self.nonce {
+            return;
+        }
+        let _ = stream.set_read_timeout(None);
+        let _ = stream.set_nodelay(true);
+        let stream = Arc::new(stream);
+        self.streams.lock().unwrap().push(stream.clone());
+        if let Ok(generation) = link.resume(stream.clone(), peer_next_expected, &self.policy) {
+            scope.spawn(move || self.reader_loop(me, j, stream, generation));
+        }
+    }
+
+    /// Reads one connection generation for peer `me`: data frames pass the
+    /// per-link sequence check (duplicates discarded, gaps fatal), take the
+    /// fault plan's receive delay, and enter the inbox; acks prune the
+    /// writer's outbox.  On any stream end the reader severs its own
+    /// generation — never a successor installed by a concurrent resume.
+    fn reader_loop(&self, me: usize, from: usize, stream: Arc<TcpStream>, generation: u64) {
+        let link = self.link(me, from);
+        let mut r = BufReader::new(stream.as_ref());
+        loop {
+            match read_frame(&mut r) {
+                Ok(Some(Frame::Data { seq, env })) => {
+                    let (deliver, ack_now) = link.record_delivery(seq, &self.policy);
+                    if deliver {
+                        if let Some(delay) = self.plan.frame_delay(from, me, seq) {
+                            // Only the head of a burst pays propagation
+                            // delay: frames already buffered behind it rode
+                            // the same (simulated) wire.
+                            if r.buffer().is_empty() {
+                                thread::sleep(delay);
+                            }
+                        }
+                        if self.inboxes[me].push((PartyId(from), env)).is_err() {
+                            break; // inbox closed: the run is over
+                        }
+                    }
+                    if ack_now {
+                        link.send_ack(&encode_ack_frame(link.next_expected_in()));
+                    }
+                }
+                Ok(Some(Frame::Ack { received })) => link.on_ack(received),
+                Ok(None) | Err(_) => break,
+            }
+        }
+        link.sever_generation(generation);
+    }
+}
+
+/// A peer's sending half: encodes each multicast once, offers frames to
+/// the per-destination links, and loops self-addressed envelopes through a
+/// local queue.
+struct PeerSender<'a> {
+    mesh: &'a Mesh,
     me: usize,
-    links: Vec<Option<Arc<TcpStream>>>,
-    alive: Vec<bool>,
-    stats: PeerStats,
     pending: VecDeque<Envelope>,
 }
 
-impl PeerIo {
-    /// Sends every outgoing message of a step: multicasts encode once and
-    /// fan the same frame out; self-copies share the payload `Arc` locally.
+impl PeerSender<'_> {
     fn dispatch(&mut self, step: Step<Envelope>) {
         for out in step.outgoing {
             match out.dest {
                 Dest::All => {
-                    let frame = encode_frame(&out.msg);
-                    for j in 0..self.links.len() {
+                    let payload = encode_envelope(&out.msg);
+                    for j in 0..self.mesh.n {
                         if j != self.me {
-                            self.write(j, &frame);
+                            self.mesh.send_frame(self.me, j, &payload);
                         }
                     }
                     self.pending.push_back(out.msg);
                 }
                 Dest::One(PartyId(p)) if p == self.me => self.pending.push_back(out.msg),
                 Dest::One(PartyId(p)) => {
-                    let frame = encode_frame(&out.msg);
-                    self.write(p, &frame);
+                    let payload = encode_envelope(&out.msg);
+                    self.mesh.send_frame(self.me, p, &payload);
                 }
             }
-        }
-    }
-
-    fn write(&mut self, j: usize, frame: &[u8]) {
-        if !self.alive[j] {
-            self.stats.dropped_sends += 1;
-            return;
-        }
-        let Some(stream) = &self.links[j] else {
-            self.stats.dropped_sends += 1;
-            return;
-        };
-        // A failed write marks the link dead and the message lost — the
-        // asynchronous model's treatment of crashed receivers.  The machine
-        // is NOT told: protocols tolerate f silent peers by design.
-        if stream.as_ref().write_all(frame).is_err() {
-            self.alive[j] = false;
-            self.stats.dropped_sends += 1;
-        } else {
-            self.stats.sent_envelopes += 1;
-            self.stats.sent_bytes += frame.len() as u64;
-        }
-    }
-
-    /// Severs every connection this peer owns (both directions die: reads on
-    /// the far side hit EOF, writes hit errors).
-    fn sever(&self) {
-        for stream in self.links.iter().flatten() {
-            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 }

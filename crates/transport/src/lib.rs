@@ -17,17 +17,33 @@
 //! adversarial schedules stay in the simulator, which remains the place
 //! correctness is argued; the transport is where wall-clock is measured.)
 //!
+//! Since PR 8 the network underneath can be made hostile on purpose: a
+//! seed-driven [`chaos::LinkFaultPlan`] drops frames, shapes latency, cuts
+//! connections, and schedules partitions, while the [`reconnect`] layer
+//! (per-link outboxes, exponential-backoff redials, a resume handshake
+//! with sequence-numbered frames and cumulative acks) heals everything the
+//! plan breaks — exactly-once, in-order delivery across every cut, and
+//! graceful degradation (survivor agreement, `degraded` reporting) when a
+//! peer really crashes.
+//!
 //! See `ARCHITECTURE.md` § "Transport" for the full picture and
 //! `examples/socket_beacon.rs` for a runnable demo.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod framing;
 pub mod group;
+pub mod reconnect;
 
-pub use framing::{encode_frame, read_frame, read_hello, write_hello, MAGIC, MAX_FRAME_LEN};
-pub use group::{
-    PeerStats, SocketRunReport, TcpPeerGroup, TransportFailure, DEFAULT_INBOX_CAPACITY,
-    DEFAULT_TIMEOUT,
+pub use chaos::LinkFaultPlan;
+pub use framing::{
+    encode_ack_frame, encode_data_frame, encode_envelope, read_frame, read_hello, read_hello_ack,
+    write_hello, write_hello_ack, Frame, Hello, MAGIC, MAX_FRAME_LEN,
 };
+pub use group::{
+    PeerHealth, PeerStats, SocketRunReport, TcpPeerGroup, TransportFailure,
+    DEFAULT_INBOX_CAPACITY, DEFAULT_TIMEOUT,
+};
+pub use reconnect::{LinkStats, LinkStatus, ReconnectPolicy};

@@ -88,7 +88,36 @@ fn every_peer_hears_every_peer() {
         assert_eq!(p.sent_envelopes, (n - 1) as u64, "peer {i} sends");
         assert_eq!(p.received_envelopes, (n - 1) as u64, "peer {i} receives");
         assert_eq!(p.dropped_sends, 0, "peer {i} drops");
+        // The inbox was touched (n − 1 deliveries) but can't have held more
+        // than the traffic that exists.
+        assert!(
+            (1..=(n - 1)).contains(&p.inbox_high_water),
+            "peer {i} inbox high water {}",
+            p.inbox_high_water
+        );
     }
+    // Ping is silent after deciding, so the run is quiescent at teardown
+    // and the conservation law must hold exactly: every frame offered was
+    // delivered — nothing dropped, parked, or duplicated on a clean mesh.
+    report.assert_conservation();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let link = report.link(i, j);
+                assert_eq!(link.offered, 1, "link {i}→{j} offered");
+                assert_eq!(link.delivered, 1, "link {i}→{j} delivered");
+                assert_eq!(link.duplicates, 0, "link {i}→{j} duplicates");
+                assert_eq!(link.redials, 0, "clean run never redials");
+                assert_eq!(link.retransmitted, 0, "clean run never retransmits");
+            }
+        }
+    }
+    assert!(
+        report.health.iter().all(|h| *h == setupfree_transport::PeerHealth::Alive),
+        "clean run, all alive: {:?}",
+        report.health
+    );
+    assert!(report.degraded.is_empty());
 }
 
 #[test]
@@ -212,9 +241,12 @@ fn committee_aba_over_sockets_keeps_non_members_nearly_silent() {
 fn a_disconnecting_peer_surfaces_as_an_error_not_a_hang() {
     let n = 4;
     // Peer 3 vanishes after its very first socket delivery — before it can
-    // possibly have heard all n hellos, so it exits undecided.
+    // possibly have heard all n hellos, so it exits undecided.  With a
+    // crash budget of 0 the group runs in PR 6's fail-fast mode: the first
+    // death is a structured failure, not a degraded success.
     let report = TcpPeerGroup::new(n)
         .timeout(Duration::from_secs(20))
+        .crash_budget(0)
         .disconnect_after(3, 1)
         .run(|i| Box::new(Ping { me: i, n, seen: BTreeSet::new() }) as BoxedParty<Envelope, _>)
         .expect("loopback setup");
