@@ -343,10 +343,34 @@ impl<F: CoinFactory> MmrAba<F> {
             return Step::none();
         }
         let sid = self.sid.derive("coin", round as usize);
-        let coin = self.coin_factory.create(sid);
+        // Round 0's coin is always created first (round r's invocation
+        // requires round r−1's coin output); later rounds are siblings that
+        // can share its reusable setup (the seeding, §6.1) instead of
+        // re-running it.
+        let coin = match self.coins.get(0) {
+            Some(first) if round > 0 => self.coin_factory.create_sibling(sid, first),
+            _ => self.coin_factory.create(sid),
+        };
         // Mounting the round's coin replays buffered coin traffic for it.
         let mut step = self.coins.insert(round as usize, coin);
         step.extend(self.after_coin(round));
+        step
+    }
+
+    /// Nudges every live coin other than `round`: rounds share the first
+    /// round's seed store, so traffic processed by one round's coin can
+    /// publish seeds that unblock siblings whose own traffic never arrives.
+    fn poke_sibling_coins(&mut self, round: u32) -> Step<Envelope> {
+        let live: Vec<usize> =
+            self.coins.iter().map(|(i, _)| i).filter(|&i| i != round as usize).collect();
+        let mut step = Step::none();
+        for i in live {
+            let seg = self.coins.seg(i);
+            if let Some(coin) = self.coins.get_mut(i) {
+                step.extend(coin.poke().prefix(seg));
+            }
+            step.extend(self.after_coin(i as u32));
+        }
         step
     }
 
@@ -495,6 +519,7 @@ impl<F: CoinFactory> MuxNode for MmrAba<F> {
                 }
                 let mut step = self.coins.route(from, seg.index, rest, payload);
                 step.extend(self.after_coin(round));
+                step.extend(self.poke_sibling_coins(round));
                 step
             }
         }

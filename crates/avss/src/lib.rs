@@ -28,7 +28,7 @@ use setupfree_crypto::hash::{sha256, stream_xor, Digest};
 use setupfree_crypto::pedersen::PedersenCommitment;
 use setupfree_crypto::poly::{interpolate_at_zero, Polynomial};
 use setupfree_crypto::scalar::Scalar;
-use setupfree_crypto::sig::Signature;
+use setupfree_crypto::sig::{QuorumCert, Signature};
 use setupfree_crypto::{Keyring, PartySecrets};
 use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
@@ -56,8 +56,9 @@ pub enum AvssMessage {
     /// Dealer → all: ciphertext, commitment and the signature quorum
     /// (line 10).
     Cipher {
-        /// `n − f` signatures on the commitment from distinct parties.
-        quorum: Vec<(PartyId, Signature)>,
+        /// Aggregated certificate of `n − f` distinct signatures on the
+        /// commitment (one multi-signature instead of `n − f` sig pairs).
+        quorum: QuorumCert,
         /// The commitment the quorum signed.
         commitment: PedersenCommitment,
         /// Encryption of the dealer's secret under the committed key.
@@ -137,7 +138,7 @@ impl Decode for AvssMessage {
             }),
             1 => Ok(AvssMessage::KeyStored { signature: Signature::decode(r)? }),
             2 => Ok(AvssMessage::Cipher {
-                quorum: Vec::<(PartyId, Signature)>::decode(r)?,
+                quorum: QuorumCert::decode(r)?,
                 commitment: PedersenCommitment::decode(r)?,
                 cipher: Vec::<u8>::decode(r)?,
             }),
@@ -176,9 +177,9 @@ struct DealerState {
     cipher_sent: bool,
 }
 
-/// A validated-but-not-yet-deliverable ciphertext: the signature quorum, the
-/// Pedersen commitment and the encrypted share vector (Alg 1 line 15).
-type PendingCipher = (Vec<(PartyId, Signature)>, PedersenCommitment, Vec<u8>);
+/// A validated-but-not-yet-deliverable ciphertext: the quorum certificate,
+/// the Pedersen commitment and the encrypted share vector (Alg 1 line 15).
+type PendingCipher = (QuorumCert, PedersenCommitment, Vec<u8>);
 
 /// One party's state machine for a single AVSS instance (both phases).
 #[derive(Debug)]
@@ -425,10 +426,23 @@ impl Avss {
             ds.cipher_sent = true;
             let key = ds.poly_a.constant();
             let secret = ds.secret.clone();
-            let quorum_sigs = ds.signatures.clone();
+            // Drain the collected signatures (they are never needed again)
+            // and fold them into one aggregated certificate.
+            let entries: Vec<(usize, Signature)> = std::mem::take(&mut ds.signatures)
+                .into_iter()
+                .map(|(pid, sig)| (pid.index(), sig))
+                .collect();
             let commitment = ds.commitment.clone();
+            let cert = QuorumCert::new(
+                quorum,
+                &entries,
+                self.keyring.sig_key_slice(),
+                &sig_ctx,
+                &msg_bytes,
+            )
+            .expect("individually verified quorum signatures must aggregate");
             let cipher = self.encrypt(key, &secret);
-            return Step::multicast(AvssMessage::Cipher { quorum: quorum_sigs, commitment, cipher });
+            return Step::multicast(AvssMessage::Cipher { quorum: cert, commitment, cipher });
         }
         Step::none()
     }
@@ -436,7 +450,7 @@ impl Avss {
     fn on_cipher(
         &mut self,
         from: PartyId,
-        quorum: Vec<(PartyId, Signature)>,
+        quorum: QuorumCert,
         commitment: PedersenCommitment,
         cipher: Vec<u8>,
     ) -> Step<AvssMessage> {
@@ -455,7 +469,7 @@ impl Avss {
 
     fn try_accept_cipher(
         &mut self,
-        quorum: Vec<(PartyId, Signature)>,
+        quorum: QuorumCert,
         commitment: PedersenCommitment,
         cipher: Vec<u8>,
     ) -> Step<AvssMessage> {
@@ -474,19 +488,15 @@ impl Avss {
         Step::multicast(AvssMessage::Echo { cipher })
     }
 
-    fn verify_quorum(&self, commitment: &PedersenCommitment, quorum: &[(PartyId, Signature)]) -> bool {
-        let msg_bytes = setupfree_wire::to_bytes(commitment);
-        let ctx = self.sig_context();
-        let mut seen = BTreeSet::new();
-        for (pid, sig) in quorum {
-            if pid.index() >= self.n() || !seen.insert(pid.index()) {
-                return false;
-            }
-            if !self.keyring.sig_key(pid.index()).verify(&ctx, &msg_bytes, sig) {
-                return false;
-            }
-        }
-        seen.len() >= self.quorum()
+    fn verify_quorum(&self, commitment: &PedersenCommitment, quorum: &QuorumCert) -> bool {
+        // The certificate's signer bitmap makes duplicates unrepresentable
+        // and its verification pins distinct registered signers ≥ n − f.
+        quorum.quorum() >= self.quorum()
+            && quorum.verify(
+                self.keyring.sig_key_slice(),
+                &self.sig_context(),
+                &setupfree_wire::to_bytes(commitment),
+            )
     }
 
     fn on_echo(&mut self, from: PartyId, cipher: Vec<u8>) -> Step<AvssMessage> {
@@ -882,6 +892,63 @@ mod tests {
         assert!(outs.windows(2).all(|w| w[0].cipher == w[1].cipher));
         // The victim (party 3) holds no shares but still has the ciphertext.
         assert!(receivers[2].sharing_output().unwrap().share_a.is_none());
+    }
+
+    #[test]
+    fn replayed_key_stored_does_not_inflate_the_quorum() {
+        // A replaying adversary re-delivers one party's valid KeyStored
+        // signature; the dealer must count distinct signers, not messages.
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let mut dealer = Avss::new(
+            Sid::new("avss-dedupe"),
+            PartyId(0),
+            PartyId(0),
+            keyring.clone(),
+            secrets[0].clone(),
+            Some(b"dedupe".to_vec()),
+        );
+        let mut receivers: Vec<Avss> = (1..n)
+            .map(|i| {
+                Avss::new(
+                    Sid::new("avss-dedupe"),
+                    PartyId(i),
+                    PartyId(0),
+                    keyring.clone(),
+                    secrets[i].clone(),
+                    None,
+                )
+            })
+            .collect();
+        let key_shares = dealer.activate();
+        let mut stored: Vec<(PartyId, AvssMessage)> = Vec::new();
+        for o in key_shares.outgoing {
+            if let setupfree_net::Dest::One(pid) = o.dest {
+                if pid.index() > 0 {
+                    let step = receivers[pid.index() - 1].handle(PartyId(0), o.msg);
+                    for r in step.outgoing {
+                        stored.push((pid, r.msg));
+                    }
+                }
+            }
+        }
+        assert_eq!(stored.len(), 3);
+        // Replay party 1's signature three times: no quorum.
+        let (p1, sig1) = (stored[0].0, stored[0].1.clone());
+        for _ in 0..3 {
+            let step = dealer.handle(p1, sig1.clone());
+            assert!(step.outgoing.is_empty(), "replayed signature must not count");
+        }
+        // Two more distinct signers complete the n − f = 3 quorum.
+        assert!(dealer.handle(stored[1].0, stored[1].1.clone()).outgoing.is_empty());
+        let step = dealer.handle(stored[2].0, stored[2].1.clone());
+        let cipher = step.outgoing.iter().find_map(|o| match &o.msg {
+            AvssMessage::Cipher { quorum, .. } => Some(quorum.clone()),
+            _ => None,
+        });
+        let cert = cipher.expect("third distinct signer completes the quorum");
+        assert_eq!(cert.signer_count(), 3);
+        assert_eq!(cert.quorum(), 3);
     }
 
     #[test]

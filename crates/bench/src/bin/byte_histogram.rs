@@ -1,0 +1,131 @@
+//! Byte-composition probe: where do the honest bytes of one full
+//! setup-free ABA run actually go?
+//!
+//! Wraps every party in a tallying shim that classifies each outgoing
+//! envelope by its instance path (ABA-local, coin-local, seeding / AVSS /
+//! WCS / gather sub-instance) and the payload's leading tag byte, charging
+//! multicasts n× exactly like the simulator's honest-byte accounting.
+//! Output: one sorted table per class with message copies, total bytes and
+//! the share of the run — the evidence base for wire-format work such as
+//! the PR 9 certificate aggregation.
+//!
+//! ```sh
+//! cargo run --release -p setupfree-bench --bin byte_histogram [n] [seed]
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use setupfree_aba::MmrAba;
+use setupfree_core::coin::CoinProtocolFactory;
+use setupfree_crypto::generate_pki;
+use setupfree_net::{
+    BoxedParty, Dest, Envelope, PartyId, ProtocolInstance, RandomScheduler, Sid, Simulation, Step,
+    StopReason,
+};
+
+/// Shared tally: class label → (message copies, bytes), multicast charged n×.
+type Tally = Rc<RefCell<BTreeMap<String, (u64, u64)>>>;
+
+/// Names one envelope by its path segments and payload tag.
+fn classify(env: &Envelope) -> String {
+    let kinds: Vec<u8> = env.path.segments().map(|s| s.kind).collect();
+    let tag = env.payload.first().copied().unwrap_or(0xff);
+    let place = match kinds.as_slice() {
+        [] => "aba".to_string(),
+        [0] => "coin".to_string(),
+        [0, 0, ..] => "coin/seeding".to_string(),
+        [0, 1, ..] => "coin/avss".to_string(),
+        [0, 2, ..] => "coin/wcs".to_string(),
+        [0, 3, ..] => "coin/gather".to_string(),
+        other => format!("path{other:?}"),
+    };
+    format!("{place}/tag{tag}")
+}
+
+struct TallyParty {
+    inner: BoxedParty<Envelope, bool>,
+    n: u64,
+    tally: Tally,
+}
+
+impl TallyParty {
+    fn record(&self, step: &Step<Envelope>) {
+        let mut tally = self.tally.borrow_mut();
+        for o in &step.outgoing {
+            let bytes = setupfree_wire::to_bytes(&o.msg).len() as u64;
+            let copies = match o.dest {
+                Dest::All => self.n,
+                Dest::One(_) => 1,
+            };
+            let entry = tally.entry(classify(&o.msg)).or_insert((0, 0));
+            entry.0 += copies;
+            entry.1 += copies * bytes;
+        }
+    }
+}
+
+impl ProtocolInstance for TallyParty {
+    type Message = Envelope;
+    type Output = bool;
+
+    fn on_activation(&mut self) -> Step<Envelope> {
+        let step = self.inner.on_activation();
+        self.record(&step);
+        step
+    }
+
+    fn on_message(&mut self, from: PartyId, msg: Envelope) -> Step<Envelope> {
+        let step = self.inner.on_message(from, msg);
+        self.record(&step);
+        step
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.inner.output()
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(22);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(7_300 + n as u64);
+    let (keyring, secrets) = generate_pki(n, seed);
+    let keyring = Arc::new(keyring);
+    let secrets: Vec<Arc<_>> = secrets.into_iter().map(Arc::new).collect();
+    let tally: Tally = Rc::new(RefCell::new(BTreeMap::new()));
+    let parties: Vec<BoxedParty<Envelope, bool>> = (0..n)
+        .map(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            let inner = Box::new(MmrAba::new(
+                Sid::new(&format!("bench-aba-{seed}")),
+                PartyId(i),
+                n,
+                keyring.f(),
+                i % 2 == 0,
+                factory,
+            )) as BoxedParty<Envelope, bool>;
+            Box::new(TallyParty { inner, n: n as u64, tally: tally.clone() })
+                as BoxedParty<Envelope, bool>
+        })
+        .collect();
+    let mut sim = Simulation::new(parties, Box::new(RandomScheduler::new(seed)));
+    let report = sim.run(1 << 30);
+    assert_eq!(report.reason, StopReason::AllOutputs);
+    let metrics = sim.metrics();
+    println!("aba n={n} seed={seed}: honest_bytes={} honest_messages={}", metrics.honest_bytes, metrics.honest_messages);
+    let tally = tally.borrow();
+    let total: u64 = tally.values().map(|(_, b)| b).sum();
+    let mut rows: Vec<(&String, &(u64, u64))> = tally.iter().collect();
+    rows.sort_by_key(|(_, (_, b))| std::cmp::Reverse(*b));
+    println!("{:<24} {:>10} {:>14} {:>7}", "class", "copies", "bytes", "share");
+    for (class, (copies, bytes)) in rows {
+        println!(
+            "{class:<24} {copies:>10} {bytes:>14} {:>6.2}%",
+            *bytes as f64 * 100.0 / total as f64
+        );
+    }
+    println!("{:<24} {:>10} {total:>14}", "TOTAL", "");
+}

@@ -8,19 +8,23 @@
 //! *behaviour*: under the same seeds, delivery order — and therefore every
 //! per-run metric — is bit-identical to the old engine.
 //!
-//! The `GOLDEN` table below was regenerated after the PR 4 session-router
-//! refactor (flat `(path, payload)` envelopes replacing the recursive
-//! nested-enum encodings) by `cargo run --release -p setupfree-bench --bin
-//! determinism_golden`.  Relative to the PR 3 table recorded from the
-//! pre-overhaul engine at commit 32c342b, **only `honest_bytes` changed**
-//! (the flat envelope header is smaller than the nested enum tags):
-//! `honest_messages`, `rounds` and `deliveries` are identical cell for
-//! cell, pinning that the router refactor changed no delivery-order or
-//! protocol-logic behaviour.  Each row pins (honest_bytes, honest_messages,
-//! rounds, deliveries) for one protocol × n × adversary cell.  Only
-//! regenerate it when a PR deliberately changes message bytes or delivery
-//! order; the diff of the regenerated table is then the behavioural change
-//! under review.
+//! The `GOLDEN` table below was regenerated after the PR 9 aggregated
+//! quorum certificates (every quorum-carrying message now ships one
+//! `QuorumCert` instead of n − f raw signatures), the varint wire lengths,
+//! and the shared coin seeding (later ABA rounds reuse round 0's seeds
+//! instead of re-running the n Seeding instances) by `cargo run --release
+//! -p setupfree-bench --bin determinism_golden`.  Relative to the PR 4
+//! table, the **single-coin cells (coin/avss/beacon) keep identical
+//! `honest_messages`, `rounds` and `deliveries` cell for cell** — only
+//! `honest_bytes` shrank, pinning that certificates and varints changed no
+//! delivery order — while the **aba cells also change message and delivery
+//! counts**: that diff *is* the shared-seeding behaviour under review
+//! (rounds > 0 no longer emit seeding traffic, and reused seeds flip some
+//! per-adversary coin sequences).  Each row pins (honest_bytes,
+//! honest_messages, rounds, deliveries) for one protocol × n × adversary
+//! cell.  Only regenerate when a PR deliberately changes message bytes or
+//! delivery order; the diff of the regenerated table is then the
+//! behavioural change under review.
 //!
 //! The suite is split into one test per (protocol, n) so the cells run in
 //! parallel under the default test harness.
@@ -28,46 +32,46 @@
 use setupfree_bench::determinism::{adversary_grid, run_cell, Fingerprint};
 
 const GOLDEN: &[(&str, usize, usize, Fingerprint)] = &[
-    ("coin", 4, 0, Fingerprint { honest_bytes: 44592, honest_messages: 656, rounds: 20, deliveries: 652 }), // fifo
-    ("coin", 4, 1, Fingerprint { honest_bytes: 44470, honest_messages: 646, rounds: 52, deliveries: 626 }), // random(seed=0)
-    ("coin", 4, 2, Fingerprint { honest_bytes: 44544, honest_messages: 648, rounds: 48, deliveries: 631 }), // random(seed=1)
-    ("coin", 4, 3, Fingerprint { honest_bytes: 32918, honest_messages: 418, rounds: 44, deliveries: 369 }), // targeted-delay(targets=[0], seed=2781)
-    ("coin", 4, 4, Fingerprint { honest_bytes: 44402, honest_messages: 642, rounds: 85, deliveries: 611 }), // partition(boundary=2, seed=51966)
-    ("coin", 10, 0, Fingerprint { honest_bytes: 597100, honest_messages: 8300, rounds: 20, deliveries: 8270 }), // fifo
-    ("coin", 10, 1, Fingerprint { honest_bytes: 596605, honest_messages: 8281, rounds: 102, deliveries: 8020 }), // random(seed=0)
-    ("coin", 10, 2, Fingerprint { honest_bytes: 596220, honest_messages: 8192, rounds: 117, deliveries: 8058 }), // random(seed=1)
-    ("coin", 10, 3, Fingerprint { honest_bytes: 530806, honest_messages: 6980, rounds: 106, deliveries: 6559 }), // targeted-delay(targets=[0], seed=2781)
-    ("coin", 10, 4, Fingerprint { honest_bytes: 585270, honest_messages: 7844, rounds: 302, deliveries: 7279 }), // partition(boundary=5, seed=51966)
-    ("avss", 4, 0, Fingerprint { honest_bytes: 3068, honest_messages: 76, rounds: 7, deliveries: 68 }), // fifo
-    ("avss", 4, 1, Fingerprint { honest_bytes: 3032, honest_messages: 72, rounds: 11, deliveries: 55 }), // random(seed=0)
-    ("avss", 4, 2, Fingerprint { honest_bytes: 3068, honest_messages: 76, rounds: 11, deliveries: 67 }), // random(seed=1)
-    ("avss", 4, 3, Fingerprint { honest_bytes: 3068, honest_messages: 76, rounds: 12, deliveries: 64 }), // targeted-delay(targets=[0], seed=2781)
-    ("avss", 4, 4, Fingerprint { honest_bytes: 3000, honest_messages: 72, rounds: 13, deliveries: 56 }), // partition(boundary=2, seed=51966)
-    ("avss", 10, 0, Fingerprint { honest_bytes: 17190, honest_messages: 430, rounds: 7, deliveries: 370 }), // fifo
-    ("avss", 10, 1, Fingerprint { honest_bytes: 17020, honest_messages: 420, rounds: 16, deliveries: 345 }), // random(seed=0)
-    ("avss", 10, 2, Fingerprint { honest_bytes: 17020, honest_messages: 420, rounds: 13, deliveries: 352 }), // random(seed=1)
-    ("avss", 10, 3, Fingerprint { honest_bytes: 15540, honest_messages: 380, rounds: 18, deliveries: 348 }), // targeted-delay(targets=[0], seed=2781)
-    ("avss", 10, 4, Fingerprint { honest_bytes: 16760, honest_messages: 400, rounds: 26, deliveries: 326 }), // partition(boundary=5, seed=51966)
-    ("beacon", 4, 0, Fingerprint { honest_bytes: 128048, honest_messages: 2288, rounds: 56, deliveries: 2236 }), // fifo
-    ("beacon", 4, 1, Fingerprint { honest_bytes: 127875, honest_messages: 2281, rounds: 168, deliveries: 2248 }), // random(seed=0)
-    ("beacon", 4, 2, Fingerprint { honest_bytes: 127748, honest_messages: 2264, rounds: 161, deliveries: 2225 }), // random(seed=1)
-    ("beacon", 4, 3, Fingerprint { honest_bytes: 147443, honest_messages: 5169, rounds: 537, deliveries: 4149 }), // targeted-delay(targets=[0], seed=2781)
-    ("beacon", 4, 4, Fingerprint { honest_bytes: 127039, honest_messages: 2221, rounds: 304, deliveries: 2173 }), // partition(boundary=2, seed=51966)
-    ("beacon", 10, 0, Fingerprint { honest_bytes: 1669700, honest_messages: 24900, rounds: 54, deliveries: 24570 }), // fifo
-    ("beacon", 10, 1, Fingerprint { honest_bytes: 1659390, honest_messages: 24310, rounds: 338, deliveries: 24085 }), // random(seed=0)
-    ("beacon", 10, 2, Fingerprint { honest_bytes: 1652547, honest_messages: 23889, rounds: 343, deliveries: 23629 }), // random(seed=1)
-    ("beacon", 10, 3, Fingerprint { honest_bytes: 1796986, honest_messages: 43542, rounds: 888, deliveries: 40014 }), // targeted-delay(targets=[0], seed=2781)
-    ("beacon", 10, 4, Fingerprint { honest_bytes: 1652103, honest_messages: 24131, rounds: 1085, deliveries: 23882 }), // partition(boundary=5, seed=51966)
-    ("aba", 4, 0, Fingerprint { honest_bytes: 93840, honest_messages: 1424, rounds: 45, deliveries: 1388 }), // fifo
-    ("aba", 4, 1, Fingerprint { honest_bytes: 140452, honest_messages: 2105, rounds: 172, deliveries: 2065 }), // random(seed=0)
-    ("aba", 4, 2, Fingerprint { honest_bytes: 92980, honest_messages: 1371, rounds: 120, deliveries: 1329 }), // random(seed=1)
-    ("aba", 4, 3, Fingerprint { honest_bytes: 2088168, honest_messages: 27824, rounds: 3375, deliveries: 25264 }), // targeted-delay(targets=[0], seed=2781)
-    ("aba", 4, 4, Fingerprint { honest_bytes: 185760, honest_messages: 2722, rounds: 380, deliveries: 2648 }), // partition(boundary=2, seed=51966)
-    ("aba", 10, 0, Fingerprint { honest_bytes: 625100, honest_messages: 8800, rounds: 23, deliveries: 8570 }), // fifo
-    ("aba", 10, 1, Fingerprint { honest_bytes: 1863026, honest_messages: 25218, rounds: 368, deliveries: 24808 }), // random(seed=0)
-    ("aba", 10, 2, Fingerprint { honest_bytes: 1861080, honest_messages: 25155, rounds: 356, deliveries: 24716 }), // random(seed=1)
-    ("aba", 10, 3, Fingerprint { honest_bytes: 34385584, honest_messages: 443736, rounds: 7526, deliveries: 427264 }), // targeted-delay(targets=[0], seed=2781)
-    ("aba", 10, 4, Fingerprint { honest_bytes: 1214990, honest_messages: 16036, rounds: 716, deliveries: 15299 }), // partition(boundary=5, seed=51966)
+    ("coin", 4, 0, Fingerprint { honest_bytes: 35488, honest_messages: 656, rounds: 20, deliveries: 652 }), // fifo
+    ("coin", 4, 1, Fingerprint { honest_bytes: 35366, honest_messages: 646, rounds: 52, deliveries: 626 }), // random(seed=0)
+    ("coin", 4, 2, Fingerprint { honest_bytes: 35440, honest_messages: 648, rounds: 48, deliveries: 631 }), // random(seed=1)
+    ("coin", 4, 3, Fingerprint { honest_bytes: 25474, honest_messages: 418, rounds: 44, deliveries: 369 }), // targeted-delay(targets=[0], seed=2781)
+    ("coin", 4, 4, Fingerprint { honest_bytes: 35298, honest_messages: 642, rounds: 85, deliveries: 611 }), // partition(boundary=2, seed=51966)
+    ("coin", 10, 0, Fingerprint { honest_bytes: 470200, honest_messages: 8300, rounds: 20, deliveries: 8270 }), // fifo
+    ("coin", 10, 1, Fingerprint { honest_bytes: 470085, honest_messages: 8281, rounds: 102, deliveries: 8020 }), // random(seed=0)
+    ("coin", 10, 2, Fingerprint { honest_bytes: 469690, honest_messages: 8192, rounds: 117, deliveries: 8058 }), // random(seed=1)
+    ("coin", 10, 3, Fingerprint { honest_bytes: 413836, honest_messages: 6980, rounds: 106, deliveries: 6559 }), // targeted-delay(targets=[0], seed=2781)
+    ("coin", 10, 4, Fingerprint { honest_bytes: 459820, honest_messages: 7844, rounds: 302, deliveries: 7279 }), // partition(boundary=5, seed=51966)
+    ("avss", 4, 0, Fingerprint { honest_bytes: 2644, honest_messages: 76, rounds: 7, deliveries: 68 }), // fifo
+    ("avss", 4, 1, Fingerprint { honest_bytes: 2608, honest_messages: 72, rounds: 11, deliveries: 55 }), // random(seed=0)
+    ("avss", 4, 2, Fingerprint { honest_bytes: 2644, honest_messages: 76, rounds: 11, deliveries: 67 }), // random(seed=1)
+    ("avss", 4, 3, Fingerprint { honest_bytes: 2644, honest_messages: 76, rounds: 12, deliveries: 64 }), // targeted-delay(targets=[0], seed=2781)
+    ("avss", 4, 4, Fingerprint { honest_bytes: 2576, honest_messages: 72, rounds: 13, deliveries: 56 }), // partition(boundary=2, seed=51966)
+    ("avss", 10, 0, Fingerprint { honest_bytes: 14810, honest_messages: 430, rounds: 7, deliveries: 370 }), // fifo
+    ("avss", 10, 1, Fingerprint { honest_bytes: 14640, honest_messages: 420, rounds: 16, deliveries: 345 }), // random(seed=0)
+    ("avss", 10, 2, Fingerprint { honest_bytes: 14650, honest_messages: 420, rounds: 13, deliveries: 352 }), // random(seed=1)
+    ("avss", 10, 3, Fingerprint { honest_bytes: 13310, honest_messages: 380, rounds: 18, deliveries: 348 }), // targeted-delay(targets=[0], seed=2781)
+    ("avss", 10, 4, Fingerprint { honest_bytes: 14380, honest_messages: 400, rounds: 26, deliveries: 326 }), // partition(boundary=5, seed=51966)
+    ("beacon", 4, 0, Fingerprint { honest_bytes: 107824, honest_messages: 2288, rounds: 56, deliveries: 2236 }), // fifo
+    ("beacon", 4, 1, Fingerprint { honest_bytes: 107651, honest_messages: 2281, rounds: 168, deliveries: 2248 }), // random(seed=0)
+    ("beacon", 4, 2, Fingerprint { honest_bytes: 107524, honest_messages: 2264, rounds: 161, deliveries: 2225 }), // random(seed=1)
+    ("beacon", 4, 3, Fingerprint { honest_bytes: 129931, honest_messages: 5169, rounds: 537, deliveries: 4149 }), // targeted-delay(targets=[0], seed=2781)
+    ("beacon", 4, 4, Fingerprint { honest_bytes: 106815, honest_messages: 2221, rounds: 304, deliveries: 2173 }), // partition(boundary=2, seed=51966)
+    ("beacon", 10, 0, Fingerprint { honest_bytes: 1386500, honest_messages: 24900, rounds: 54, deliveries: 24570 }), // fifo
+    ("beacon", 10, 1, Fingerprint { honest_bytes: 1376950, honest_messages: 24310, rounds: 338, deliveries: 24085 }), // random(seed=0)
+    ("beacon", 10, 2, Fingerprint { honest_bytes: 1370097, honest_messages: 23889, rounds: 343, deliveries: 23629 }), // random(seed=1)
+    ("beacon", 10, 3, Fingerprint { honest_bytes: 1531766, honest_messages: 43542, rounds: 888, deliveries: 40014 }), // targeted-delay(targets=[0], seed=2781)
+    ("beacon", 10, 4, Fingerprint { honest_bytes: 1369623, honest_messages: 24131, rounds: 1085, deliveries: 23882 }), // partition(boundary=5, seed=51966)
+    ("aba", 4, 0, Fingerprint { honest_bytes: 55344, honest_messages: 1200, rounds: 37, deliveries: 1164 }), // fifo
+    ("aba", 4, 1, Fingerprint { honest_bytes: 55180, honest_messages: 1187, rounds: 95, deliveries: 1157 }), // random(seed=0)
+    ("aba", 4, 2, Fingerprint { honest_bytes: 141352, honest_messages: 3460, rounds: 258, deliveries: 3426 }), // random(seed=1)
+    ("aba", 4, 3, Fingerprint { honest_bytes: 709932, honest_messages: 18524, rounds: 2074, deliveries: 16488 }), // targeted-delay(targets=[0], seed=2781)
+    ("aba", 4, 4, Fingerprint { honest_bytes: 54940, honest_messages: 1177, rounds: 154, deliveries: 1127 }), // partition(boundary=2, seed=51966)
+    ("aba", 10, 0, Fingerprint { honest_bytes: 498200, honest_messages: 8800, rounds: 23, deliveries: 8570 }), // fifo
+    ("aba", 10, 1, Fingerprint { honest_bytes: 726190, honest_messages: 14574, rounds: 195, deliveries: 14328 }), // random(seed=0)
+    ("aba", 10, 2, Fingerprint { honest_bytes: 722460, honest_messages: 14393, rounds: 192, deliveries: 14026 }), // random(seed=1)
+    ("aba", 10, 3, Fingerprint { honest_bytes: 12387096, honest_messages: 311707, rounds: 4529, deliveries: 298110 }), // targeted-delay(targets=[0], seed=2781)
+    ("aba", 10, 4, Fingerprint { honest_bytes: 1391630, honest_messages: 31382, rounds: 1170, deliveries: 30337 }), // partition(boundary=5, seed=51966)
 ];
 
 fn check(protocol: &str, n: usize) {

@@ -28,7 +28,9 @@
 //!
 //! Complexity: `O(n³)` messages, `O(λn³)` bits, constant rounds (§6.1).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use setupfree_avss::Avss;
@@ -67,6 +69,24 @@ pub enum CoreSetMode {
     /// AJM+21 style).
     RbcGather,
 }
+
+/// Seeds shared by every coin round of one agreement.
+///
+/// The seeding phase binds each party to a public seed but does not depend
+/// on the coin round (§6.1: the seeds are reusable — only the VRF context,
+/// which includes the round sid, changes per toss).  The first round's coin
+/// *owns* the `n` Seeding instances and publishes each completed seed here;
+/// sibling rounds created via
+/// [`CoinFactory::create_sibling`](crate::traits::CoinFactory::create_sibling)
+/// read the store instead of re-running the seeding — by far the dominant
+/// byte cost of a multi-round ABA.
+#[derive(Debug)]
+pub struct SeedStore {
+    seeds: Vec<Option<Seed>>,
+}
+
+/// Handle to a [`SeedStore`] shared between the coin rounds of one ABA.
+pub type SharedSeeds = Rc<RefCell<SeedStore>>;
 
 /// The coin's *local* messages (root instance path); all sub-protocol
 /// traffic travels under the path kinds above.
@@ -132,6 +152,10 @@ pub struct Coin {
     secrets: Arc<PartySecrets>,
     seedings: Router<Leaf<Seeding>>,
     seeds: Vec<Option<Seed>>,
+    shared_seeds: SharedSeeds,
+    /// Whether this coin mounts (and publishes from) the Seeding instances.
+    /// `false` for sibling rounds sharing the first round's seeds.
+    seeding_owner: bool,
     avss: Router<Leaf<Avss>>,
     completed_sharings: BTreeSet<usize>,
     core_mode: CoreSetMode,
@@ -187,6 +211,39 @@ impl Coin {
         core_mode: CoreSetMode,
     ) -> Self {
         let n = keyring.n();
+        let store = Rc::new(RefCell::new(SeedStore { seeds: vec![None; n] }));
+        Self::build(sid, me, keyring, secrets, core_mode, store, true)
+    }
+
+    /// Creates a coin for a *later round* of the same agreement that reads
+    /// the seeds an earlier round's coin publishes into `store` instead of
+    /// mounting its own Seeding instances (§6.1: seeds are round-reusable).
+    pub fn with_seed_store(
+        sid: Sid,
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+        store: SharedSeeds,
+    ) -> Self {
+        Self::build(sid, me, keyring, secrets, CoreSetMode::Weak, store, false)
+    }
+
+    /// The seed store this coin publishes to (owner) or reads from
+    /// (sibling); hand it to [`Coin::with_seed_store`] to build later rounds.
+    pub fn seed_store(&self) -> SharedSeeds {
+        Rc::clone(&self.shared_seeds)
+    }
+
+    fn build(
+        sid: Sid,
+        me: PartyId,
+        keyring: Arc<Keyring>,
+        secrets: Arc<PartySecrets>,
+        core_mode: CoreSetMode,
+        shared_seeds: SharedSeeds,
+        seeding_owner: bool,
+    ) -> Self {
+        let n = keyring.n();
         let wcs = Wcs::new(sid.derive("wcs", 0), me, keyring.clone(), secrets.clone());
         Coin {
             sid,
@@ -195,6 +252,8 @@ impl Coin {
             secrets,
             seedings: Router::new(K_SEEDING),
             seeds: vec![None; n],
+            shared_seeds,
+            seeding_owner,
             avss: Router::new(K_AVSS),
             completed_sharings: BTreeSet::new(),
             core_mode,
@@ -261,10 +320,18 @@ impl Coin {
             let mut progressed = false;
 
             // Lines 4–8: seeds that became known spawn the corresponding AVSS
-            // instance (as dealer of our own, as participant otherwise).
+            // instance (as dealer of our own, as participant otherwise).  The
+            // owner harvests its Seeding instances and publishes into the
+            // shared store; sibling rounds read the store.
             for j in 0..self.n() {
                 if self.seeds[j].is_none() {
-                    if let Some(seed) = self.seedings.get(j).and_then(|s| s.inner().seed()) {
+                    if self.seeding_owner {
+                        if let Some(seed) = self.seedings.get(j).and_then(|s| s.inner().seed()) {
+                            self.seeds[j] = Some(seed);
+                            self.shared_seeds.borrow_mut().seeds[j] = Some(seed);
+                            progressed = true;
+                        }
+                    } else if let Some(seed) = self.shared_seeds.borrow().seeds[j] {
                         self.seeds[j] = Some(seed);
                         progressed = true;
                     }
@@ -555,16 +622,20 @@ impl MuxNode for Coin {
     fn on_activation(&mut self) -> Step<Envelope> {
         // Line 3: mount and activate all Seeding instances (leading our own)
         // and the gather RBCs of the ablation mode (quiescent under Weak).
+        // Sibling rounds mount no seedings — their seeds arrive through the
+        // shared store.
         let mut step = Step::none();
-        for j in 0..self.n() {
-            let seeding = Seeding::new(
-                self.sid.derive("seeding", j),
-                self.me,
-                PartyId(j),
-                self.keyring.clone(),
-                self.secrets.clone(),
-            );
-            step.extend(self.seedings.insert(j, Leaf::new(seeding)));
+        if self.seeding_owner {
+            for j in 0..self.n() {
+                let seeding = Seeding::new(
+                    self.sid.derive("seeding", j),
+                    self.me,
+                    PartyId(j),
+                    self.keyring.clone(),
+                    self.secrets.clone(),
+                );
+                step.extend(self.seedings.insert(j, Leaf::new(seeding)));
+            }
         }
         for j in 0..self.n() {
             let rbc = Rbc::new(
@@ -601,7 +672,15 @@ impl MuxNode for Coin {
                 let index = seg.index as usize;
                 match seg.kind {
                     K_SEEDING if index < self.n() => {
-                        self.seedings.route(from, seg.index, rest, payload)
+                        if self.seeding_owner {
+                            self.seedings.route(from, seg.index, rest, payload)
+                        } else {
+                            // Sibling rounds never mount Seeding instances;
+                            // honest parties never address seeding traffic to
+                            // them, so this is Byzantine and dropped outright
+                            // (buffering it would leak — nothing ever mounts).
+                            Step::none()
+                        }
                     }
                     K_AVSS if index < self.n() => self.avss.route(from, seg.index, rest, payload),
                     K_WCS if rest.is_root() && index == 0 => {
@@ -623,6 +702,13 @@ impl MuxNode for Coin {
 
     fn output(&self) -> Option<CoinOutput> {
         self.output.clone()
+    }
+
+    fn poke(&mut self) -> Step<Envelope> {
+        // A sibling round's progress can be unblocked by seeds the owner
+        // round just published into the shared store, without any envelope of
+        // this round arriving; re-run the pending conditions.
+        self.advance()
     }
 
     fn pre_activation_stats(&self) -> setupfree_net::BufferStats {
@@ -673,6 +759,18 @@ impl crate::traits::CoinFactory for CoinProtocolFactory {
 
     fn create(&self, sid: Sid) -> Coin {
         Coin::new(sid, self.me, self.keyring.clone(), self.secrets.clone())
+    }
+
+    fn create_sibling(&self, sid: Sid, first: &Coin) -> Coin {
+        // Later rounds of the same ABA reuse the first round's seeds (§6.1)
+        // instead of re-running the n Seeding instances.
+        Coin::with_seed_store(
+            sid,
+            self.me,
+            self.keyring.clone(),
+            self.secrets.clone(),
+            first.seed_store(),
+        )
     }
 }
 
@@ -829,6 +927,37 @@ mod tests {
         // Malformed local payload.
         let junk: Arc<[u8]> = vec![99u8, 1, 2].into();
         assert!(coin.on_envelope(PartyId(1), InstancePath::root(), &junk).is_empty());
+    }
+
+    #[test]
+    fn sibling_coin_shares_seeds_without_seeding_traffic() {
+        use crate::traits::CoinFactory as _;
+        let (keyring, secrets) = setup(4, 9);
+        let factory = CoinProtocolFactory::new(PartyId(0), keyring, secrets[0].clone());
+        let mut owner = factory.create(Sid::new("shared").derive("coin", 0));
+        let owner_step = MuxNode::on_activation(&mut owner);
+        // The owner round runs the seedings (its activation contributes).
+        assert!(!owner_step.is_empty());
+
+        let mut sibling = factory.create_sibling(Sid::new("shared").derive("coin", 1), &owner);
+        let sibling_step = MuxNode::on_activation(&mut sibling);
+        // A sibling mounts no Seeding instances: it is quiescent until the
+        // owner publishes seeds into the shared store.
+        assert!(sibling_step.is_empty());
+        assert!(sibling.seed_of(2).is_none());
+
+        // Seeding traffic addressed to a sibling is dropped, not buffered.
+        let stray = Envelope::seal(InstancePath::of(PathSeg::new(K_SEEDING, 2)), &1u8);
+        assert!(sibling.on_envelope(PartyId(1), stray.path, &stray.payload).is_empty());
+        assert_eq!(MuxNode::pre_activation_stats(&sibling).buffered, 0);
+
+        // Once the owner's store learns a seed, a poke surfaces it in the
+        // sibling (and spawns the dealer's AVSS — the step is non-empty for
+        // our own dealer index because we share our VRF evaluation).
+        owner.seed_store().borrow_mut().seeds[0] = Some([7u8; 32]);
+        let step = MuxNode::poke(&mut sibling);
+        assert_eq!(sibling.seed_of(0), Some([7u8; 32]));
+        assert!(!step.is_empty());
     }
 
     #[test]

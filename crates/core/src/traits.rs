@@ -27,6 +27,15 @@ pub trait CoinFactory {
     /// Creates the coin instance with session identifier `sid` for this
     /// party.
     fn create(&self, sid: Sid) -> Self::Instance;
+
+    /// Creates the coin for a *later round* of the same agreement, given the
+    /// first round's coin.  Coins whose setup phase is reusable across
+    /// rounds (the paper's seeding, §6.1) override this to share that setup
+    /// with `first` instead of re-running it; the default ignores the
+    /// sibling and builds an independent instance.
+    fn create_sibling(&self, sid: Sid, _first: &Self::Instance) -> Self::Instance {
+        self.create(sid)
+    }
 }
 
 /// Creates a binary-agreement instance on demand (the Election protocol

@@ -75,6 +75,9 @@ pub struct Keyring {
     n: usize,
     f: usize,
     parties: Vec<PartyPublic>,
+    /// Signature keys in party order, cached contiguously for the aggregate
+    /// certificate paths that need a `&[VerifyingKey]` on every verification.
+    sig_keys: Vec<VerifyingKey>,
 }
 
 impl Keyring {
@@ -87,7 +90,8 @@ impl Keyring {
     pub fn new(parties: Vec<PartyPublic>) -> Self {
         let n = parties.len();
         assert!(n >= 4, "at least 4 parties are required (n ≥ 3f + 1 with f ≥ 1)");
-        Keyring { n, f: (n - 1) / 3, parties }
+        let sig_keys = parties.iter().map(|p| p.sig).collect();
+        Keyring { n, f: (n - 1) / 3, parties, sig_keys }
     }
 
     /// Number of parties.
@@ -131,7 +135,13 @@ impl Keyring {
 
     /// All signature verification keys, in party order.
     pub fn sig_keys(&self) -> Vec<VerifyingKey> {
-        self.parties.iter().map(|p| p.sig).collect()
+        self.sig_keys.clone()
+    }
+
+    /// The cached contiguous slice of signature verification keys, in party
+    /// order — the registry the aggregate certificate paths verify against.
+    pub fn sig_key_slice(&self) -> &[VerifyingKey] {
+        &self.sig_keys
     }
 }
 

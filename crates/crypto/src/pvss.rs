@@ -614,29 +614,65 @@ impl Decode for PvssSecret {
     }
 }
 
+// The wire format omits everything derivable or sparse:
+//
+// * `a_evals` never travels — `A_j = g1^{F(ω_j)} = Π_k F_k^{ω_j^k}` is fully
+//   determined by `f_coeffs`, so the decoder recomputes it (n multi-exps of
+//   size `deg+1` over the simulated group).  This drops `n` group elements
+//   per script and makes wire-level `a_evals` tampering unrepresentable: the
+//   low-degree check (1) holds by construction for every decoded script,
+//   while the per-receiver pairing checks still bind the encrypted shares to
+//   the committed polynomial.
+// * `c_comms` / `weights` / `soks` are dense `n`-vectors with only
+//   `contributor_count()` live entries (one for a fresh deal); they travel as
+//   a sparse, strictly-ascending contributor list.
 impl Encode for PvssScript {
     fn encode(&self, w: &mut Writer) {
         self.f_coeffs.encode(w);
         self.u2.encode(w);
-        self.a_evals.encode(w);
         self.y_encs.encode(w);
-        self.c_comms.encode(w);
-        self.weights.encode(w);
-        self.soks.encode(w);
+        let contributors: Vec<(u32, u32, &G1, &Signature)> = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w > 0)
+            .map(|(i, weight)| {
+                let c = self.c_comms[i].as_ref().expect("contributor without commitment");
+                let sok = self.soks[i].as_ref().expect("contributor without SoK");
+                (i as u32, *weight, c, sok)
+            })
+            .collect();
+        contributors.encode(w);
     }
 }
 
 impl Decode for PvssScript {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(PvssScript {
-            f_coeffs: Vec::<G1>::decode(r)?,
-            u2: G2::decode(r)?,
-            a_evals: Vec::<G1>::decode(r)?,
-            y_encs: Vec::<G2>::decode(r)?,
-            c_comms: Vec::<Option<G1>>::decode(r)?,
-            weights: Vec::<u32>::decode(r)?,
-            soks: Vec::<Option<Signature>>::decode(r)?,
-        })
+        let f_coeffs = Vec::<G1>::decode(r)?;
+        let u2 = G2::decode(r)?;
+        let y_encs = Vec::<G2>::decode(r)?;
+        let n = y_encs.len();
+        if f_coeffs.is_empty() || f_coeffs.len() > n {
+            return Err(WireError::InvalidValue { ty: "PvssScript" });
+        }
+        let a_evals: Vec<G1> = (1..=n)
+            .map(|j| G1::multi_exp(&f_coeffs, &powers_of(Scalar::from_u64(j as u64), f_coeffs.len())))
+            .collect();
+        let contributors = Vec::<(u32, u32, G1, Signature)>::decode(r)?;
+        let mut c_comms = vec![None; n];
+        let mut weights = vec![0u32; n];
+        let mut soks = vec![None; n];
+        let mut prev: Option<u32> = None;
+        for (idx, weight, c, sok) in contributors {
+            if idx as usize >= n || weight == 0 || prev.is_some_and(|p| p >= idx) {
+                return Err(WireError::InvalidValue { ty: "PvssScript" });
+            }
+            prev = Some(idx);
+            c_comms[idx as usize] = Some(c);
+            weights[idx as usize] = weight;
+            soks[idx as usize] = Some(sok);
+        }
+        Ok(PvssScript { f_coeffs, u2, a_evals, y_encs, c_comms, weights, soks })
     }
 }
 

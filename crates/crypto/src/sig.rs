@@ -115,6 +115,302 @@ fn challenge(r: &GroupElement, pk: &VerifyingKey, context: &[u8], message: &[u8]
     )
 }
 
+// ---------------------------------------------------------------------------
+// Half-aggregation of Schnorr signatures over a repeated message.
+// ---------------------------------------------------------------------------
+
+/// Why an aggregation or certificate operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggregateError {
+    /// No signatures were provided.
+    Empty,
+    /// The same signer index appeared more than once.
+    DuplicateSigner(usize),
+    /// A signer index is not registered at the PKI (`index ≥ n`).
+    SignerOutOfRange(usize),
+    /// Per-signature verification identified these contributions as invalid;
+    /// the remaining entries are fine and can be re-aggregated without them.
+    BadContributors(Vec<usize>),
+    /// Fewer valid signatures than the pinned quorum size.
+    BelowQuorum {
+        /// Number of signatures provided.
+        have: usize,
+        /// The pinned quorum size.
+        need: usize,
+    },
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggregateError::Empty => write!(f, "no signatures to aggregate"),
+            AggregateError::DuplicateSigner(i) => write!(f, "duplicate signer {i}"),
+            AggregateError::SignerOutOfRange(i) => write!(f, "signer {i} out of range"),
+            AggregateError::BadContributors(v) => write!(f, "invalid contributions from {v:?}"),
+            AggregateError::BelowQuorum { have, need } => {
+                write!(f, "only {have} valid signatures, quorum needs {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// A half-aggregated Schnorr multi-signature on one repeated `(ctx, msg)`.
+///
+/// The aggregator keeps each signer's nonce commitment `R_i` (recomputed from
+/// the individual signature via the verification equation `R_i = g^{s_i} ·
+/// pk_i^{-c_i}`) but collapses the `k` response scalars into one random
+/// linear combination `s̄ = Σ z_i·s_i`, with the weights `z_i` derived by
+/// Fiat–Shamir from the full transcript (signer bitmap, all `R_i`, context
+/// and message).  Verification checks the combined equation
+///
+/// ```text
+///   g^{s̄}  ==  Π R_i^{z_i} · Π pk_i^{c_i·z_i}
+/// ```
+///
+/// with a single fixed-base exponentiation and one Pippenger multi-exp over
+/// `2k` bases — and the wire carries one response scalar instead of `k`,
+/// and a `⌈n/8⌉`-byte signer bitmap instead of `k` party ids.  The bitmap
+/// representation makes duplicate signers unrepresentable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateSignature {
+    /// Signer bitmap: bit `i` (byte `i/8`, bit `i%8`) set iff party `i`
+    /// contributed.  Trailing zero bytes are non-canonical and rejected.
+    signers: Vec<u8>,
+    /// Nonce commitments `R_i`, in ascending signer order.
+    rs: Vec<GroupElement>,
+    /// Weighted aggregate response `s̄ = Σ z_i·s_i`.
+    s: Scalar,
+}
+
+fn bitmap_indices(bitmap: &[u8]) -> impl Iterator<Item = usize> + '_ {
+    bitmap.iter().enumerate().flat_map(|(byte, bits)| {
+        (0..8).filter_map(move |bit| (bits & (1 << bit) != 0).then_some(byte * 8 + bit))
+    })
+}
+
+/// The Fiat–Shamir weight of the `slot`-th signer (by ascending index) given
+/// the transcript digest.  Weights are fixed only after every `R_i` and the
+/// signer set are, so a forger cannot steer the linear combination.
+fn agg_weight(digest: &[u8; 32], slot: usize) -> Scalar {
+    let z = Scalar::from_hash("setupfree/sig/agg-weight", &[digest, &(slot as u64).to_le_bytes()]);
+    if z.is_zero() {
+        Scalar::one()
+    } else {
+        z
+    }
+}
+
+impl AggregateSignature {
+    /// Aggregates individual signatures on one `(context, message)` into a
+    /// half-aggregated multi-signature.
+    ///
+    /// Each input signature is verified while its nonce commitment is
+    /// recomputed, so invalid contributions are identified by signer index
+    /// ([`AggregateError::BadContributors`]) rather than poisoning the
+    /// aggregate — the caller drops them and re-aggregates the rest.
+    pub fn aggregate(
+        entries: &[(usize, Signature)],
+        keys: &[VerifyingKey],
+        context: &[u8],
+        message: &[u8],
+    ) -> Result<Self, AggregateError> {
+        if entries.is_empty() {
+            return Err(AggregateError::Empty);
+        }
+        let mut sorted: Vec<(usize, Signature)> = entries.to_vec();
+        sorted.sort_by_key(|(i, _)| *i);
+        for pair in sorted.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(AggregateError::DuplicateSigner(pair[0].0));
+            }
+        }
+        if let Some(&(i, _)) = sorted.iter().find(|(i, _)| *i >= keys.len()) {
+            return Err(AggregateError::SignerOutOfRange(i));
+        }
+        let mut bad = Vec::new();
+        let mut rs = Vec::with_capacity(sorted.len());
+        for &(i, sig) in &sorted {
+            // R_i = g^{s_i} · pk_i^{-c_i}; the signature is valid iff the
+            // challenge recomputed from R_i matches c_i.
+            let r = multiexp::fixed_pow_g1(sig.s) * keys[i].0.pow(sig.c.negate());
+            if challenge(&r, &keys[i], context, message) != sig.c {
+                bad.push(i);
+            }
+            rs.push(r);
+        }
+        if !bad.is_empty() {
+            return Err(AggregateError::BadContributors(bad));
+        }
+        let mut signers = vec![0u8; keys.len().div_ceil(8)];
+        for &(i, _) in &sorted {
+            signers[i / 8] |= 1 << (i % 8);
+        }
+        while signers.last() == Some(&0) {
+            signers.pop();
+        }
+        let digest = Self::transcript_digest(&signers, &rs, context, message);
+        let mut s = Scalar::zero();
+        for (slot, &(_, sig)) in sorted.iter().enumerate() {
+            s += agg_weight(&digest, slot) * sig.s;
+        }
+        Ok(AggregateSignature { signers, rs, s })
+    }
+
+    fn transcript_digest(
+        signers: &[u8],
+        rs: &[GroupElement],
+        context: &[u8],
+        message: &[u8],
+    ) -> [u8; 32] {
+        let mut r_bytes = Vec::with_capacity(rs.len() * 8);
+        for r in rs {
+            r_bytes.extend_from_slice(&r.to_bytes());
+        }
+        crate::hash::hash_fields("setupfree/sig/agg-bind", &[signers, &r_bytes, context, message])
+    }
+
+    /// Verifies the aggregate against the registered keys with one fixed-base
+    /// exponentiation and a single multi-exponentiation over `2k` bases.
+    pub fn verify(&self, keys: &[VerifyingKey], context: &[u8], message: &[u8]) -> bool {
+        if self.rs.is_empty() || self.signers.last() == Some(&0) {
+            return false;
+        }
+        let indices: Vec<usize> = bitmap_indices(&self.signers).collect();
+        if indices.len() != self.rs.len() || indices.last().is_some_and(|&i| i >= keys.len()) {
+            return false;
+        }
+        let digest = Self::transcript_digest(&self.signers, &self.rs, context, message);
+        let mut bases = Vec::with_capacity(2 * indices.len());
+        let mut exps = Vec::with_capacity(2 * indices.len());
+        for (slot, (&i, &r)) in indices.iter().zip(&self.rs).enumerate() {
+            let z = agg_weight(&digest, slot);
+            let c = challenge(&r, &keys[i], context, message);
+            bases.push(r);
+            exps.push(z);
+            bases.push(keys[i].0);
+            exps.push(c * z);
+        }
+        multiexp::fixed_pow_g1(self.s) == multiexp::multi_exp(&bases, &exps)
+    }
+
+    /// Signer indices in ascending order.
+    pub fn signer_indices(&self) -> Vec<usize> {
+        bitmap_indices(&self.signers).collect()
+    }
+
+    /// Number of contributing signers.
+    pub fn signer_count(&self) -> usize {
+        self.signers.iter().map(|b| b.count_ones() as usize).sum()
+    }
+}
+
+impl Encode for AggregateSignature {
+    fn encode(&self, w: &mut Writer) {
+        self.signers.encode(w);
+        self.rs.encode(w);
+        self.s.encode(w);
+    }
+}
+
+impl Decode for AggregateSignature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let signers = Vec::<u8>::decode(r)?;
+        let rs = Vec::<GroupElement>::decode(r)?;
+        let s = Scalar::decode(r)?;
+        // Internal consistency: bitmap popcount matches the commitment count
+        // and the bitmap has no non-canonical trailing zero bytes.
+        let count: usize = signers.iter().map(|b| b.count_ones() as usize).sum();
+        if count != rs.len() || count == 0 || signers.last() == Some(&0) {
+            return Err(WireError::InvalidValue { ty: "AggregateSignature" });
+        }
+        Ok(AggregateSignature { signers, rs, s })
+    }
+}
+
+/// A quorum certificate: an aggregated multi-signature plus the pinned quorum
+/// size it must meet.
+///
+/// This is the compact wire form of the paper's `Σ = {Sign^ID_i(m)}` quorum
+/// justifications: one [`AggregateSignature`] instead of `n − f` individual
+/// `(PartyId, Signature)` pairs.  Construction rejects duplicate and
+/// out-of-range signers and identifies bad contributions by per-signature
+/// verification; [`QuorumCert::verify`] additionally pins the signer count to
+/// the quorum, and [`QuorumCert::verify_within`] restricts the signer set to
+/// an explicit membership list (committee-relative quorums).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumCert {
+    quorum: u32,
+    agg: AggregateSignature,
+}
+
+impl QuorumCert {
+    /// Builds a certificate from at least `quorum` verified signatures.
+    pub fn new(
+        quorum: usize,
+        entries: &[(usize, Signature)],
+        keys: &[VerifyingKey],
+        context: &[u8],
+        message: &[u8],
+    ) -> Result<Self, AggregateError> {
+        if entries.len() < quorum {
+            return Err(AggregateError::BelowQuorum { have: entries.len(), need: quorum });
+        }
+        let agg = AggregateSignature::aggregate(entries, keys, context, message)?;
+        Ok(QuorumCert { quorum: quorum as u32, agg })
+    }
+
+    /// The pinned quorum size.
+    pub fn quorum(&self) -> usize {
+        self.quorum as usize
+    }
+
+    /// Signer indices in ascending order.
+    pub fn signer_indices(&self) -> Vec<usize> {
+        self.agg.signer_indices()
+    }
+
+    /// Number of contributing signers.
+    pub fn signer_count(&self) -> usize {
+        self.agg.signer_count()
+    }
+
+    /// Verifies the certificate: at least `quorum` distinct registered
+    /// signers and a valid aggregate on `(context, message)`.
+    pub fn verify(&self, keys: &[VerifyingKey], context: &[u8], message: &[u8]) -> bool {
+        self.agg.signer_count() >= self.quorum() && self.agg.verify(keys, context, message)
+    }
+
+    /// Verifies the certificate against a committee: every signer must be in
+    /// `members` (global party indices), with at least `quorum` of them.
+    pub fn verify_within(
+        &self,
+        keys: &[VerifyingKey],
+        members: &[usize],
+        context: &[u8],
+        message: &[u8],
+    ) -> bool {
+        self.agg.signer_indices().iter().all(|i| members.contains(i))
+            && self.verify(keys, context, message)
+    }
+}
+
+impl Encode for QuorumCert {
+    fn encode(&self, w: &mut Writer) {
+        w.write_u32(self.quorum);
+        self.agg.encode(w);
+    }
+}
+
+impl Decode for QuorumCert {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let quorum = r.read_u32()?;
+        let agg = AggregateSignature::decode(r)?;
+        Ok(QuorumCert { quorum, agg })
+    }
+}
+
 impl Encode for VerifyingKey {
     fn encode(&self, w: &mut Writer) {
         self.0.encode(w);
@@ -206,7 +502,208 @@ mod tests {
         assert!(!printed.contains(&sk.sk.to_u64().to_string()));
     }
 
+    fn quorum_setup(n: usize, seed: u64) -> (Vec<SigningKey>, Vec<VerifyingKey>) {
+        let sks: Vec<SigningKey> = (0..n as u64).map(|i| keypair(seed * 1000 + i)).collect();
+        let pks = sks.iter().map(SigningKey::verifying_key).collect();
+        (sks, pks)
+    }
+
+    fn signed_entries(sks: &[SigningKey], signers: &[usize], ctx: &[u8], msg: &[u8]) -> Vec<(usize, Signature)> {
+        signers.iter().map(|&i| (i, sks[i].sign(ctx, msg))).collect()
+    }
+
+    #[test]
+    fn aggregate_roundtrip_verifies() {
+        let (sks, pks) = quorum_setup(7, 10);
+        let entries = signed_entries(&sks, &[0, 2, 3, 5, 6], b"ctx", b"msg");
+        let agg = AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg").unwrap();
+        assert!(agg.verify(&pks, b"ctx", b"msg"));
+        assert_eq!(agg.signer_indices(), vec![0, 2, 3, 5, 6]);
+        let bytes = setupfree_wire::to_bytes(&agg);
+        let decoded = setupfree_wire::from_bytes::<AggregateSignature>(&bytes).unwrap();
+        assert_eq!(decoded, agg);
+        assert!(decoded.verify(&pks, b"ctx", b"msg"));
+    }
+
+    #[test]
+    fn aggregate_is_compact_on_the_wire() {
+        let (sks, pks) = quorum_setup(22, 11);
+        let signers: Vec<usize> = (0..15).collect();
+        let entries = signed_entries(&sks, &signers, b"ctx", b"msg");
+        let agg = AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg").unwrap();
+        let agg_len = setupfree_wire::to_bytes(&agg).len();
+        let naive_len = setupfree_wire::to_bytes(&entries).len();
+        // bitmap (1+3) + 15 commitments (1+15·8) + one response (8) = 133 B,
+        // versus 15 × (usize + 16-byte sig) pairs.
+        assert!(agg_len * 2 < naive_len, "aggregate {agg_len} B vs naive {naive_len} B");
+    }
+
+    #[test]
+    fn aggregate_rejects_wrong_message_and_context() {
+        let (sks, pks) = quorum_setup(5, 12);
+        let entries = signed_entries(&sks, &[0, 1, 2, 3], b"ctx", b"msg");
+        let agg = AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg").unwrap();
+        assert!(!agg.verify(&pks, b"ctx", b"other"));
+        assert!(!agg.verify(&pks, b"other", b"msg"));
+    }
+
+    #[test]
+    fn aggregate_identifies_bad_contributors() {
+        let (sks, pks) = quorum_setup(6, 13);
+        let mut entries = signed_entries(&sks, &[0, 1, 2, 3, 4], b"ctx", b"msg");
+        entries[1].1 = sks[1].sign(b"ctx", b"different message");
+        entries[3].1 = Signature { c: entries[3].1.c, s: entries[3].1.s + Scalar::one() };
+        match AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg") {
+            Err(AggregateError::BadContributors(bad)) => assert_eq!(bad, vec![1, 3]),
+            other => panic!("expected BadContributors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_rejects_duplicate_and_out_of_range_signers() {
+        let (sks, pks) = quorum_setup(5, 14);
+        let mut entries = signed_entries(&sks, &[0, 1, 2], b"ctx", b"msg");
+        entries.push(entries[0]);
+        assert_eq!(
+            AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg"),
+            Err(AggregateError::DuplicateSigner(0))
+        );
+        let oor = vec![(7usize, sks[0].sign(b"ctx", b"msg"))];
+        assert_eq!(
+            AggregateSignature::aggregate(&oor, &pks, b"ctx", b"msg"),
+            Err(AggregateError::SignerOutOfRange(7))
+        );
+        assert_eq!(
+            AggregateSignature::aggregate(&[], &pks, b"ctx", b"msg"),
+            Err(AggregateError::Empty)
+        );
+    }
+
+    #[test]
+    fn forged_aggregate_rejected() {
+        let (sks, pks) = quorum_setup(5, 15);
+        let entries = signed_entries(&sks, &[0, 1, 2, 3], b"ctx", b"msg");
+        let agg = AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg").unwrap();
+        // Tamper the aggregate response.
+        let mut forged = agg.clone();
+        forged.s += Scalar::one();
+        assert!(!forged.verify(&pks, b"ctx", b"msg"));
+        // Tamper one nonce commitment.
+        let mut forged = agg.clone();
+        forged.rs[2] = GroupElement::generator();
+        assert!(!forged.verify(&pks, b"ctx", b"msg"));
+    }
+
+    #[test]
+    fn signer_bitmap_tampering_rejected() {
+        let (sks, pks) = quorum_setup(8, 16);
+        let entries = signed_entries(&sks, &[0, 1, 2, 3, 4], b"ctx", b"msg");
+        let agg = AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg").unwrap();
+        // Claim a different signer set (swap signer 4 for signer 5): the
+        // transcript digest and challenges change, so verification fails.
+        let mut forged = agg.clone();
+        forged.signers[0] = (forged.signers[0] & !(1 << 4)) | (1 << 5);
+        assert!(!forged.verify(&pks, b"ctx", b"msg"));
+        // Add a signer bit without a matching commitment: structurally invalid.
+        let mut forged = agg.clone();
+        forged.signers[0] |= 1 << 6;
+        assert!(!forged.verify(&pks, b"ctx", b"msg"));
+        // Out-of-range signer bit.
+        let mut forged = agg;
+        forged.signers.push(0x01);
+        forged.rs.push(GroupElement::generator());
+        assert!(!forged.verify(&pks, b"ctx", b"msg"));
+    }
+
+    #[test]
+    fn quorum_cert_verifies_and_pins_quorum() {
+        let (sks, pks) = quorum_setup(7, 17);
+        let entries = signed_entries(&sks, &[0, 1, 3, 4, 6], b"ctx", b"msg");
+        let cert = QuorumCert::new(5, &entries, &pks, b"ctx", b"msg").unwrap();
+        assert!(cert.verify(&pks, b"ctx", b"msg"));
+        assert_eq!(cert.quorum(), 5);
+        assert_eq!(cert.signer_count(), 5);
+        let bytes = setupfree_wire::to_bytes(&cert);
+        let decoded = setupfree_wire::from_bytes::<QuorumCert>(&bytes).unwrap();
+        assert!(decoded.verify(&pks, b"ctx", b"msg"));
+        // Below quorum at construction.
+        assert_eq!(
+            QuorumCert::new(6, &entries, &pks, b"ctx", b"msg"),
+            Err(AggregateError::BelowQuorum { have: 5, need: 6 })
+        );
+        // A decoded cert whose quorum field was inflated must fail verify.
+        let mut r = setupfree_wire::Reader::new(&bytes);
+        let mut tampered = QuorumCert::decode(&mut r).unwrap();
+        tampered.quorum = 6;
+        assert!(!tampered.verify(&pks, b"ctx", b"msg"));
+    }
+
+    #[test]
+    fn quorum_cert_rejects_non_members() {
+        let (sks, pks) = quorum_setup(8, 18);
+        let members = [1usize, 2, 4, 5, 7];
+        let entries = signed_entries(&sks, &[1, 2, 4, 5], b"ctx", b"msg");
+        let cert = QuorumCert::new(4, &entries, &pks, b"ctx", b"msg").unwrap();
+        assert!(cert.verify_within(&pks, &members, b"ctx", b"msg"));
+        // A cert padded with a valid signature from a non-member must reject
+        // under the committee-relative check even though the aggregate itself
+        // is valid.
+        let padded = signed_entries(&sks, &[1, 2, 4, 5, 6], b"ctx", b"msg");
+        let cert = QuorumCert::new(4, &padded, &pks, b"ctx", b"msg").unwrap();
+        assert!(cert.verify(&pks, b"ctx", b"msg"));
+        assert!(!cert.verify_within(&pks, &members, b"ctx", b"msg"));
+    }
+
+    #[test]
+    fn aggregate_decode_rejects_inconsistent_bitmap() {
+        let (sks, pks) = quorum_setup(5, 19);
+        let entries = signed_entries(&sks, &[0, 1, 2], b"ctx", b"msg");
+        let agg = AggregateSignature::aggregate(&entries, &pks, b"ctx", b"msg").unwrap();
+        // Append a commitment without a bitmap bit.
+        let mut forged = agg.clone();
+        forged.rs.push(GroupElement::generator());
+        let err = setupfree_wire::from_bytes::<AggregateSignature>(&setupfree_wire::to_bytes(&forged));
+        assert!(err.is_err());
+        // Trailing zero byte in the bitmap is non-canonical.
+        let mut forged = agg;
+        forged.signers.push(0);
+        let err = setupfree_wire::from_bytes::<AggregateSignature>(&setupfree_wire::to_bytes(&forged));
+        assert!(err.is_err());
+    }
+
     proptest! {
+        #[test]
+        fn prop_aggregate_equivalent_to_per_sig_verification(
+            seed in 0u64..1000,
+            signer_mask in 1u8..64,
+            tamper in proptest::option::of(0usize..6),
+        ) {
+            // The aggregate verifies iff every per-signature verification
+            // passes — over random signer subsets and optional tampering.
+            let (sks, pks) = quorum_setup(6, 20 + seed);
+            let signers: Vec<usize> = (0..6).filter(|i| signer_mask & (1 << i) != 0).collect();
+            let mut entries = signed_entries(&sks, &signers, b"p", b"m");
+            if let Some(t) = tamper {
+                if let Some(slot) = entries.iter().position(|(i, _)| *i == t) {
+                    entries[slot].1 = sks[t].sign(b"p", b"tampered");
+                }
+            }
+            let per_sig_ok = entries.iter().all(|(i, sig)| pks[*i].verify(b"p", b"m", sig));
+            match AggregateSignature::aggregate(&entries, &pks, b"p", b"m") {
+                Ok(agg) => {
+                    prop_assert!(per_sig_ok);
+                    prop_assert!(agg.verify(&pks, b"p", b"m"));
+                }
+                Err(AggregateError::BadContributors(bad)) => {
+                    prop_assert!(!per_sig_ok);
+                    for i in &bad {
+                        prop_assert!(!pks[*i].verify(b"p", b"m", &entries.iter().find(|(j, _)| j == i).unwrap().1));
+                    }
+                }
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+
         #[test]
         fn prop_valid_signatures_verify(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
             let sk = keypair(seed);

@@ -503,6 +503,16 @@ pub trait MuxNode {
     /// Returns the output, once produced.
     fn output(&self) -> Option<Self::Output>;
 
+    /// Nudges the node to re-evaluate its pending "upon" conditions even
+    /// though no envelope of its own arrived.  Parents call this on a child
+    /// whose progress can be driven by state shared *out of band* with a
+    /// sibling (e.g. ABA coin rounds reading seeds a sibling round's seeding
+    /// published); a self-contained node — the default — has nothing to
+    /// re-evaluate and returns an empty step.
+    fn poke(&mut self) -> Step<Envelope> {
+        Step::none()
+    }
+
     /// Buffer-pressure telemetry: the recursive sum of this node's (and its
     /// children's) [`PreActivationBuffer`] counters.  Composite nodes built
     /// on [`Router`] override this with [`Router::stats`].

@@ -36,6 +36,7 @@
 pub mod admission;
 pub mod host;
 pub mod queue;
+pub mod verify;
 
 pub use admission::{AdmissionPolicy, MaxConcurrent, TokenBucket, Unlimited};
 pub use host::{
@@ -43,6 +44,7 @@ pub use host::{
     WorkerFailure,
 };
 pub use queue::ShardQueue;
+pub use verify::{FlushReport, SessionVerdict, VerifyQueue, VerifyQueueStats};
 
 // Re-exported so downstream code can name the session stop reason without a
 // separate net import.

@@ -1,0 +1,356 @@
+//! Cross-session batch-verification queue.
+//!
+//! PR 2 batched the expensive RLC checks *within* one protocol event: a
+//! seeding leader verifies its `n` contribution transcripts in one
+//! [`verify_single_dealer_batch`] call, an AVSS party checks a quorum of
+//! Pedersen openings in one
+//! [`PedersenCommitment::verify_shares_batch`] call.  Each such call still
+//! pays the batch's *fixed* algebraic cost — for the PVSS batch that is
+//! `2n + 2` pairings and the column multi-exponentiations, regardless of how
+//! many transcripts share them.  A shard that owns `k` concurrent sessions
+//! over the same PKI therefore pays that fixed cost `k` times per step even
+//! though the checks are mutually independent and combinable.
+//!
+//! [`VerifyQueue`] lifts the batching one level up: sessions *enqueue* their
+//! pending checks (tagged with their session index) as they accumulate, and
+//! the shard flushes the queue once per shard step —
+//!
+//! * all pending single-dealer PVSS transcripts across all sessions go
+//!   through **one** [`verify_single_dealer_batch`] call (one set of
+//!   pairings and column accumulators for the whole shard), and
+//! * all pending Pedersen opening groups go through **one**
+//!   [`verify_share_groups`] cross-group RLC (one fixed-base commit and one
+//!   multi-exponentiation spanning every session's commitment).
+//!
+//! # Per-session failure attribution
+//!
+//! A combined check failing must not fail the whole shard.  Both underlying
+//! primitives attribute hierarchically — the cross-session combination
+//! falling back to per-transcript (resp. per-group, then per-share) exact
+//! checks — so the [`FlushReport`] carries one verdict per enqueued entry,
+//! still tagged with the session that enqueued it.  Only the sessions whose
+//! entries are bad see `false` flags; honest sessions sharing the flush are
+//! unaffected ([`FlushReport::sessions_with_failures`] lists the offenders).
+//!
+//! # Requirements
+//!
+//! All enqueued checks must be relative to **one PKI** (the same
+//! `PvssParams`/key slices), which is exactly the k-parallel-sessions regime
+//! the sharded host runs, and the flush entropy must be a verifier secret
+//! (e.g. `SigningKey::batch_entropy`), unknown to whoever crafted the
+//! transcripts — the same soundness argument as the per-session batches.
+
+use setupfree_crypto::pedersen::{verify_share_groups, PedersenCommitment, ShareGroup};
+use setupfree_crypto::pvss::{verify_single_dealer_batch, PvssEncryptionKey, PvssParams, PvssScript};
+use setupfree_crypto::sig::VerifyingKey;
+use setupfree_crypto::Scalar;
+
+/// One session's pending single-dealer PVSS transcript checks.
+#[derive(Debug, Clone)]
+struct PendingScripts {
+    session: usize,
+    /// `(dealer, transcript)` pairs, as [`verify_single_dealer_batch`] takes
+    /// them.
+    entries: Vec<(usize, PvssScript)>,
+}
+
+/// One session's pending Pedersen opening checks against one commitment.
+#[derive(Debug, Clone)]
+struct PendingShares {
+    session: usize,
+    commitment: PedersenCommitment,
+    /// `(evaluation point, a, b)` claimed openings.
+    shares: Vec<(usize, Scalar, Scalar)>,
+}
+
+/// Verdicts for one enqueued batch: the session that enqueued it and one
+/// flag per entry, in enqueue order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionVerdict {
+    /// The session the entries belong to.
+    pub session: usize,
+    /// One flag per enqueued entry (transcript or share), aligned with the
+    /// enqueue call.
+    pub flags: Vec<bool>,
+}
+
+impl SessionVerdict {
+    /// `true` when every entry of this batch verified.
+    pub fn all_ok(&self) -> bool {
+        self.flags.iter().all(|f| *f)
+    }
+}
+
+/// The outcome of one [`VerifyQueue::flush`].
+#[derive(Debug, Clone, Default)]
+pub struct FlushReport {
+    /// Per-session verdicts of the PVSS transcript checks, in enqueue order.
+    pub scripts: Vec<SessionVerdict>,
+    /// Per-session verdicts of the Pedersen opening checks, in enqueue
+    /// order.
+    pub shares: Vec<SessionVerdict>,
+    /// Total entries (transcripts + shares) this flush checked.
+    pub entries: usize,
+}
+
+impl FlushReport {
+    /// Sessions that contributed at least one failing entry — the sessions a
+    /// host would fail (or whose offending transcript a protocol would
+    /// discard) while every other session proceeds.
+    pub fn sessions_with_failures(&self) -> Vec<usize> {
+        let mut bad: Vec<usize> = self
+            .scripts
+            .iter()
+            .chain(self.shares.iter())
+            .filter(|v| !v.all_ok())
+            .map(|v| v.session)
+            .collect();
+        bad.sort_unstable();
+        bad.dedup();
+        bad
+    }
+
+    /// `true` when every entry across every session verified.
+    pub fn all_ok(&self) -> bool {
+        self.scripts.iter().chain(self.shares.iter()).all(SessionVerdict::all_ok)
+    }
+}
+
+/// Counters describing a queue's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyQueueStats {
+    /// Entries enqueued so far.
+    pub enqueued: u64,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Underlying batch calls a per-session strategy would have made for the
+    /// same entries (one per enqueue) minus the calls actually made (at most
+    /// two per flush) — the number of fixed batch costs amortised away.
+    pub batches_saved: u64,
+}
+
+/// Accumulates the pending RLC checks of the `k` sessions one shard owns and
+/// flushes them in one cross-session batched check per shard step.  See the
+/// module docs for the model.
+#[derive(Debug, Default)]
+pub struct VerifyQueue {
+    scripts: Vec<PendingScripts>,
+    shares: Vec<PendingShares>,
+    stats: VerifyQueueStats,
+}
+
+impl VerifyQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues session `session`'s pending single-dealer transcript checks
+    /// (what its seeding leader would have passed to
+    /// [`verify_single_dealer_batch`] directly).
+    pub fn enqueue_scripts(&mut self, session: usize, entries: Vec<(usize, PvssScript)>) {
+        self.stats.enqueued += entries.len() as u64;
+        self.scripts.push(PendingScripts { session, entries });
+    }
+
+    /// Enqueues session `session`'s pending Pedersen opening checks against
+    /// `commitment` (what an AVSS party would have passed to
+    /// `verify_shares_batch` directly).
+    pub fn enqueue_shares(
+        &mut self,
+        session: usize,
+        commitment: PedersenCommitment,
+        shares: Vec<(usize, Scalar, Scalar)>,
+    ) {
+        self.stats.enqueued += shares.len() as u64;
+        self.shares.push(PendingShares { session, commitment, shares });
+    }
+
+    /// Entries currently pending.
+    pub fn pending(&self) -> usize {
+        self.scripts.iter().map(|p| p.entries.len()).sum::<usize>()
+            + self.shares.iter().map(|p| p.shares.len()).sum::<usize>()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> VerifyQueueStats {
+        self.stats
+    }
+
+    /// Flushes every pending check in (at most) one cross-session PVSS batch
+    /// and one cross-session share-group batch, returning per-session
+    /// verdicts.  `entropy` must be a verifier secret; `params`/`eks`/`vks`
+    /// are the shard's common PKI.
+    pub fn flush(
+        &mut self,
+        params: &PvssParams,
+        eks: &[PvssEncryptionKey],
+        vks: &[VerifyingKey],
+        entropy: &[u8],
+    ) -> FlushReport {
+        let script_batches = std::mem::take(&mut self.scripts);
+        let share_batches = std::mem::take(&mut self.shares);
+        let mut report = FlushReport::default();
+        if script_batches.is_empty() && share_batches.is_empty() {
+            return report;
+        }
+        self.stats.flushes += 1;
+        let pending_batches = (script_batches.len() + share_batches.len()) as u64;
+
+        // One verify_single_dealer_batch call over the concatenation; the
+        // primitive's hierarchical fallback attributes failures to exact
+        // transcripts, which we split back per session.
+        if !script_batches.is_empty() {
+            let flat: Vec<(usize, &PvssScript)> = script_batches
+                .iter()
+                .flat_map(|p| p.entries.iter().map(|(d, s)| (*d, s)))
+                .collect();
+            report.entries += flat.len();
+            let flags = verify_single_dealer_batch(params, eks, vks, &flat, entropy);
+            let mut cursor = flags.into_iter();
+            for batch in &script_batches {
+                report.scripts.push(SessionVerdict {
+                    session: batch.session,
+                    flags: cursor.by_ref().take(batch.entries.len()).collect(),
+                });
+            }
+        }
+
+        // One verify_share_groups call spanning every session's commitment.
+        if !share_batches.is_empty() {
+            let groups: Vec<ShareGroup<'_>> =
+                share_batches.iter().map(|p| (&p.commitment, p.shares.as_slice())).collect();
+            report.entries += groups.iter().map(|(_, s)| s.len()).sum::<usize>();
+            let grouped = verify_share_groups(&groups, entropy);
+            for (batch, flags) in share_batches.iter().zip(grouped) {
+                report.shares.push(SessionVerdict { session: batch.session, flags });
+            }
+        }
+
+        let calls_made =
+            u64::from(!report.scripts.is_empty()) + u64::from(!report.shares.is_empty());
+        self.stats.batches_saved += pending_batches - calls_made;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use setupfree_crypto::generate_pki;
+
+    fn pki(n: usize, seed: u64) -> (setupfree_crypto::Keyring, Vec<setupfree_crypto::PartySecrets>) {
+        generate_pki(n, seed)
+    }
+
+    fn contribution(
+        keyring: &setupfree_crypto::Keyring,
+        secrets: &setupfree_crypto::PartySecrets,
+        dealer: usize,
+        salt: u64,
+    ) -> PvssScript {
+        let params = PvssParams { n: keyring.n(), degree: keyring.f() };
+        let mut rng = StdRng::seed_from_u64(salt);
+        PvssScript::deal(
+            &params,
+            &keyring.pvss_eks(),
+            &secrets.sig,
+            dealer,
+            Scalar::from_u64(1000 + salt),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn cross_session_flush_matches_per_session_batches() {
+        let n = 4;
+        let (keyring, secrets) = pki(n, 21);
+        let params = PvssParams { n, degree: keyring.f() };
+        let eks = keyring.pvss_eks();
+        let vks = keyring.sig_keys();
+        let entropy = secrets[0].pvss_dk.batch_entropy();
+
+        let mut queue = VerifyQueue::new();
+        for session in 0..3usize {
+            let entries: Vec<(usize, PvssScript)> = (0..n)
+                .map(|d| (d, contribution(&keyring, &secrets[d], d, (session * n + d) as u64)))
+                .collect();
+            queue.enqueue_scripts(session, entries);
+        }
+        assert_eq!(queue.pending(), 3 * n);
+        let report = queue.flush(&params, &eks, &vks, &entropy);
+        assert_eq!(queue.pending(), 0);
+        assert!(report.all_ok(), "honest transcripts must verify: {report:?}");
+        assert_eq!(report.scripts.len(), 3);
+        assert!(report.scripts.iter().all(|v| v.flags == vec![true; n]));
+        assert!(report.sessions_with_failures().is_empty());
+        // 3 per-session batch calls collapsed into 1.
+        assert_eq!(queue.stats().batches_saved, 2);
+        assert_eq!(queue.stats().flushes, 1);
+    }
+
+    #[test]
+    fn bad_transcript_fails_only_its_session() {
+        let n = 4;
+        let (keyring, secrets) = pki(n, 22);
+        let params = PvssParams { n, degree: keyring.f() };
+        let eks = keyring.pvss_eks();
+        let vks = keyring.sig_keys();
+        let entropy = secrets[1].pvss_dk.batch_entropy();
+
+        let mut queue = VerifyQueue::new();
+        let honest: Vec<(usize, PvssScript)> =
+            (0..n).map(|d| (d, contribution(&keyring, &secrets[d], d, d as u64))).collect();
+        queue.enqueue_scripts(0, honest);
+        // Session 1's dealer-2 transcript claims the wrong dealer index: the
+        // signature of knowledge cannot match.
+        let mut tampered: Vec<(usize, PvssScript)> =
+            (0..n).map(|d| (d, contribution(&keyring, &secrets[d], d, 100 + d as u64))).collect();
+        let stolen = tampered[2].1.clone();
+        tampered[3] = (3, stolen);
+        queue.enqueue_scripts(1, tampered);
+
+        let report = queue.flush(&params, &eks, &vks, &entropy);
+        assert_eq!(report.sessions_with_failures(), vec![1]);
+        assert_eq!(report.scripts[0].flags, vec![true; n]);
+        assert_eq!(report.scripts[1].flags, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn share_groups_flush_attributes_bad_openings() {
+        use setupfree_crypto::Polynomial;
+        let mut rng = StdRng::seed_from_u64(7);
+        let degree = 2;
+        let mut queue = VerifyQueue::new();
+        for session in 0..3usize {
+            let a = Polynomial::random(degree, &mut rng);
+            let b = Polynomial::random(degree, &mut rng);
+            let commitment = PedersenCommitment::commit(&a, &b);
+            let mut shares: Vec<(usize, Scalar, Scalar)> =
+                (1..=4).map(|i| (i, a.eval_at_index(i), b.eval_at_index(i))).collect();
+            if session == 2 {
+                shares[1].1 += Scalar::one(); // corrupt one opening
+            }
+            queue.enqueue_shares(session, commitment, shares);
+        }
+        let (keyring, _) = pki(4, 23);
+        let params = PvssParams { n: 4, degree };
+        let report = queue.flush(&params, &keyring.pvss_eks(), &keyring.sig_keys(), b"test-entropy");
+        assert_eq!(report.sessions_with_failures(), vec![2]);
+        assert!(report.shares[0].all_ok() && report.shares[1].all_ok());
+        assert_eq!(report.shares[2].flags, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn empty_flush_is_free() {
+        let (keyring, _) = pki(4, 24);
+        let params = PvssParams { n: 4, degree: keyring.f() };
+        let mut queue = VerifyQueue::new();
+        let report = queue.flush(&params, &keyring.pvss_eks(), &keyring.sig_keys(), b"e");
+        assert!(report.all_ok());
+        assert_eq!(report.entries, 0);
+        assert_eq!(queue.stats().flushes, 0);
+    }
+}

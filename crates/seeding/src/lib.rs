@@ -28,7 +28,7 @@ use setupfree_crypto::pvss::{
     verify_single_dealer_batch, PvssParams, PvssScript, PvssSecret, PvssShare,
 };
 use setupfree_crypto::scalar::Scalar;
-use setupfree_crypto::sig::Signature;
+use setupfree_crypto::sig::{QuorumCert, Signature};
 use setupfree_crypto::{Keyring, PartySecrets};
 use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
@@ -57,8 +57,9 @@ pub enum SeedingMessage {
     /// Leader → all: signature quorum committing the aggregated script
     /// (line 27).
     AggPvssCommit {
-        /// `n − f` signatures from distinct parties.
-        quorum: Vec<(PartyId, Signature)>,
+        /// Aggregated certificate over `n − f` signatures from distinct
+        /// parties.
+        quorum: QuorumCert,
     },
     /// Party → leader: decrypted share of the committed script (line 8).
     SeedShare {
@@ -69,7 +70,7 @@ pub enum SeedingMessage {
     /// (line 31).
     Seed {
         /// The commitment quorum (same as in `AggPvssCommit`).
-        quorum: Vec<(PartyId, Signature)>,
+        quorum: QuorumCert,
         /// The reconstructed aggregated secret.
         secret: PvssSecret,
     },
@@ -131,10 +132,10 @@ impl Decode for SeedingMessage {
             0 => Ok(SeedingMessage::Contribute { script: PvssScript::decode(r)? }),
             1 => Ok(SeedingMessage::AggPvss { script: PvssScript::decode(r)? }),
             2 => Ok(SeedingMessage::AggPvssStored { signature: Signature::decode(r)? }),
-            3 => Ok(SeedingMessage::AggPvssCommit { quorum: Vec::<(PartyId, Signature)>::decode(r)? }),
+            3 => Ok(SeedingMessage::AggPvssCommit { quorum: QuorumCert::decode(r)? }),
             4 => Ok(SeedingMessage::SeedShare { share: PvssShare::decode(r)? }),
             5 => Ok(SeedingMessage::Seed {
-                quorum: Vec::<(PartyId, Signature)>::decode(r)?,
+                quorum: QuorumCert::decode(r)?,
                 secret: PvssSecret::decode(r)?,
             }),
             6 => Ok(SeedingMessage::SeedEcho { secret: PvssSecret::decode(r)? }),
@@ -155,8 +156,11 @@ struct LeaderState {
     contributed_by: BTreeSet<usize>,
     aggregated: Option<PvssScript>,
     agg_sent: bool,
-    stored_sigs: Vec<(PartyId, Signature)>,
+    stored_sigs: Vec<(usize, Signature)>,
     stored_by: BTreeSet<usize>,
+    /// The aggregated certificate built once at quorum from `stored_sigs`
+    /// and reused by both `AggPvssCommit` and `Seed`.
+    commit_cert: Option<QuorumCert>,
     commit_sent: bool,
     shares: Vec<(usize, PvssShare)>,
     shares_by: BTreeSet<usize>,
@@ -263,19 +267,16 @@ impl Seeding {
         sha256(&setupfree_wire::to_bytes(secret))
     }
 
-    fn verify_quorum(&self, script: &PvssScript, quorum: &[(PartyId, Signature)]) -> bool {
-        let msg_bytes = setupfree_wire::to_bytes(script);
-        let ctx = self.sig_context();
-        let mut seen = BTreeSet::new();
-        for (pid, sig) in quorum {
-            if pid.index() >= self.n() || !seen.insert(pid.index()) {
-                return false;
-            }
-            if !self.keyring.sig_key(pid.index()).verify(&ctx, &msg_bytes, sig) {
-                return false;
-            }
-        }
-        seen.len() >= self.quorum()
+    fn verify_quorum(&self, script: &PvssScript, quorum: &QuorumCert) -> bool {
+        // The declared quorum must itself be ≥ n − f: `verify` only enforces
+        // signer_count ≥ the *declared* quorum, so a cert declaring a smaller
+        // quorum must not pass.
+        quorum.quorum() >= self.quorum()
+            && quorum.verify(
+                self.keyring.sig_key_slice(),
+                &self.sig_context(),
+                &setupfree_wire::to_bytes(script),
+            )
     }
 }
 
@@ -388,6 +389,7 @@ impl Seeding {
         let ctx = self.sig_context();
         let quorum = self.quorum();
         let vk = *self.keyring.sig_key(from.index());
+        let vks = self.keyring.sig_keys();
         let Some(ls) = &mut self.leader_state else { return Step::none() };
         if ls.commit_sent || ls.stored_by.contains(&from.index()) {
             return Step::none();
@@ -397,15 +399,22 @@ impl Seeding {
             return Step::none();
         }
         ls.stored_by.insert(from.index());
-        ls.stored_sigs.push((from, signature));
+        ls.stored_sigs.push((from.index(), signature));
         if ls.stored_sigs.len() >= quorum {
             ls.commit_sent = true;
-            return Step::multicast(SeedingMessage::AggPvssCommit { quorum: ls.stored_sigs.clone() });
+            // Build the aggregated certificate once, draining the raw
+            // signatures; it is reused verbatim by the later `Seed` message.
+            let entries = std::mem::take(&mut ls.stored_sigs);
+            let msg_bytes = setupfree_wire::to_bytes(agg);
+            let cert = QuorumCert::new(quorum, &entries, &vks, &ctx, &msg_bytes)
+                .expect("individually verified quorum signatures always aggregate");
+            ls.commit_cert = Some(cert.clone());
+            return Step::multicast(SeedingMessage::AggPvssCommit { quorum: cert });
         }
         Step::none()
     }
 
-    fn on_agg_commit(&mut self, from: PartyId, quorum: Vec<(PartyId, Signature)>) -> Step<SeedingMessage> {
+    fn on_agg_commit(&mut self, from: PartyId, quorum: QuorumCert) -> Step<SeedingMessage> {
         if from != self.leader || self.share_sent {
             return Step::none();
         }
@@ -437,8 +446,8 @@ impl Seeding {
         if ls.shares.len() >= params.reconstruction_threshold() && ls.commit_sent {
             if let Ok(secret) = agg.reconstruct(&params, &ls.shares) {
                 ls.seed_sent = true;
-                let quorum_sigs = ls.stored_sigs.clone();
-                return Step::multicast(SeedingMessage::Seed { quorum: quorum_sigs, secret });
+                let quorum = ls.commit_cert.clone().expect("commit_sent implies commit_cert");
+                return Step::multicast(SeedingMessage::Seed { quorum, secret });
             }
         }
         Step::none()
@@ -447,7 +456,7 @@ impl Seeding {
     fn on_seed(
         &mut self,
         from: PartyId,
-        quorum: Vec<(PartyId, Signature)>,
+        quorum: QuorumCert,
         secret: PvssSecret,
     ) -> Step<SeedingMessage> {
         if from != self.leader || self.echo_sent {
@@ -654,8 +663,74 @@ mod tests {
             &setupfree_crypto::pairing::G2::generator(),
         )))
         .unwrap();
-        let step = party.on_message(PartyId(0), SeedingMessage::Seed { quorum: vec![], secret: bogus });
+        // Even a structurally valid certificate (over an unrelated message)
+        // cannot substitute for the recorded-script check.
+        let sig = secrets[1].sig.sign(b"x", b"y");
+        let cert = QuorumCert::new(1, &[(1, sig)], keyring.sig_key_slice(), b"x", b"y").unwrap();
+        let step = party.on_message(PartyId(0), SeedingMessage::Seed { quorum: cert, secret: bogus });
         assert!(step.is_empty());
+    }
+
+    #[test]
+    fn replayed_agg_stored_does_not_inflate_the_quorum() {
+        // A Byzantine party replaying its AggPvssStored signature must not
+        // count more than once toward the n − f commitment quorum.
+        let n = 4;
+        let (keyring, secrets) = setup(n);
+        let sid = Sid::new("seeding");
+        let mut leader =
+            Seeding::new(sid.clone(), PartyId(0), PartyId(0), keyring.clone(), secrets[0].clone());
+        let _ = leader.on_activation();
+        // Feed the leader all four contributions so it aggregates.
+        let mut agg_script = None;
+        for (i, secret) in secrets.iter().enumerate().take(n) {
+            let mut p = Seeding::new(
+                sid.clone(),
+                PartyId(i),
+                PartyId(0),
+                keyring.clone(),
+                secret.clone(),
+            );
+            let step = p.on_activation();
+            for o in step.outgoing {
+                let out = leader.on_message(PartyId(i), o.msg);
+                for o2 in out.outgoing {
+                    if let SeedingMessage::AggPvss { script } = o2.msg {
+                        agg_script = Some(script);
+                    }
+                }
+            }
+        }
+        let agg_script = agg_script.expect("leader aggregated after n contributions");
+        // Collect each party's signature on the aggregate.
+        let ctx = {
+            let mut c = sid.as_bytes().to_vec();
+            c.extend_from_slice(b"/seeding/agg");
+            c
+        };
+        let msg_bytes = setupfree_wire::to_bytes(&agg_script);
+        let sign = |i: usize| secrets[i].sig.sign(&ctx, &msg_bytes);
+        // Party 1 replays its signature three times: still one vote.
+        for _ in 0..3 {
+            let step = leader
+                .on_message(PartyId(1), SeedingMessage::AggPvssStored { signature: sign(1) });
+            assert!(step.is_empty(), "replays must not complete the quorum");
+        }
+        let step =
+            leader.on_message(PartyId(2), SeedingMessage::AggPvssStored { signature: sign(2) });
+        assert!(step.is_empty(), "two distinct signers are below the quorum of three");
+        let step =
+            leader.on_message(PartyId(3), SeedingMessage::AggPvssStored { signature: sign(3) });
+        let commit = step
+            .outgoing
+            .iter()
+            .find_map(|o| match &o.msg {
+                SeedingMessage::AggPvssCommit { quorum } => Some(quorum.clone()),
+                _ => None,
+            })
+            .expect("third distinct signer completes the quorum");
+        assert_eq!(commit.signer_count(), 3);
+        assert_eq!(commit.signer_indices(), vec![1, 2, 3]);
     }
 
     #[test]

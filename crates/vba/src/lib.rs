@@ -34,7 +34,7 @@ use setupfree_core::committee::Committee;
 use setupfree_core::election::ElectionOutput;
 use setupfree_core::traits::{AbaFactory, ElectionFactory};
 use setupfree_crypto::hash::sha256;
-use setupfree_crypto::sig::Signature;
+use setupfree_crypto::sig::{QuorumCert, Signature};
 use setupfree_crypto::{Keyring, PartySecrets};
 use setupfree_net::mux::{committee_cap, composite_cap, decode_payload, Envelope, InstancePath};
 use setupfree_net::{MuxNode, PartyId, ProtocolInstance, Router, Sid, Step};
@@ -45,10 +45,13 @@ pub const K_ELECTION: u8 = 0;
 /// Path kind of the per-round vote-ABA instances (keyed by round).
 pub const K_VOTE_ABA: u8 = 1;
 
-/// A transferable quorum certificate: `n − f` signatures from distinct
-/// parties over a proposer's value (the paper replaces threshold signatures
-/// by exactly such concatenations in the PKI setting, §7.2).
-pub type Cert = Vec<(PartyId, Signature)>;
+/// A transferable quorum certificate: one aggregated signature over a
+/// proposer's value from `n − f` distinct parties (`m − f_c` members in
+/// committee mode).  The paper replaces threshold signatures by signature
+/// concatenations in the PKI setting (§7.2); we aggregate those
+/// concatenations into a constant-size Schnorr half-aggregate plus a signer
+/// bitmap.
+pub type Cert = QuorumCert;
 
 /// The external validity predicate `Q_ID` (Definition 7).
 pub type Predicate = Arc<dyn Fn(&[u8]) -> bool + Send + Sync>;
@@ -189,8 +192,9 @@ pub struct Vba<EF: ElectionFactory, AF: AbaFactory> {
     aba_factory: AF,
     /// Parties we have acknowledged (first proposal only).
     acked: BTreeSet<usize>,
-    /// Signatures collected on our own proposal.
-    own_cert: Cert,
+    /// Raw acknowledgement signatures collected on our own proposal,
+    /// aggregated into a [`Cert`] once the quorum completes.
+    own_cert: Vec<(usize, Signature)>,
     own_cert_from: BTreeSet<usize>,
     confirm_sent: bool,
     /// Committed proposals: proposer → (value, cert).
@@ -346,23 +350,22 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     }
 
     fn verify_cert(&self, proposer: usize, value: &[u8], cert: &Cert) -> bool {
+        // The declared quorum must meet this instance's quorum (`verify` only
+        // enforces signer_count ≥ the certificate's own declared quorum).
+        if cert.quorum() < self.quorum() {
+            return false;
+        }
         let ctx = self.ack_context(proposer);
         let digest = sha256(value);
-        let mut seen = BTreeSet::new();
-        for (pid, sig) in cert {
-            if pid.index() >= self.n() || !seen.insert(pid.index()) {
-                return false;
-            }
-            // Committee mode: only member acknowledgements carry weight —
-            // a quorum padded with non-member signatures must not verify.
-            if !self.committee.is_member(*pid) {
-                return false;
-            }
-            if !self.keyring.sig_key(pid.index()).verify(&ctx, &digest, sig) {
-                return false;
-            }
+        if self.committee.is_proper() {
+            // Committee mode: only member acknowledgements carry weight — a
+            // quorum padded with non-member signatures must not verify.
+            let members: Vec<usize> =
+                self.committee.members().iter().map(|p| p.index()).collect();
+            cert.verify_within(self.keyring.sig_key_slice(), &members, &ctx, &digest)
+        } else {
+            cert.verify(self.keyring.sig_key_slice(), &ctx, &digest)
         }
-        seen.len() >= self.quorum()
     }
 
     fn round_state(&mut self, round: u32) -> &mut RoundState {
@@ -509,16 +512,26 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
             return Step::none();
         }
         self.own_cert_from.insert(from.index());
-        self.own_cert.push((from, signature));
+        self.own_cert.push((from.index(), signature));
         if self.own_cert.len() >= self.quorum() {
             self.confirm_sent = true;
+            // Aggregate the drained acknowledgements into one certificate.
+            let entries = std::mem::take(&mut self.own_cert);
+            let cert = QuorumCert::new(
+                self.quorum(),
+                &entries,
+                self.keyring.sig_key_slice(),
+                &ctx,
+                &sha256(&self.input),
+            )
+            .expect("individually verified acknowledgements always aggregate");
             let mut step = Step::none();
             self.fan(
                 &mut step,
                 Self::local(&VbaMessage::Confirm {
                     proposer: self.me.index() as u32,
                     value: self.input.clone(),
-                    cert: self.own_cert.clone(),
+                    cert,
                 }),
             );
             return step;
@@ -929,13 +942,16 @@ mod tests {
 
     #[test]
     fn message_wire_roundtrip() {
-        let (_, secrets) = generate_pki(4, 9);
+        let (keyring, secrets) = generate_pki(4, 9);
         let sig = secrets[0].sig.sign(b"x", b"y");
+        let entries: Vec<(usize, Signature)> =
+            (0..3).map(|i| (i, secrets[i].sig.sign(b"x", b"y"))).collect();
+        let cert = QuorumCert::new(3, &entries, keyring.sig_key_slice(), b"x", b"y").unwrap();
         let msgs: Vec<VbaMessage> = vec![
             VbaMessage::Propose { value: vec![1, 2, 3] },
             VbaMessage::Ack { proposer: 2, signature: sig },
-            VbaMessage::Confirm { proposer: 1, value: vec![9], cert: vec![(PartyId(0), sig)] },
-            VbaMessage::Vote { round: 1, proposal: Some((vec![4], vec![(PartyId(2), sig)])) },
+            VbaMessage::Confirm { proposer: 1, value: vec![9], cert: cert.clone() },
+            VbaMessage::Vote { round: 1, proposal: Some((vec![4], cert)) },
             VbaMessage::Decide { value: vec![7, 7, 7] },
         ];
         for msg in msgs {
@@ -945,5 +961,76 @@ mod tests {
             assert_eq!(decoded, env);
             assert_eq!(setupfree_wire::to_bytes(&decoded), bytes);
         }
+    }
+
+    #[test]
+    fn committee_cert_padded_with_non_member_signatures_rejected() {
+        // In committee mode a certificate must carry only member signatures:
+        // a quorum "completed" by non-member acknowledgements is worthless.
+        use setupfree_core::{CommitteeConfig, TrustedElectionFactory};
+        let (n, size) = (22, 10);
+        let config = CommitteeConfig::new(size, "vba-test");
+        let committee = Committee::sample(&config, &0xFEEDu64.to_le_bytes(), n);
+        let (keyring, secrets) = generate_pki(n, 13);
+        let keyring = Arc::new(keyring);
+        let secrets: Vec<Arc<PartySecrets>> = secrets.into_iter().map(Arc::new).collect();
+        let me = committee.members()[0];
+        let af = MmrAbaFactory::with_committee(
+            me,
+            n,
+            keyring.f(),
+            TrustedCoinFactory,
+            committee.clone(),
+        );
+        let vba = Vba::with_committee(
+            Sid::new("cvba"),
+            me,
+            keyring.clone(),
+            secrets[me.index()].clone(),
+            b"mine".to_vec(),
+            accept_all(),
+            TrustedElectionFactory::new(n),
+            af,
+            committee.clone(),
+        );
+        let proposer = committee.members()[1];
+        let value = b"committee-value";
+        let ctx = vba.ack_context(proposer.index());
+        let digest = sha256(value);
+        let quorum = committee.quorum();
+        let non_member = (0..n)
+            .map(PartyId)
+            .find(|p| !committee.is_member(*p))
+            .expect("a proper committee leaves non-members");
+        // Quorum-sized cert whose last slot is a (validly signed!) non-member
+        // acknowledgement: rejected.
+        let mut entries: Vec<(usize, Signature)> = committee.members()[..quorum - 1]
+            .iter()
+            .map(|p| (p.index(), secrets[p.index()].sig.sign(&ctx, &digest)))
+            .collect();
+        entries.push((non_member.index(), secrets[non_member.index()].sig.sign(&ctx, &digest)));
+        let padded =
+            QuorumCert::new(quorum, &entries, keyring.sig_key_slice(), &ctx, &digest).unwrap();
+        assert!(!vba.verify_cert(proposer.index(), value, &padded));
+        // The same quorum drawn entirely from members verifies.
+        let member_entries: Vec<(usize, Signature)> = committee.members()[..quorum]
+            .iter()
+            .map(|p| (p.index(), secrets[p.index()].sig.sign(&ctx, &digest)))
+            .collect();
+        let good =
+            QuorumCert::new(quorum, &member_entries, keyring.sig_key_slice(), &ctx, &digest)
+                .unwrap();
+        assert!(vba.verify_cert(proposer.index(), value, &good));
+        // A cert declaring a smaller quorum than the committee's must not
+        // pass even if internally consistent.
+        let small = QuorumCert::new(
+            quorum - 1,
+            &member_entries[..quorum - 1],
+            keyring.sig_key_slice(),
+            &ctx,
+            &digest,
+        )
+        .unwrap();
+        assert!(!vba.verify_cert(proposer.index(), value, &small));
     }
 }

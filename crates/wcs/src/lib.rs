@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use setupfree_crypto::sig::Signature;
+use setupfree_crypto::sig::{QuorumCert, Signature};
 use setupfree_crypto::{Keyring, PartySecrets};
 use setupfree_net::{PartyId, ProtocolInstance, Sid, Step};
 use setupfree_wire::{Decode, Encode, Reader, WireError, Writer};
@@ -40,8 +40,9 @@ pub enum WcsMessage {
     },
     /// The owner's quorum proof for its snapshot (line 11).
     Commit {
-        /// `n − f` signatures from distinct parties.
-        quorum: Vec<(PartyId, Signature)>,
+        /// Aggregated certificate of `n − f` distinct signatures on the
+        /// snapshot.
+        quorum: QuorumCert,
         /// The snapshot the quorum signed.
         set: Vec<u32>,
     },
@@ -73,7 +74,7 @@ impl Decode for WcsMessage {
             0 => Ok(WcsMessage::Lock { set: Vec::<u32>::decode(r)? }),
             1 => Ok(WcsMessage::Confirm { signature: Signature::decode(r)? }),
             2 => Ok(WcsMessage::Commit {
-                quorum: Vec::<(PartyId, Signature)>::decode(r)?,
+                quorum: QuorumCert::decode(r)?,
                 set: Vec::<u32>::decode(r)?,
             }),
             tag => Err(WireError::InvalidTag { tag: u64::from(tag), ty: "WcsMessage" }),
@@ -250,35 +251,39 @@ impl Wcs {
         self.confirms.push((from, signature));
         if self.confirms.len() >= self.quorum() {
             self.commit_sent = true;
-            return Step::multicast(WcsMessage::Commit {
-                quorum: self.confirms.clone(),
-                set: snapshot.clone(),
-            });
+            // Drain the collected confirmations into one aggregated
+            // certificate (they are never needed again after the Commit).
+            let entries: Vec<(usize, Signature)> = std::mem::take(&mut self.confirms)
+                .into_iter()
+                .map(|(pid, sig)| (pid.index(), sig))
+                .collect();
+            let cert = QuorumCert::new(
+                self.quorum(),
+                &entries,
+                self.keyring.sig_key_slice(),
+                &self.sig_context(),
+                &msg_bytes,
+            )
+            .expect("individually verified confirmations must aggregate");
+            return Step::multicast(WcsMessage::Commit { quorum: cert, set: snapshot.clone() });
         }
         Step::none()
     }
 
-    fn on_commit(&mut self, _from: PartyId, quorum: Vec<(PartyId, Signature)>, set: Vec<u32>) -> Step<WcsMessage> {
+    fn on_commit(&mut self, _from: PartyId, quorum: QuorumCert, set: Vec<u32>) -> Step<WcsMessage> {
         if self.commit_seen || self.output.is_some() {
             return Step::none();
         }
         if set.len() < self.quorum() {
             return Step::none();
         }
-        // Validate the quorum proof: n − f valid signatures from distinct
-        // parties over `set`.
+        // Validate the quorum proof: an aggregated certificate of n − f
+        // distinct registered signers over `set` (the signer bitmap makes
+        // duplicates unrepresentable).
         let msg_bytes = setupfree_wire::to_bytes(&set);
-        let ctx = self.sig_context();
-        let mut seen = BTreeSet::new();
-        for (pid, sig) in &quorum {
-            if pid.index() >= self.n() || !seen.insert(pid.index()) {
-                return Step::none();
-            }
-            if !self.keyring.sig_key(pid.index()).verify(&ctx, &msg_bytes, sig) {
-                return Step::none();
-            }
-        }
-        if seen.len() < self.quorum() {
+        if quorum.quorum() < self.quorum()
+            || !quorum.verify(self.keyring.sig_key_slice(), &self.sig_context(), &msg_bytes)
+        {
             return Step::none();
         }
         self.commit_seen = true;
@@ -470,10 +475,25 @@ mod tests {
             let _ = wcs.add_index(i);
         }
         let _ = wcs.start();
-        // A commit whose quorum contains self-signed garbage must be ignored.
-        let bogus_sig = secrets[3].sig.sign(b"wrong-context", b"wrong-msg");
-        let quorum = vec![(PartyId(0), bogus_sig), (PartyId(2), bogus_sig), (PartyId(3), bogus_sig)];
-        let step = wcs.handle(PartyId(0), WcsMessage::Commit { quorum, set: vec![0, 1, 2] });
+        // A certificate that is internally valid — but over the *wrong*
+        // message — must be ignored when presented for this set.
+        let keys = keyring.sig_key_slice();
+        let mut ctx = Sid::new("w").as_bytes().to_vec();
+        ctx.extend_from_slice(b"/wcs/confirm");
+        let entries: Vec<(usize, setupfree_crypto::Signature)> =
+            [0usize, 2, 3].iter().map(|&i| (i, secrets[i].sig.sign(&ctx, b"wrong-msg"))).collect();
+        let forged = QuorumCert::new(3, &entries, keys, &ctx, b"wrong-msg").unwrap();
+        let step = wcs.handle(PartyId(0), WcsMessage::Commit { quorum: forged, set: vec![0, 1, 2] });
+        assert!(step.is_empty());
+        assert!(wcs.output_set().is_none());
+        // An undersized certificate over the right message must also fail the
+        // pinned n − f quorum even though the aggregate itself verifies.
+        let set: Vec<u32> = vec![0, 1, 2];
+        let right_msg = setupfree_wire::to_bytes(&set);
+        let entries: Vec<(usize, setupfree_crypto::Signature)> =
+            [0usize, 2].iter().map(|&i| (i, secrets[i].sig.sign(&ctx, &right_msg))).collect();
+        let undersized = QuorumCert::new(2, &entries, keys, &ctx, &right_msg).unwrap();
+        let step = wcs.handle(PartyId(0), WcsMessage::Commit { quorum: undersized, set });
         assert!(step.is_empty());
         assert!(wcs.output_set().is_none());
     }
@@ -521,12 +541,15 @@ mod tests {
 
     #[test]
     fn message_wire_roundtrip() {
-        let (_, secrets) = setup(4);
+        let (keyring, secrets) = setup(4);
         let sig = secrets[0].sig.sign(b"c", b"m");
+        let entries: Vec<(usize, Signature)> =
+            (0..3).map(|i| (i, secrets[i].sig.sign(b"c", b"m"))).collect();
+        let cert = QuorumCert::new(3, &entries, keyring.sig_key_slice(), b"c", b"m").unwrap();
         for msg in [
             WcsMessage::Lock { set: vec![1, 2, 3] },
             WcsMessage::Confirm { signature: sig },
-            WcsMessage::Commit { quorum: vec![(PartyId(1), sig)], set: vec![0, 2] },
+            WcsMessage::Commit { quorum: cert, set: vec![0, 2] },
         ] {
             let bytes = setupfree_wire::to_bytes(&msg);
             assert_eq!(setupfree_wire::from_bytes::<WcsMessage>(&bytes).unwrap(), msg);

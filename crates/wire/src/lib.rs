@@ -124,9 +124,21 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Appends a `usize` as a little-endian `u64`.
+    /// Appends a collection length as a LEB128 varint.  Every Vec/String in
+    /// the wire format funnels through here, so short collections (the
+    /// overwhelming majority of protocol payloads) pay one prefix byte
+    /// instead of eight.
     pub fn write_len(&mut self, v: usize) {
-        self.write_u64(v as u64);
+        let mut v = v as u64;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
     }
 
     /// Number of bytes written so far.
@@ -209,10 +221,28 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(arr))
     }
 
-    /// Reads a length prefix (u64) and validates it against
-    /// [`MAX_SEQUENCE_LEN`].
+    /// Reads a LEB128 varint length prefix and validates it against
+    /// [`MAX_SEQUENCE_LEN`].  Rejects non-minimal encodings so every length
+    /// has exactly one byte representation (decode/encode stays a bijection).
     pub fn read_len(&mut self) -> Result<usize, WireError> {
-        let len = self.read_u64()?;
+        let mut len: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift > 0 && byte == 0 {
+                // A zero continuation byte means the previous byte's high bit
+                // was set for nothing: non-minimal encoding.
+                return Err(WireError::LengthTooLarge { len: u64::MAX });
+            }
+            len |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(WireError::LengthTooLarge { len: u64::MAX });
+            }
+        }
         if len > MAX_SEQUENCE_LEN {
             return Err(WireError::LengthTooLarge { len });
         }
@@ -514,9 +544,40 @@ mod tests {
     #[test]
     fn huge_length_prefix_rejected() {
         let mut w = Writer::new();
-        w.write_u64(u64::MAX);
+        w.write_len((MAX_SEQUENCE_LEN + 1) as usize);
         let err = from_bytes::<Vec<u8>>(&w.into_bytes()).unwrap_err();
         assert!(matches!(err, WireError::LengthTooLarge { .. }));
+    }
+
+    #[test]
+    fn varint_length_prefix_is_compact() {
+        // Short collections — the overwhelming majority on the wire — pay a
+        // single prefix byte.
+        assert_eq!(to_bytes(&Vec::<u8>::new()).len(), 1);
+        assert_eq!(to_bytes(&vec![0u8; 127]).len(), 1 + 127);
+        assert_eq!(to_bytes(&vec![0u8; 128]).len(), 2 + 128);
+        assert_eq!(to_bytes(&vec![0u8; 16_383]).len(), 2 + 16_383);
+        assert_eq!(to_bytes(&vec![0u8; 16_384]).len(), 3 + 16_384);
+    }
+
+    #[test]
+    fn varint_length_roundtrips_at_boundaries() {
+        for len in [0usize, 1, 127, 128, 255, 256, 16_383, 16_384, 1 << 20] {
+            let mut w = Writer::new();
+            w.write_len(len);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.read_len().unwrap(), len);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn non_minimal_varint_length_rejected() {
+        // 0x80 0x00 encodes 0 with a wasted continuation byte; the canonical
+        // form is the single byte 0x00.
+        let mut r = Reader::new(&[0x80, 0x00]);
+        assert!(matches!(r.read_len(), Err(WireError::LengthTooLarge { .. })));
     }
 
     #[test]
