@@ -281,6 +281,8 @@ impl<F: CoinFactory> MmrAba<F> {
         };
         let mut step = Step::none();
         if fresh {
+            setupfree_obs::phase(setupfree_obs::Phase::AbaRound, round);
+            setupfree_obs::phase(setupfree_obs::Phase::AbaEst, est as u32);
             self.fan(&mut step, Self::local(&AbaMessage::BVal { round, value: est }));
         }
         step
@@ -311,6 +313,7 @@ impl<F: CoinFactory> MmrAba<F> {
             self.fan(&mut step, Self::local(&AbaMessage::BVal { round, value }));
         }
         if aux {
+            setupfree_obs::phase(setupfree_obs::Phase::AbaAux, value as u32);
             self.fan(&mut step, Self::local(&AbaMessage::Aux { round, value }));
         }
         step.extend(self.try_invoke_coin(round));
@@ -406,12 +409,15 @@ impl<F: CoinFactory> MmrAba<F> {
         match (has_false, has_true) {
             (true, true) => {
                 self.est = coin;
+                setupfree_obs::phase(setupfree_obs::Phase::AbaEst, coin as u32);
             }
             (single_false, _) => {
                 let b = !single_false;
                 self.est = b;
+                setupfree_obs::phase(setupfree_obs::Phase::AbaEst, b as u32);
                 if b == coin && self.output.is_none() {
                     self.output = Some(b);
+                    setupfree_obs::phase(setupfree_obs::Phase::AbaDecide, b as u32);
                     if !self.finish_sent {
                         self.finish_sent = true;
                         step.push_multicast(Self::local(&AbaMessage::Finish { value: b }));
@@ -445,6 +451,7 @@ impl<F: CoinFactory> MmrAba<F> {
             }
             if count > 2 * f && self.output.is_none() {
                 self.output = Some(value);
+                setupfree_obs::phase(setupfree_obs::Phase::AbaDecide, value as u32);
             }
         } else if count > f && self.output.is_none() {
             // Listen/adopt: `f_c + 1` distinct members finished with this
@@ -452,6 +459,7 @@ impl<F: CoinFactory> MmrAba<F> {
             // honest `Finish` for a value only ever follows a decision, so
             // this is the committee's decided value.
             self.output = Some(value);
+            setupfree_obs::phase(setupfree_obs::Phase::AbaDecide, value as u32);
         }
         step
     }

@@ -182,6 +182,7 @@ impl<F: AbaFactory + Clone> RandomBeacon<F> {
     }
 
     fn start_epoch(&mut self, epoch: u32) -> Step<Envelope> {
+        setupfree_obs::phase(setupfree_obs::Phase::BeaconEpoch, epoch);
         let election = Election::new(
             self.sid.derive("beacon-epoch", epoch as usize),
             self.me,

@@ -485,6 +485,7 @@ impl Avss {
         }
         self.locked = true;
         self.echo_sent = true;
+        setupfree_obs::phase(setupfree_obs::Phase::AvssCipher, 0);
         Step::multicast(AvssMessage::Echo { cipher })
     }
 
@@ -531,6 +532,7 @@ impl Avss {
             } else {
                 (None, None, None)
             };
+            setupfree_obs::phase(setupfree_obs::Phase::AvssShare, share_a.is_some() as u32);
             self.share_output = Some(AvssShareOutput { cipher: value, share_a, share_b, commitment });
         }
         step

@@ -50,6 +50,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use setupfree_bench::tracing::{aba_overhead_arm, aba_round_distribution, OverheadArm};
 use setupfree_bench::{
     measure_avss, measure_beacon, measure_coin, measure_committee_aba, measure_committee_vba,
     measure_setupfree_aba, measure_sharded_abas, measure_sharded_pipelined_beacon,
@@ -90,6 +91,22 @@ const ABA22_PRE_AGGREGATION_BYTES: u64 = 31_092_836;
 /// varint wire lengths, shared coin seeding).  The certificate-bytes gate
 /// fails on any growth beyond 10 % of this.
 const ABA22_CERT_BYTES_BASELINE: u64 = 9_479_964;
+
+/// Tracing-overhead ceilings (PR 10): wall-clock of the instrumented ABA
+/// n = 22 replay with a sink installed but emission *off* must stay within
+/// 2 % of the uninstrumented run, and the cheapest live sink (a counter
+/// bump per event) within 10 %.  Judged on the per-arm minimum of
+/// interleaved repetitions, which cancels most shared-runner noise.
+const TRACE_OFF_CEILING: f64 = 1.02;
+const TRACE_COUNTING_CEILING: f64 = 1.10;
+
+/// Golden band for the trace-derived ABA round distribution: the mean
+/// rounds-to-decide over the pinned 20-seed sweep at n = 10 (seeds
+/// 9000..9020) recorded when PR 10 landed was exactly 4.00; the simulator
+/// is deterministic, so drift outside ±1.0 means the ABA's round behaviour
+/// (or the trace's round accounting) changed.
+const ABA_ROUNDS_GOLDEN_MEAN: f64 = 4.00;
+const ABA_ROUNDS_BAND: f64 = 1.0;
 
 struct Timed {
     protocol: String,
@@ -992,6 +1009,109 @@ fn cert_bytes_gate(rows: &[Timed], gate: bool) {
     }
 }
 
+/// PR 10 gate: instrumentation must be (nearly) free when nobody is
+/// looking.  Re-runs the golden ABA n = 22 replay under three arms —
+/// uninstrumented, sink installed with emission off, and the cheapest live
+/// sink — interleaved over several repetitions.  Each repetition yields one
+/// overhead ratio per arm against *that repetition's* plain run (adjacent
+/// in time, so thermal drift and background load mostly cancel); the gate
+/// judges the **minimum** rep ratio: one-sided noise spikes inflate single
+/// ratios but a real regression inflates all of them, so the minimum keeps
+/// a 2 % bound meaningful on hosts whose raw wall-clock wanders ±20 %
+/// within a process.  All arms must replay the golden delivery count
+/// exactly: tracing observes, it never steers.
+fn tracing_overhead_gate(gate: bool) {
+    let (n, seed) = (22usize, 7_322u64);
+    let golden = PR9_DELIVERY_GOLDENS
+        .iter()
+        .find_map(|&(gn, g)| (gn == n).then_some(g))
+        .expect("n = 22 golden is pinned");
+    const ARMS: [OverheadArm; 3] =
+        [OverheadArm::Plain, OverheadArm::DisabledSink, OverheadArm::CountingSink];
+    let mut ratios = [f64::INFINITY; 3];
+    let mut events = 0u64;
+    for _rep in 0..4 {
+        let mut walls = [0f64; 3];
+        for (slot, arm) in ARMS.into_iter().enumerate() {
+            let (wall, deliveries, ev) = aba_overhead_arm(n, seed, arm);
+            if deliveries != golden {
+                eprintln!(
+                    "TRACING REGRESSION: the {arm:?} arm replayed {deliveries} deliveries vs \
+                     the golden {golden} — tracing steered the run"
+                );
+                std::process::exit(1);
+            }
+            walls[slot] = wall.as_secs_f64();
+            events = events.max(ev);
+        }
+        for slot in 0..3 {
+            ratios[slot] = ratios[slot].min(walls[slot] / walls[0]);
+        }
+    }
+    let off = ratios[1];
+    let counting = ratios[2];
+    println!(
+        "  tracing overhead: aba n={n}: sink-off {:+.1} %, counting {:+.1} % \
+         (best-rep ratios vs the uninstrumented run), {events} events counted",
+        (off - 1.0) * 100.0,
+        (counting - 1.0) * 100.0,
+    );
+    let mut failures = Vec::new();
+    if off > TRACE_OFF_CEILING {
+        failures.push(format!(
+            "disabled-sink overhead {:.1} % exceeds the {:.0} % ceiling",
+            (off - 1.0) * 100.0,
+            (TRACE_OFF_CEILING - 1.0) * 100.0
+        ));
+    }
+    if counting > TRACE_COUNTING_CEILING {
+        failures.push(format!(
+            "counting-sink overhead {:.1} % exceeds the {:.0} % ceiling",
+            (counting - 1.0) * 100.0,
+            (TRACE_COUNTING_CEILING - 1.0) * 100.0
+        ));
+    }
+    if events == 0 {
+        failures.push("the counting sink observed no events".into());
+    }
+    if !failures.is_empty() {
+        if gate {
+            eprintln!("TRACING REGRESSION: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        eprintln!("  note (not fatal outside --smoke): {}", failures.join("; "));
+    }
+}
+
+/// PR 10 gate: the trace-derived ABA round distribution must stay in the
+/// expected-constant regime — the mean rounds-to-decide over the pinned
+/// 20-seed sweep within [`ABA_ROUNDS_BAND`] of the recorded
+/// [`ABA_ROUNDS_GOLDEN_MEAN`].  Deterministic seeds, so a drift is a
+/// behaviour change in the ABA or in the trace's round accounting, not
+/// sampling noise.
+fn aba_rounds_gate(gate: bool) {
+    let rounds = aba_round_distribution(10, (0..20).map(|s| 9_000 + s));
+    let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+    let min = *rounds.iter().min().unwrap();
+    let max = *rounds.iter().max().unwrap();
+    println!(
+        "  aba round distribution (from traces): n=10, 20 seeds: mean {mean:.2} \
+         (golden {ABA_ROUNDS_GOLDEN_MEAN:.2} ± {ABA_ROUNDS_BAND:.1}), min {min}, max {max}"
+    );
+    if (mean - ABA_ROUNDS_GOLDEN_MEAN).abs() > ABA_ROUNDS_BAND {
+        if gate {
+            eprintln!(
+                "ROUND-DISTRIBUTION REGRESSION: mean {mean:.2} left the golden band \
+                 {ABA_ROUNDS_GOLDEN_MEAN:.2} ± {ABA_ROUNDS_BAND:.1}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  note (not fatal outside --smoke): round mean {mean:.2} outside the golden band"
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let pr4 = load_pr4_baseline();
@@ -1119,14 +1239,23 @@ fn main() {
         rows
     };
 
+    println!(
+        "\ntracing gates — zero-cost-when-off overhead and trace-derived ABA round sanity ({})",
+        if smoke { "fail on regression" } else { "warn" }
+    );
+    tracing_overhead_gate(smoke);
+    aba_rounds_gate(smoke);
+
     if smoke {
         println!(
             "\n--smoke: all runners (single-loop, sharded, parallel) reached AllOutputs, the \
              starved-session sweep terminated, the socket transport is live and survives chaos \
              (1 % drops + a forced cut), committee-sampled ABA at n=100 decided with listener \
              adoption, the ABA delivery counts match the PR 9 goldens exactly, the n=22 honest \
-             bytes hold the 2x certificate reduction, and the cross-session verify queue beat \
-             per-session verification; no baseline file written."
+             bytes hold the 2x certificate reduction, the cross-session verify queue beat \
+             per-session verification, tracing stays within its overhead ceilings without \
+             steering the replay, and the trace-derived ABA round mean sits in its golden \
+             band; no baseline file written."
         );
         return;
     }

@@ -1,0 +1,148 @@
+//! Renders the PR 10 tracing layer's derived analyses into
+//! `BENCH_pr10.json`:
+//!
+//! * **phase-latency breakdown** for coin / ABA / beacon at n ∈ {10, 22} —
+//!   the share of each run's delivery clock attributed to every protocol
+//!   phase, with log₂-bucketed gap histograms (the paper's "where does an
+//!   epoch's latency go" question, answered from the trace stream);
+//! * **ABA round-count distribution** over 20 seeds at n ∈ {10, 22} — the
+//!   expected-constant-round claim, observed per seed;
+//! * **critical path** of one beacon epoch — the backward message chain
+//!   from party 0's decide to the activation frontier, hop by hop;
+//! * **byte attribution** of the same beacon run by depth-1 path prefix
+//!   (which epoch's election carried the bytes).
+//!
+//! ```text
+//! cargo run --release -p setupfree-bench --bin trace_baseline
+//! ```
+//!
+//! Everything here is simulator-deterministic: re-running reproduces the
+//! file byte-for-byte on any machine.
+
+use setupfree_bench::tracing::{
+    aba_round_distribution, trace_beacon, trace_coin, trace_setupfree_aba, TracedRun,
+};
+use setupfree_obs::analysis::{
+    byte_attribution, critical_path, first_decide, phase_breakdown, PhaseShare,
+};
+
+fn push_phases(out: &mut String, shares: &[PhaseShare]) {
+    out.push('[');
+    for (i, s) in shares.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"phase\":\"{}\",\"events\":{},\"clock\":{},\"clock_share\":{:.4},\"histogram\":[{}]}}",
+            s.phase.name(),
+            s.events,
+            s.clock,
+            s.clock_share,
+            s.clock_histogram
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    out.push(']');
+}
+
+fn phase_row(out: &mut String, protocol: &str, run: &TracedRun) {
+    out.push_str(&format!(
+        "{{\"protocol\":\"{protocol}\",\"n\":{},\"deliveries\":{},\"events\":{},\"phases\":",
+        run.measurement.n,
+        run.measurement.deliveries,
+        run.trace.len()
+    ));
+    push_phases(out, &phase_breakdown(&run.trace));
+    out.push('}');
+}
+
+fn main() {
+    let mut out = String::from("{\n  \"phase_latency\": [\n");
+
+    // --- phase-latency breakdown: coin / aba / beacon at n ∈ {10, 22},
+    // seeded exactly like perf_baseline's rows.
+    let mut first = true;
+    for &n in &[10usize, 22] {
+        let rows = [
+            ("coin", trace_coin(n, 7_000 + n as u64)),
+            ("aba", trace_setupfree_aba(n, 7_300 + n as u64)),
+            ("beacon", trace_beacon(n, 2, 7_200 + n as u64)),
+        ];
+        for (protocol, run) in &rows {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("    ");
+            phase_row(&mut out, protocol, run);
+            println!(
+                "phase breakdown: {protocol} n={n}: {} events over {} deliveries",
+                run.trace.len(),
+                run.measurement.deliveries
+            );
+        }
+    }
+    out.push_str("\n  ],\n  \"aba_rounds\": [\n");
+
+    // --- ABA round distribution over 20 seeds.
+    for (i, &n) in [10usize, 22].iter().enumerate() {
+        let rounds = aba_round_distribution(n, (0..20).map(|s| 9_000 + s));
+        let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+        let min = *rounds.iter().min().unwrap();
+        let max = *rounds.iter().max().unwrap();
+        println!("aba rounds: n={n}: mean={mean:.2} min={min} max={max}");
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"n\":{n},\"seeds\":20,\"rounds\":[{}],\"mean\":{mean:.2},\"min\":{min},\"max\":{max}}}",
+            rounds.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        ));
+    }
+    out.push_str("\n  ],\n");
+
+    // --- critical path of one beacon epoch (n = 10, party 0's decide).
+    let beacon = trace_beacon(10, 2, 7_210);
+    let decide = first_decide(&beacon.trace, 0).expect("party 0 decided");
+    let hops = critical_path(&beacon.trace, decide);
+    println!(
+        "critical path: beacon n=10: {} hops behind party 0's decide at clock {}",
+        hops.len(),
+        decide.clock
+    );
+    out.push_str(&format!(
+        "  \"critical_path\": {{\"protocol\":\"beacon\",\"n\":10,\"epochs\":2,\"party\":0,\
+         \"decide_clock\":{},\"length\":{},\"hops\":[",
+        decide.clock,
+        hops.len()
+    ));
+    for (i, h) in hops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"from\":{},\"to\":{},\"sent_clock\":{},\"bytes\":{},\"path\":\"{}\"}}",
+            h.seq, h.from, h.to, h.sent_clock, h.bytes, h.path
+        ));
+    }
+    out.push_str("]},\n  \"byte_attribution\": [");
+
+    // --- byte attribution of the same beacon run by top path segment
+    // (kind 0 = the per-epoch elections, keyed by epoch).
+    for (i, (path, bytes, count)) in byte_attribution(&beacon.trace, 1).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":\"{path}\",\"bytes\":{bytes},\"messages\":{count}}}"
+        ));
+    }
+    out.push_str("]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+    std::fs::write(path, &out).expect("write BENCH_pr10.json");
+    println!("wrote {path}");
+}

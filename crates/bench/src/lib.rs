@@ -12,6 +12,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Traced measurement harness (PR 10): the same workloads with an obs sink
+/// installed, plus the instruments behind the tracing-overhead and
+/// ABA-round-distribution CI gates.
+pub mod tracing;
+
 use std::collections::BTreeSet;
 use std::sync::Arc;
 

@@ -585,6 +585,7 @@ impl Coin {
             .max_by(|a, b| a.1.cmp(&b.1))
             .map(|(evaluator, output, proof)| (PartyId(*evaluator), *output, *proof));
         let bit = best.as_ref().map(|(_, output, _)| output.lowest_bit()).unwrap_or(false);
+        setupfree_obs::phase(setupfree_obs::Phase::CoinRevealed, bit as u32);
         self.output = Some(CoinOutput { bit, max_vrf: best });
     }
 

@@ -935,6 +935,10 @@ impl<N: MuxNode> Router<N> {
     pub fn insert(&mut self, index: usize, mut child: N) -> Step<Envelope> {
         assert!(!self.is_retired(index), "child {}@{} recreated after retirement", self.kind, index);
         let seg = self.seg(index);
+        // The ambient trace path tracks routing descent: the guard makes
+        // every event the child emits carry its absolute instance path.
+        let _trace = setupfree_obs::PathGuard::push(self.kind, seg.index);
+        setupfree_obs::activated();
         let mut step = child.on_activation();
         for b in self.buffer.drain(seg.index) {
             step.extend(child.on_envelope(b.from, b.path, &b.payload));
@@ -1006,6 +1010,7 @@ impl<N: MuxNode> Router<N> {
     ) -> Step<Envelope> {
         match self.children.get_mut(index as usize).and_then(Option::as_mut) {
             Some(child) => {
+                let _trace = setupfree_obs::PathGuard::push(self.kind, index);
                 child.on_envelope(from, rest, payload).prefix(PathSeg { kind: self.kind, index })
             }
             None => {

@@ -50,6 +50,11 @@ use crate::scheduler::{PendingInfo, Scheduler};
 /// it belongs to (see [`Simulation::set_session_of`]).
 pub type SessionClassifier<M> = Box<dyn Fn(&M) -> Option<u16>>;
 
+/// A trace-path classifier: maps an outgoing message to the instance path of
+/// its destination (see [`Simulation::set_trace_path_of`]).  Only consulted
+/// while tracing is enabled.
+pub type TracePathClassifier<M> = Box<dyn Fn(&M) -> setupfree_obs::ObsPath>;
+
 /// A party implementation erased to its message/output types, so honest and
 /// Byzantine implementations can coexist in one simulation.
 pub type BoxedParty<M, O> = Box<dyn ProtocolInstance<Message = M, Output = O>>;
@@ -146,6 +151,11 @@ where
     /// session-aware adversarial schedulers and the per-session counters of
     /// [`Metrics`].
     session_of: Option<SessionClassifier<M>>,
+    /// Optional trace-path classifier: maps an outgoing message to the
+    /// destination instance path recorded on its trace `Send` event (e.g.
+    /// the envelope path for mux workloads).  Only consulted while tracing
+    /// is enabled, so it adds no cost to untraced runs.
+    trace_path_of: Option<TracePathClassifier<M>>,
 }
 
 /// `index` marker for a seq that is no longer in flight.
@@ -183,6 +193,7 @@ where
             seq: 0,
             activated: false,
             session_of: None,
+            trace_path_of: None,
         }
     }
 
@@ -194,6 +205,15 @@ where
     pub fn set_session_of(&mut self, f: impl Fn(&M) -> Option<u16> + 'static) {
         assert_eq!(self.seq, 0, "install the session classifier before any traffic flows");
         self.session_of = Some(Box::new(f));
+    }
+
+    /// Installs a trace-path classifier: while tracing is enabled, every
+    /// send's trace event carries the instance path this closure extracts
+    /// from the message (for mux workloads, the envelope's own path), making
+    /// per-protocol byte attribution possible from the trace stream alone.
+    pub fn set_trace_path_of(&mut self, f: impl Fn(&M) -> setupfree_obs::ObsPath + 'static) {
+        assert_eq!(self.seq, 0, "install the trace-path classifier before any traffic flows");
+        self.trace_path_of = Some(Box::new(f));
     }
 
     /// Number of parties.
@@ -238,6 +258,12 @@ where
             msg.payload.outstanding.set(msg.payload.outstanding.get() - 1);
             self.metrics.record_purge();
             self.metrics.record_session_purge(msg.session, true);
+            if setupfree_obs::enabled() {
+                setupfree_obs::emit(setupfree_obs::EventKind::Purge {
+                    seq: Some(seq),
+                    session: msg.session,
+                });
+            }
         }
     }
 
@@ -292,6 +318,10 @@ where
     /// protocol-specific input method via [`Self::party_mut`]) into the
     /// network on behalf of `party`.
     pub fn inject_step(&mut self, party: PartyId, step: Step<M>) {
+        if setupfree_obs::enabled() {
+            // Injected steps are external input, not caused by a delivery.
+            setupfree_obs::begin_activation(party.index() as u16, self.metrics.delivered_messages);
+        }
         self.enqueue(party, step);
     }
 
@@ -302,6 +332,10 @@ where
         for i in 0..self.parties.len() {
             if self.parties[i].crashed {
                 continue;
+            }
+            if setupfree_obs::enabled() {
+                setupfree_obs::begin_activation(i as u16, self.metrics.delivered_messages);
+                setupfree_obs::activated();
             }
             let step = self.parties[i].machine.on_activation();
             self.enqueue(PartyId(i), step);
@@ -410,6 +444,12 @@ where
         for out in step.outgoing {
             // Classified once per send (every copy shares the session).
             let session = self.session_of.as_ref().and_then(|f| f(&out.msg));
+            // Trace path extracted only while tracing (ObsPath is Copy).
+            let trace_path = if setupfree_obs::enabled() {
+                self.trace_path_of.as_ref().map(|f| f(&out.msg)).unwrap_or_default()
+            } else {
+                setupfree_obs::ObsPath::ROOT
+            };
             // One encoding per send, shared by every in-flight copy.
             let payload = Rc::new(PayloadState {
                 bytes: to_shared_bytes(&out.msg),
@@ -419,11 +459,19 @@ where
             match out.dest {
                 Dest::All => {
                     for to in 0..self.parties.len() {
-                        self.push_pending(from, PartyId(to), &payload, sender_depth, honest, session);
+                        self.push_pending(
+                            from,
+                            PartyId(to),
+                            &payload,
+                            sender_depth,
+                            honest,
+                            session,
+                            trace_path,
+                        );
                     }
                 }
                 Dest::One(to) => {
-                    self.push_pending(from, to, &payload, sender_depth, honest, session);
+                    self.push_pending(from, to, &payload, sender_depth, honest, session, trace_path);
                 }
             }
         }
@@ -432,6 +480,7 @@ where
     /// Charges and enqueues one copy of a send; copies to crashed
     /// destinations are dropped (the sender is still charged — it cannot
     /// know its peer is gone).
+    #[allow(clippy::too_many_arguments)]
     fn push_pending(
         &mut self,
         from: PartyId,
@@ -440,16 +489,32 @@ where
         sender_depth: u64,
         honest: bool,
         session: Option<u16>,
+        trace_path: setupfree_obs::ObsPath,
     ) {
         self.metrics.record_send(from, payload.bytes.len(), honest);
         self.metrics.record_session_send(session);
         if self.parties[to.index()].crashed {
             self.metrics.record_purge();
             self.metrics.record_session_purge(session, false);
+            if setupfree_obs::enabled() {
+                // Dropped at send time: charged to the sender but never in
+                // flight, so the trace carries no seq for it.
+                setupfree_obs::emit(setupfree_obs::EventKind::Purge { seq: None, session });
+            }
             return;
         }
         let seq = self.seq;
         self.seq += 1;
+        if setupfree_obs::enabled() {
+            setupfree_obs::emit(setupfree_obs::EventKind::Send {
+                seq,
+                from: from.index() as u16,
+                to: to.index() as u16,
+                session,
+                bytes: payload.bytes.len() as u32,
+                path: trace_path,
+            });
+        }
         payload.outstanding.set(payload.outstanding.get() + 1);
         self.metrics.record_session_enqueue(session);
         self.scheduler.on_enqueue(PendingInfo { from, to, len: payload.bytes.len(), seq, session });
@@ -476,6 +541,18 @@ where
         debug_assert!(!self.parties[to.index()].crashed, "traffic to crashed parties is purged");
         self.metrics.record_delivery(msg.depth);
         self.metrics.record_session_delivery(msg.session);
+        if setupfree_obs::enabled() {
+            // Ambient context for everything this delivery triggers: the
+            // receiving party, the delivery clock, and the delivered seq as
+            // the causal edge of every send/decide it produces.
+            setupfree_obs::begin_delivery(to.index() as u16, self.metrics.delivered_messages, seq);
+            setupfree_obs::emit(setupfree_obs::EventKind::Deliver {
+                seq,
+                from: msg.from.index() as u16,
+                to: to.index() as u16,
+                session: msg.session,
+            });
+        }
         let decoded = take_decoded(&msg.payload);
         let slot = &mut self.parties[to.index()];
         slot.depth = slot.depth.max(msg.depth);
@@ -490,6 +567,10 @@ where
             slot.output_recorded = true;
             let depth = slot.depth;
             self.metrics.record_output(party, depth);
+            // The top-level machine's decide marker; its cause is the
+            // delivery that produced the output (ambient), anchoring
+            // backward critical-path walks.
+            setupfree_obs::decided();
         }
     }
 }
@@ -685,6 +766,48 @@ mod tests {
                 + sim.metrics().purged_messages
                 + sim.in_flight() as u64
         );
+    }
+
+    #[test]
+    fn the_trace_stream_mirrors_the_metrics_ledger_under_stress() {
+        use setupfree_obs::analysis::FlowCounts;
+        use setupfree_obs::{EventKind, VecSink};
+
+        // A run that exercises every flow class: a budget stop strands
+        // traffic in flight, a mid-run crash withdraws copies from flight,
+        // and the resumed run drains to completion with send-time drops to
+        // the dead receiver.  At each checkpoint the trace's flow counters
+        // must equal the metrics ledger column for column — the trace is a
+        // second *view* of the run, never a second opinion.
+        let mut sim = Simulation::new(echo_parties(4, 3), Box::new(FifoScheduler::default()));
+        setupfree_obs::install(Box::new(VecSink::new()));
+        let report = sim.run(5);
+        assert_eq!(report.reason, StopReason::BudgetExhausted);
+
+        sim.crash(PartyId(3));
+        let finish = sim.run(10_000);
+        assert_eq!(finish.reason, StopReason::AllOutputs);
+
+        let trace = setupfree_obs::uninstall().map(|mut s| s.drain()).unwrap_or_default();
+        let flows = FlowCounts::of(&trace);
+        let m = sim.metrics();
+        assert_eq!(flows.delivers, m.delivered_messages);
+        assert_eq!(flows.delivers, report.deliveries + finish.deliveries);
+        assert_eq!(flows.sent_copies(), m.honest_messages + m.byzantine_messages);
+        assert_eq!(flows.purged(), m.purged_messages);
+        assert_eq!(flows.in_flight(), sim.in_flight() as u64);
+        assert!(
+            flows.purged_in_flight > 0,
+            "the crash withdrew copies from flight and the trace saw it"
+        );
+        // The conservation law, read off the trace alone.
+        assert_eq!(flows.sent_copies(), flows.delivers + flows.purged() + flows.in_flight());
+        // Crashed parties emit no further events after their crash point.
+        let last_p3 = trace.iter().rposition(|e| e.party == 3 && matches!(e.kind, EventKind::Send { .. }));
+        let first_purge = trace.iter().position(|e| matches!(e.kind, EventKind::Purge { seq: Some(_), .. }));
+        if let (Some(send), Some(purge)) = (last_p3, first_purge) {
+            assert!(send < purge, "P3's sends all precede its crash purges");
+        }
     }
 
     #[test]

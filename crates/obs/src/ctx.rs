@@ -1,0 +1,274 @@
+//! The thread-local emit context: sink, enable flag, ambient execution
+//! state (party / delivery clock / causal trigger) and the ambient path
+//! stack routing descends through.
+//!
+//! Layering: the *simulator* owns the ambient execution state (it knows
+//! which party is executing, what the delivery clock reads, and which
+//! envelope seq triggered the current callback), the *mux router* owns the
+//! path stack (it knows which child it is descending into), and *protocol
+//! code* only ever calls [`phase`] / [`decided`] — it needs no idea where in
+//! the instance tree it lives.  That separation is what lets one emit line
+//! in a leaf protocol produce correctly-addressed events from the single
+//! simulator, the sharded runtime, and the socket transport alike.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use crate::event::{EventKind, ObsPath, TraceEvent, NO_PARTY};
+use crate::sink::TraceSink;
+
+struct TraceState {
+    sink: Option<Box<dyn TraceSink>>,
+    party: u16,
+    clock: u64,
+    cause: Option<u64>,
+    stack: ObsPath,
+    wall: Option<Instant>,
+}
+
+impl TraceState {
+    const fn new() -> Self {
+        TraceState {
+            sink: None,
+            party: NO_PARTY,
+            clock: 0,
+            cause: None,
+            stack: ObsPath::ROOT,
+            wall: None,
+        }
+    }
+}
+
+thread_local! {
+    /// The fast-path gate: a single `Cell<bool>` read per emit point.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<TraceState> = const { RefCell::new(TraceState::new()) };
+}
+
+/// `true` when a sink is installed **and** tracing is on — the one check
+/// every instrumentation point makes before constructing anything.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Turns emission on/off without touching the installed sink (the
+/// overhead gate uses this to measure the instrumented-but-off cost).
+pub fn set_enabled(on: bool) {
+    STATE.with(|s| {
+        let has_sink = s.borrow().sink.is_some();
+        ENABLED.with(|e| e.set(on && has_sink));
+    });
+}
+
+/// Installs `sink` on this thread and enables emission.  Events carry
+/// `wall_ns = 0` (deterministic streams); use [`install_with_wall`] for
+/// wall-stamped traces.  Any previously installed sink is dropped.
+pub fn install(sink: Box<dyn TraceSink>) {
+    install_inner(sink, None);
+}
+
+/// Installs `sink` with wall stamping: every event records nanoseconds
+/// since `origin`.  Pass one shared origin to every thread of a transport
+/// run so their stamps share a timeline.
+pub fn install_with_wall(sink: Box<dyn TraceSink>, origin: Instant) {
+    install_inner(sink, Some(origin));
+}
+
+fn install_inner(sink: Box<dyn TraceSink>, wall: Option<Instant>) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        *s = TraceState::new();
+        s.sink = Some(sink);
+        s.wall = wall;
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// `true` when a sink is installed (whether or not emission is enabled).
+pub fn installed() -> bool {
+    STATE.with(|s| s.borrow().sink.is_some())
+}
+
+/// Removes and returns this thread's sink, disabling emission and clearing
+/// all ambient state.
+pub fn uninstall() -> Option<Box<dyn TraceSink>> {
+    ENABLED.with(|e| e.set(false));
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let sink = s.sink.take();
+        *s = TraceState::new();
+        sink
+    })
+}
+
+/// Stamps and records one event.  Callers check [`enabled`] first;
+/// this function is the slow path.
+pub fn emit(kind: EventKind) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let wall_ns = s.wall.map(|o| o.elapsed().as_nanos() as u64).unwrap_or(0);
+        let event =
+            TraceEvent { party: s.party, clock: s.clock, wall_ns, cause: s.cause, kind };
+        if let Some(sink) = s.sink.as_mut() {
+            sink.record(event);
+        }
+    });
+}
+
+/// Sets the ambient execution state for one delivery: the receiving party,
+/// the delivery clock after this delivery, and the delivered envelope's seq
+/// as the causal trigger of everything emitted until the next delivery.
+#[inline]
+pub fn begin_delivery(party: u16, clock: u64, cause: u64) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.party = party;
+        s.clock = clock;
+        s.cause = Some(cause);
+    });
+}
+
+/// Sets the ambient state for activation-time execution (no causal
+/// trigger).
+#[inline]
+pub fn begin_activation(party: u16, clock: u64) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.party = party;
+        s.clock = clock;
+        s.cause = None;
+    });
+}
+
+/// Sets only the ambient party (transport driver threads, where no delivery
+/// clock exists).
+pub fn set_party(party: u16) {
+    STATE.with(|s| s.borrow_mut().party = party);
+}
+
+/// The absolute path of the instance currently executing (the ambient path
+/// stack's contents).
+pub fn current_path() -> ObsPath {
+    STATE.with(|s| s.borrow().stack)
+}
+
+/// Pushed by the mux router (and any composite that routes by segment)
+/// around descent into a child; popped on drop, so early returns cannot
+/// desynchronise the stack.  A no-op while tracing is off.
+#[must_use = "the guard pops its segment on drop"]
+pub struct PathGuard {
+    pushed: bool,
+}
+
+impl PathGuard {
+    /// Pushes `(kind, index)` onto the ambient path stack when tracing is
+    /// enabled.
+    #[inline]
+    pub fn push(kind: u8, index: u16) -> PathGuard {
+        if !enabled() {
+            return PathGuard { pushed: false };
+        }
+        STATE.with(|s| s.borrow_mut().stack.push_back(kind, index));
+        PathGuard { pushed: true }
+    }
+}
+
+impl Drop for PathGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            STATE.with(|s| s.borrow_mut().stack.pop_back());
+        }
+    }
+}
+
+/// Emits a phase transition at the current ambient path.
+#[inline]
+pub fn phase(phase: crate::event::Phase, info: u32) {
+    if !enabled() {
+        return;
+    }
+    emit(EventKind::Phase { path: current_path(), phase, info });
+}
+
+/// Emits an activation marker at the current ambient path.
+#[inline]
+pub fn activated() {
+    if !enabled() {
+        return;
+    }
+    emit(EventKind::Activated { path: current_path() });
+}
+
+/// Emits a decide marker at the current ambient path.
+#[inline]
+pub fn decided() {
+    if !enabled() {
+        return;
+    }
+    emit(EventKind::Decided { path: current_path() });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+    use crate::sink::VecSink;
+
+    #[test]
+    fn disabled_thread_emits_nothing_and_guards_are_noops() {
+        assert!(!enabled());
+        let _g = PathGuard::push(1, 2);
+        phase(Phase::AbaRound, 0);
+        decided();
+        assert_eq!(current_path(), ObsPath::ROOT);
+    }
+
+    #[test]
+    fn install_emit_uninstall_roundtrip() {
+        install(Box::new(VecSink::new()));
+        begin_delivery(3, 17, 99);
+        {
+            let _g = PathGuard::push(0xFE, 1);
+            let _h = PathGuard::push(0, 4);
+            phase(Phase::AbaRound, 2);
+        }
+        decided();
+        let mut sink = uninstall().expect("sink was installed");
+        let events = sink.drain();
+        assert!(!enabled());
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].party, 3);
+        assert_eq!(events[0].clock, 17);
+        assert_eq!(events[0].cause, Some(99));
+        assert_eq!(events[0].wall_ns, 0, "deterministic installs leave wall off");
+        match &events[0].kind {
+            EventKind::Phase { path, phase, info } => {
+                assert_eq!(path.segments().collect::<Vec<_>>(), vec![(0xFE, 1), (0, 4)]);
+                assert_eq!(*phase, Phase::AbaRound);
+                assert_eq!(*info, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &events[1].kind {
+            EventKind::Decided { path } => assert!(path.is_root(), "guards popped"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_enabled_toggles_without_losing_the_sink() {
+        install(Box::new(VecSink::new()));
+        set_enabled(false);
+        assert!(!enabled());
+        phase(Phase::VbaView, 1);
+        set_enabled(true);
+        assert!(enabled());
+        phase(Phase::VbaView, 2);
+        let events = uninstall().unwrap().drain();
+        assert_eq!(events.len(), 1);
+        // With no sink installed, set_enabled(true) must stay off.
+        set_enabled(true);
+        assert!(!enabled());
+    }
+}

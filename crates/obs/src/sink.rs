@@ -1,0 +1,123 @@
+//! Sinks: where emitted events go.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+
+/// Receives emitted [`TraceEvent`]s.
+///
+/// A sink is installed per thread ([`crate::install`]) and must not call
+/// back into the emit API (the thread-local trace state is borrowed while
+/// `record` runs).
+pub trait TraceSink {
+    /// Receives one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Takes the recorded events out of the sink (empty for sinks that do
+    /// not retain events, e.g. [`CountingSink`]).
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// Retains every event in order — the default collector.
+#[derive(Default)]
+pub struct VecSink {
+    /// The recorded stream, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Creates a [`CountingSink`] and the shared counter it increments — the
+/// cheapest possible live sink (one counter bump per event, nothing
+/// retained), used by the tracing-overhead CI gate.
+pub fn counter() -> (CountingSink, Rc<Cell<u64>>) {
+    let count = Rc::new(Cell::new(0));
+    (CountingSink { count: Rc::clone(&count) }, count)
+}
+
+/// Counts events without retaining them (see [`counter`]).
+pub struct CountingSink {
+    count: Rc<Cell<u64>>,
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _event: TraceEvent) {
+        self.count.set(self.count.get() + 1);
+    }
+}
+
+/// A cloneable cross-thread collector for the socket transport: per-peer
+/// driver threads install a [`SharedCollector::sink`] handle thread-locally,
+/// while accept/redial/writer paths record into the same stream directly.
+///
+/// The mutex is off the simulator's hot path by construction — only real
+/// socket runs (already paying syscalls per frame) ever touch it.
+#[derive(Clone, Default)]
+pub struct SharedCollector {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl SharedCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        SharedCollector::default()
+    }
+
+    /// Appends one event directly (no thread-local install needed).
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace collector poisoned").push(event);
+    }
+
+    /// A boxed [`TraceSink`] handle feeding this collector, for
+    /// [`crate::install`] on a worker thread.
+    pub fn sink(&self) -> Box<dyn TraceSink> {
+        Box::new(SharedSink { collector: self.clone() })
+    }
+
+    /// Takes the collected events, sorted by wall stamp (the only total
+    /// order that exists across threads).
+    pub fn drain_sorted(&self) -> Vec<TraceEvent> {
+        let mut events = std::mem::take(&mut *self.events.lock().expect("trace collector poisoned"));
+        events.sort_by_key(|e| e.wall_ns);
+        events
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace collector poisoned").len()
+    }
+
+    /// `true` when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct SharedSink {
+    collector: SharedCollector,
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.collector.record(event);
+    }
+}

@@ -36,6 +36,13 @@ pub trait AdmissionPolicy: Send {
 
     /// A session closed (completed, quiesced, or exhausted its budget).
     fn on_session_closed(&mut self) {}
+
+    /// The policy's current token balance, for policies that meter
+    /// admissions (`None` for verdict-only policies) — recorded on the
+    /// host's admission-decision trace events.
+    fn token_state(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Admits every session immediately — the PR 4 pre-spawn behaviour.
@@ -114,6 +121,10 @@ impl AdmissionPolicy for TokenBucket {
         let refills = (self.clock + n) / self.refill_every - self.clock / self.refill_every;
         self.clock += n;
         self.tokens = (self.tokens + refills).min(self.capacity);
+    }
+
+    fn token_state(&self) -> Option<u64> {
+        Some(self.tokens)
     }
 }
 

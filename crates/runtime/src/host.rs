@@ -42,9 +42,14 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use setupfree_net::{BoxedParty, PartyId, Scheduler, Simulation, StopReason};
+use setupfree_obs::{EventKind, TraceEvent, VecSink, NO_PARTY};
 
 use crate::admission::{AdmissionPolicy, Unlimited};
 use crate::queue::ShardQueue;
+
+/// What closing a session yields: its report, its outputs, and its trace
+/// stream (empty unless tracing is on).
+type ClosedSession<O> = (SessionReport, Vec<Option<O>>, Vec<TraceEvent>);
 
 /// Everything needed to open one session: the per-party state machines, the
 /// session's own adversarial scheduler (seed it per session — that is what
@@ -226,6 +231,17 @@ pub struct ShardedRunReport<O> {
     /// Worker shards that died mid-run (always empty for the deterministic
     /// [`ShardedHost::run`], which executes sessions on the host thread).
     pub failures: Vec<WorkerFailure>,
+    /// Per-session trace streams (indexed by session; all empty unless the
+    /// host was built [`ShardedHost::with_tracing`]).  Each stream is the
+    /// session's own deterministic event sequence — identical for every
+    /// worker count, the trace-level form of the determinism contract.
+    pub session_traces: Vec<Vec<TraceEvent>>,
+    /// The host's admission-decision trace ([`EventKind::Admission`]): one
+    /// event per committed admission (and per first refusal of a delayed
+    /// session), stamped with the host-level delivery clock.  Empty unless
+    /// tracing is on.  Merge-order-dependent telemetry, like
+    /// [`ShardedRunReport::peak_live_sessions`].
+    pub admission_trace: Vec<TraceEvent>,
 }
 
 impl<O> ShardedRunReport<O> {
@@ -309,6 +325,35 @@ where
     sim: Simulation<M, O>,
     budget: u64,
     deliveries: u64,
+    /// `true` when this session records a trace stream.
+    traced: bool,
+    /// The session's suspended trace sink while another session (or host
+    /// code) runs on this thread; taken while the sink is installed.
+    trace: Option<Box<dyn setupfree_obs::TraceSink>>,
+}
+
+/// Re-installs a suspended session trace sink on the current thread (no-op
+/// for untraced sessions).
+fn resume_trace<M, O>(slot: &mut LiveSession<M, O>)
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    if let Some(sink) = slot.trace.take() {
+        setupfree_obs::install(sink);
+    }
+}
+
+/// Uninstalls the current thread's sink back into the session slot, so the
+/// next session's deliveries cannot leak into this session's stream.
+fn suspend_trace<M, O>(slot: &mut LiveSession<M, O>)
+where
+    M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
+    O: Clone + fmt::Debug,
+{
+    if slot.traced {
+        slot.trace = setupfree_obs::uninstall();
+    }
 }
 
 /// Runs `k` sessions over `W` worker shards.  See the module docs for the
@@ -323,6 +368,7 @@ where
     sessions: usize,
     workers: usize,
     policy: Box<dyn AdmissionPolicy>,
+    tracing: bool,
     _marker: std::marker::PhantomData<fn() -> (M, O)>,
 }
 
@@ -343,8 +389,18 @@ where
             sessions,
             workers,
             policy: Box::new(Unlimited),
+            tracing: false,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Enables protocol tracing: every session records its own
+    /// [`TraceEvent`] stream (surfaced as
+    /// [`ShardedRunReport::session_traces`]) and the host records its
+    /// admission decisions ([`ShardedRunReport::admission_trace`]).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// Replaces the admission policy (see [`crate::admission`]).
@@ -367,15 +423,36 @@ where
         let mut shards: Vec<VecDeque<LiveSession<M, O>>> = (0..w).map(|_| VecDeque::new()).collect();
         let mut reports: Vec<Option<SessionReport>> = (0..k).map(|_| None).collect();
         let mut outputs: Vec<Vec<Option<O>>> = (0..k).map(|_| Vec::new()).collect();
+        let mut session_traces: Vec<Vec<TraceEvent>> = (0..k).map(|_| Vec::new()).collect();
+        let mut admission_trace: Vec<TraceEvent> = Vec::new();
         let mut next = 0usize;
         let mut active = 0usize;
         let mut peak = 0usize;
+        let mut host_clock = 0u64;
+        // Dedup refusal events: one per delayed session, not one per pass.
+        let mut last_refused: Option<usize> = None;
 
         loop {
             // Admission: open pending sessions while the policy allows, with
             // the liveness floor of one forced admission on an idle host.
-            while next < k && (self.policy.admit(active) || active == 0) {
-                let session = open_session(&self.factory, next);
+            while next < k {
+                let verdict = self.policy.admit(active);
+                let forced = !verdict && active == 0;
+                if self.tracing && (verdict || forced || last_refused != Some(next)) {
+                    admission_trace.push(admission_event(
+                        next,
+                        verdict,
+                        forced,
+                        self.policy.token_state(),
+                        active,
+                        host_clock,
+                    ));
+                }
+                if !(verdict || forced) {
+                    last_refused = Some(next);
+                    break;
+                }
+                let session = open_session(&self.factory, next, self.tracing);
                 shards[next % w].push_back(session);
                 next += 1;
                 active += 1;
@@ -393,17 +470,21 @@ where
                 // session's close state (reason and delivery count, zero
                 // budgets included) is identical to what `sim.run(budget)` —
                 // the parallel workers' path — produces.
+                resume_trace(&mut slot);
                 let closed = slot.sim.step_with_budget(slot.deliveries, slot.budget);
+                suspend_trace(&mut slot);
                 if closed.is_none() {
                     slot.deliveries += 1;
+                    host_clock += 1;
                     self.policy.on_delivery();
                 }
                 match closed {
                     None => shard.push_back(slot),
                     Some(reason) => {
                         let shard_id = slot.session % w;
-                        let (report, outs) = close_session(slot, reason, shard_id);
+                        let (report, outs, trace) = close_session(slot, reason, shard_id);
                         outputs[report.session] = outs;
+                        session_traces[report.session] = trace;
                         reports[report.session] = Some(report);
                         active -= 1;
                         self.policy.on_session_closed();
@@ -417,6 +498,8 @@ where
             outputs,
             peak_live_sessions: peak,
             failures: Vec::new(),
+            session_traces,
+            admission_trace,
         }
     }
 
@@ -434,17 +517,20 @@ where
     {
         let k = self.sessions;
         let w = self.workers;
-        let ShardedHost { factory, mut policy, .. } = self;
+        let ShardedHost { factory, mut policy, tracing, .. } = self;
         let factory = &factory;
         let inboxes: Vec<ShardQueue<usize>> = (0..w).map(|_| ShardQueue::new(INBOX_CAPACITY)).collect();
         // Outbox capacity k: a worker can always hand its report back
         // without blocking, so the coordinator can never deadlock it.
-        let outboxes: Vec<ShardQueue<(SessionReport, Vec<Option<O>>)>> =
+        let outboxes: Vec<ShardQueue<ClosedSession<O>>> =
             (0..w).map(|_| ShardQueue::new(k)).collect();
 
         let mut reports: Vec<Option<SessionReport>> = (0..k).map(|_| None).collect();
         let mut outputs: Vec<Vec<Option<O>>> = (0..k).map(|_| Vec::new()).collect();
+        let mut session_traces: Vec<Vec<TraceEvent>> = (0..k).map(|_| Vec::new()).collect();
+        let mut admission_trace: Vec<TraceEvent> = Vec::new();
         let mut peak = 0usize;
+        let mut host_clock = 0u64;
 
         let mut failures: Vec<WorkerFailure> = Vec::new();
 
@@ -455,8 +541,10 @@ where
                     // The whole session lives and dies on this thread; only
                     // the index in and the report out cross threads.
                     while let Some(index) = inbox.pop() {
-                        let mut slot = open_session(factory, index);
+                        let mut slot = open_session(factory, index, tracing);
+                        resume_trace(&mut slot);
                         let run = slot.sim.run(slot.budget);
+                        suspend_trace(&mut slot);
                         slot.deliveries = run.deliveries;
                         let result = close_session(slot, run.reason, shard);
                         if outbox.push(result).is_err() {
@@ -473,6 +561,7 @@ where
             let mut active = 0usize;
             let mut closed = 0usize;
             let mut aborted = false;
+            let mut last_refused: Option<usize> = None;
             while closed < k {
                 // Room is checked BEFORE the policy is consulted: `admit`
                 // commits the admission (a token bucket debits a token), so
@@ -480,10 +569,23 @@ where
                 // admissions without admitting anything.  The coordinator is
                 // each inbox's only producer, so observed room cannot vanish
                 // before the push.
-                while next < k
-                    && inboxes[next % w].has_capacity()
-                    && (policy.admit(active) || active == 0)
-                {
+                while next < k && inboxes[next % w].has_capacity() {
+                    let verdict = policy.admit(active);
+                    let forced = !verdict && active == 0;
+                    if tracing && (verdict || forced || last_refused != Some(next)) {
+                        admission_trace.push(admission_event(
+                            next,
+                            verdict,
+                            forced,
+                            policy.token_state(),
+                            active,
+                            host_clock,
+                        ));
+                    }
+                    if !(verdict || forced) {
+                        last_refused = Some(next);
+                        break;
+                    }
                     if inboxes[next % w].try_push(next).is_err() {
                         // Unreachable while the single-producer invariant
                         // holds; if it ever breaks, abort the run and report
@@ -497,10 +599,12 @@ where
                 }
                 let mut got = false;
                 for outbox in &outboxes {
-                    while let Some((report, outs)) = outbox.try_pop() {
+                    while let Some((report, outs, trace)) = outbox.try_pop() {
                         policy.on_deliveries(report.deliveries);
+                        host_clock += report.deliveries;
                         policy.on_session_closed();
                         outputs[report.session] = outs;
+                        session_traces[report.session] = trace;
                         reports[report.session] = Some(report);
                         active -= 1;
                         closed += 1;
@@ -546,10 +650,11 @@ where
             // drain the outboxes once more so their sessions are not misread
             // as lost.
             for outbox in &outboxes {
-                while let Some((report, outs)) = outbox.try_pop() {
+                while let Some((report, outs, trace)) = outbox.try_pop() {
                     policy.on_deliveries(report.deliveries);
                     policy.on_session_closed();
                     outputs[report.session] = outs;
+                    session_traces[report.session] = trace;
                     reports[report.session] = Some(report);
                 }
             }
@@ -577,7 +682,34 @@ where
             outputs,
             peak_live_sessions: peak,
             failures,
+            session_traces,
+            admission_trace,
         }
+    }
+}
+
+/// Builds one host-level admission-decision event (no party context; the
+/// clock is the host-level delivery count at decision time).
+fn admission_event(
+    session: usize,
+    admitted: bool,
+    forced: bool,
+    tokens: Option<u64>,
+    live: usize,
+    clock: u64,
+) -> TraceEvent {
+    TraceEvent {
+        party: NO_PARTY,
+        clock,
+        wall_ns: 0,
+        cause: None,
+        kind: EventKind::Admission {
+            session: session as u32,
+            admitted,
+            forced,
+            tokens,
+            live: live as u32,
+        },
     }
 }
 
@@ -588,7 +720,7 @@ where
 /// outputs/quiescence *before* each delivery — those checks must never
 /// observe pre-activation state (an unactivated session has zero in-flight
 /// messages and would be misread as quiescent).
-fn open_session<M, O, F>(factory: &F, index: usize) -> LiveSession<M, O>
+fn open_session<M, O, F>(factory: &F, index: usize, traced: bool) -> LiveSession<M, O>
 where
     M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
     O: Clone + fmt::Debug,
@@ -607,8 +739,16 @@ where
         // the honest communication metrics, just not awaited.
         sim.mark_crash_faulty(PartyId(i));
     }
-    sim.activate_all();
-    LiveSession { session: index, sim, budget: setup.budget, deliveries: 0 }
+    // The sink must be live across activation so the session's stream opens
+    // with its activation events (and activation-time sends).
+    let mut slot =
+        LiveSession { session: index, sim, budget: setup.budget, deliveries: 0, traced, trace: None };
+    if traced {
+        setupfree_obs::install(Box::new(VecSink::new()));
+    }
+    slot.sim.activate_all();
+    suspend_trace(&mut slot);
+    slot
 }
 
 /// Finalises one session: refreshes its buffer telemetry, snapshots its
@@ -618,11 +758,12 @@ fn close_session<M, O>(
     mut slot: LiveSession<M, O>,
     reason: StopReason,
     shard: usize,
-) -> (SessionReport, Vec<Option<O>>)
+) -> ClosedSession<O>
 where
     M: setupfree_wire::Encode + setupfree_wire::Decode + Clone + fmt::Debug + 'static,
     O: Clone + fmt::Debug,
 {
+    let trace = slot.trace.take().map(|mut sink| sink.drain()).unwrap_or_default();
     slot.sim.refresh_buffer_telemetry();
     let m = slot.sim.metrics();
     debug_assert_eq!(slot.deliveries, m.delivered_messages, "budget units must be deliveries");
@@ -639,5 +780,6 @@ where
     (
         SessionReport { session: slot.session, shard, reason, deliveries: slot.deliveries, metrics },
         outputs,
+        trace,
     )
 }

@@ -497,6 +497,7 @@ impl Seeding {
             step.push_multicast(SeedingMessage::SeedReady { secret });
         }
         if count >= quorum && self.output.is_none() {
+            setupfree_obs::phase(setupfree_obs::Phase::CoinSeeded, 0);
             self.output = Some(secret.to_seed_bytes());
         }
         step

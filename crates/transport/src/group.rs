@@ -75,6 +75,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use setupfree_net::{BoxedParty, Dest, Envelope, PartyId, ProtocolInstance, Step};
+use setupfree_obs::{EventKind, FaultKind, LinkDownReason, SharedCollector, TraceEvent};
 use setupfree_runtime::ShardQueue;
 
 use crate::chaos::LinkFaultPlan;
@@ -194,6 +195,12 @@ pub struct SocketRunReport<O> {
     pub wall: Duration,
     /// `None` on success; the structured reason otherwise.
     pub failure: Option<TransportFailure>,
+    /// The run's trace stream ([`TcpPeerGroup::traced`] runs only; empty
+    /// otherwise): link lifecycle, chaos fault injections, end-of-run
+    /// [`EventKind::LinkSummary`] per active link, and every protocol-level
+    /// event the driver threads emitted — all wall-stamped against one
+    /// shared origin and sorted by it.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl<O> SocketRunReport<O> {
@@ -294,6 +301,7 @@ pub struct TcpPeerGroup {
     chaos: LinkFaultPlan,
     reconnect: ReconnectPolicy,
     crash_budget: Option<usize>,
+    traced: bool,
 }
 
 impl TcpPeerGroup {
@@ -309,7 +317,17 @@ impl TcpPeerGroup {
             chaos: LinkFaultPlan::default(),
             reconnect: ReconnectPolicy::default(),
             crash_budget: None,
+            traced: false,
         }
+    }
+
+    /// Enables trace collection for the run: link lifecycle (up / down /
+    /// redial), chaos fault injections, end-of-run link summaries, and the
+    /// protocol-level events each driver thread's machine emits are folded
+    /// into one wall-stamped stream on [`SocketRunReport::trace`].
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
     }
 
     /// Replaces the run deadline.
@@ -387,6 +405,7 @@ impl TcpPeerGroup {
             shutdown: AtomicBool::new(false),
             peer_down: (0..n).map(|_| AtomicBool::new(false)).collect(),
             streams: Mutex::new(Vec::new()),
+            collector: self.traced.then(SharedCollector::new),
         };
         let mesh = &mesh;
 
@@ -417,6 +436,15 @@ impl TcpPeerGroup {
                 let done = &done[i];
                 let disconnect_after = self.disconnect_after[i];
                 drivers.push(scope.spawn(move || {
+                    // Traced runs install a handle to the shared collector on
+                    // this thread, wall-stamped against the run's one origin,
+                    // so the machine's own phase/decide emissions land in the
+                    // same stream as the mesh's link events.
+                    let traced = mesh.collector.is_some();
+                    if let Some(c) = &mesh.collector {
+                        setupfree_obs::install_with_wall(c.sink(), mesh.start);
+                        setupfree_obs::begin_activation(i as u16, 0);
+                    }
                     // The machine is built *here*, on its driver thread, and
                     // never leaves it.
                     let mut sender = PeerSender { mesh, me: i, pending: VecDeque::new() };
@@ -433,6 +461,7 @@ impl TcpPeerGroup {
                             if let Some(out) = machine.output() {
                                 *decided_slot.lock().unwrap() = Some(out);
                                 decided_flag.store(true, Ordering::Release);
+                                setupfree_obs::decided();
                             }
                         }
                         if let Some(limit) = disconnect_after {
@@ -443,8 +472,16 @@ impl TcpPeerGroup {
                         }
                         let Some((from, env)) = mesh.inboxes[i].pop() else { break };
                         delivered += 1;
+                        if traced {
+                            // Ambient clock = socket envelopes delivered to
+                            // this machine (no causal seq crosses the wire).
+                            setupfree_obs::begin_activation(i as u16, delivered);
+                        }
                         let step = machine.on_message(from, env);
                         sender.dispatch(step);
+                    }
+                    if traced {
+                        setupfree_obs::uninstall();
                     }
                     done.store(true, Ordering::Release);
                     delivered
@@ -517,6 +554,32 @@ impl TcpPeerGroup {
                                 s
                             })
                             .collect();
+                        // Fold each active link's end-of-run stats into the
+                        // trace stream (quiet links are skipped — a fully
+                        // connected n-peer mesh would otherwise summarise
+                        // n·(n−1) silent links).
+                        for (j, l) in links.iter().enumerate() {
+                            if i == j
+                                || (l.offered == 0
+                                    && l.redials == 0
+                                    && l.drops_injected == 0
+                                    && l.partitioned_ms == 0)
+                            {
+                                continue;
+                            }
+                            mesh.trace(
+                                i,
+                                EventKind::LinkSummary {
+                                    from: i as u16,
+                                    to: j as u16,
+                                    sent: l.sent,
+                                    retransmitted: l.retransmitted,
+                                    drops: l.drops_injected,
+                                    redials: l.redials,
+                                    partitioned_ms: l.partitioned_ms,
+                                },
+                            );
+                        }
                         peers[i] = PeerStats {
                             sent_envelopes: links.iter().map(|l| l.sent).sum(),
                             sent_bytes: links.iter().map(|l| l.sent_bytes).sum(),
@@ -568,6 +631,7 @@ impl TcpPeerGroup {
             degraded.clear();
         }
         let outputs = decided.into_iter().map(|m| m.into_inner().unwrap()).collect();
+        let trace = mesh.collector.as_ref().map(SharedCollector::drain_sorted).unwrap_or_default();
         Ok(SocketRunReport {
             outputs,
             peers,
@@ -575,6 +639,7 @@ impl TcpPeerGroup {
             degraded,
             wall: Instant::now().duration_since(mesh.start),
             failure,
+            trace,
         })
     }
 }
@@ -611,11 +676,29 @@ struct Mesh {
     /// Every connection ever established, so teardown can shut them all
     /// down without touching a single link lock.
     streams: Mutex<Vec<Arc<TcpStream>>>,
+    /// Trace collector for traced runs: mesh threads (accept / redial /
+    /// reader / writer paths) record into it directly, driver threads via a
+    /// thread-local handle.
+    collector: Option<SharedCollector>,
 }
 
 impl Mesh {
     fn link(&self, i: usize, j: usize) -> &Link {
         self.links[i][j].as_ref().expect("no self-links")
+    }
+
+    /// Records one link-layer event as observed by `party`, wall-stamped
+    /// against the run origin.  No-op on untraced runs.
+    fn trace(&self, party: usize, kind: EventKind) {
+        if let Some(c) = &self.collector {
+            c.record(TraceEvent {
+                party: party as u16,
+                clock: 0,
+                wall_ns: self.start.elapsed().as_nanos() as u64,
+                cause: None,
+                kind,
+            });
+        }
     }
 
     fn stopping(&self) -> bool {
@@ -633,7 +716,24 @@ impl Mesh {
         } else {
             let seq = link.peek_next_seq();
             let partitioned = self.plan.partitioned(i, j, self.start.elapsed());
-            (self.plan.should_drop(i, j, seq) || partitioned, self.plan.cuts_at(i, j, seq))
+            let dropped = self.plan.should_drop(i, j, seq);
+            let cut = self.plan.cuts_at(i, j, seq);
+            if self.collector.is_some() {
+                let (from, to) = (i as u16, j as u16);
+                if partitioned {
+                    self.trace(i, EventKind::Fault { from, to, fault: FaultKind::Partition, seq });
+                } else if dropped {
+                    self.trace(i, EventKind::Fault { from, to, fault: FaultKind::Drop, seq });
+                }
+                if cut {
+                    self.trace(i, EventKind::Fault { from, to, fault: FaultKind::Cut, seq });
+                    self.trace(
+                        i,
+                        EventKind::LinkDown { from, to, reason: LinkDownReason::Cut },
+                    );
+                }
+            }
+            (dropped || partitioned, cut)
         };
         link.send(payload, &self.policy, inject_drop, inject_cut);
     }
@@ -711,6 +811,13 @@ impl Mesh {
         self.streams.lock().unwrap().push(stream.clone());
         if let Ok(generation) = link.resume(stream.clone(), hello.next_expected, &self.policy) {
             let from = hello.peer;
+            // Link events name the connection dialer → acceptor; the party
+            // field says which endpoint observed it.
+            if generation > 1 {
+                self.trace(me, EventKind::Redial { from: from as u16, to: me as u16 });
+            } else {
+                self.trace(me, EventKind::LinkUp { from: from as u16, to: me as u16 });
+            }
             scope.spawn(move || self.reader_loop(me, from, stream, generation));
         }
     }
@@ -763,6 +870,11 @@ impl Mesh {
         let stream = Arc::new(stream);
         self.streams.lock().unwrap().push(stream.clone());
         if let Ok(generation) = link.resume(stream.clone(), peer_next_expected, &self.policy) {
+            if generation > 1 {
+                self.trace(me, EventKind::Redial { from: me as u16, to: j as u16 });
+            } else {
+                self.trace(me, EventKind::LinkUp { from: me as u16, to: j as u16 });
+            }
             scope.spawn(move || self.reader_loop(me, j, stream, generation));
         }
     }
@@ -799,6 +911,18 @@ impl Mesh {
                 Ok(Some(Frame::Ack { received })) => link.on_ack(received),
                 Ok(None) | Err(_) => break,
             }
+        }
+        // Teardown EOFs every reader; only a mid-run stream end is a real
+        // link-down observation.
+        if !self.stopping() {
+            self.trace(
+                me,
+                EventKind::LinkDown {
+                    from: from as u16,
+                    to: me as u16,
+                    reason: LinkDownReason::Error,
+                },
+            );
         }
         link.sever_generation(generation);
     }

@@ -1,0 +1,169 @@
+//! Traced socket runs: the transport folds link lifecycle, chaos fault
+//! injections, and the machines' own protocol-phase emissions into one
+//! wall-stamped stream.
+//!
+//! Two pins:
+//!
+//! * a **clean traced ABA** produces a complete, ordered stream — every
+//!   link's `LinkUp`, every peer's root `Decided`, protocol phases from
+//!   every driver thread, and link summaries whose totals agree with the
+//!   report's counters (the trace is an alternative view of the same run,
+//!   not a second bookkeeper that can drift);
+//! * a **forced cut** shows up as the full causal story: the injected
+//!   `Fault`, the writer-side `LinkDown`, and exactly as many `Redial`
+//!   events as the stats counted successful redials.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use setupfree_aba::MmrAba;
+use setupfree_core::coin::CoinProtocolFactory;
+use setupfree_crypto::{generate_pki, Keyring, PartySecrets};
+use setupfree_net::{BoxedParty, Envelope, PartyId, Sid};
+use setupfree_obs::{EventKind, FaultKind, LinkDownReason, Phase};
+use setupfree_transport::{LinkFaultPlan, TcpPeerGroup};
+
+fn keys(n: usize, seed: u64) -> (Arc<Keyring>, Vec<Arc<PartySecrets>>) {
+    let (keyring, secrets) = generate_pki(n, seed);
+    (Arc::new(keyring), secrets.into_iter().map(Arc::new).collect())
+}
+
+fn traced_aba(
+    n: usize,
+    sid: &str,
+    plan: LinkFaultPlan,
+) -> setupfree_transport::SocketRunReport<bool> {
+    let (keyring, secrets) = keys(n, 0x7AC3);
+    TcpPeerGroup::new(n)
+        .timeout(Duration::from_secs(120))
+        .chaos(plan)
+        .traced()
+        .run(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(MmrAba::new(
+                Sid::new(sid),
+                PartyId(i),
+                n,
+                keyring.f(),
+                i % 2 == 0,
+                factory,
+            )) as BoxedParty<Envelope, bool>
+        })
+        .expect("loopback setup")
+}
+
+#[test]
+fn a_clean_traced_run_yields_a_complete_ordered_stream() {
+    let n = 4;
+    let report = traced_aba(n, "traced-aba", LinkFaultPlan::default());
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+
+    let trace = &report.trace;
+    assert!(!trace.is_empty(), "traced run must produce a stream");
+    assert!(
+        trace.windows(2).all(|w| w[0].wall_ns <= w[1].wall_ns),
+        "the stream is sorted by its shared wall clock"
+    );
+
+    // Every endpoint of every duplex connection observes exactly one
+    // LinkUp (generation 1 happens once per link, ever).
+    let ups = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::LinkUp { .. }))
+        .count();
+    assert_eq!(ups, n * (n - 1), "one LinkUp per directed link endpoint");
+
+    // Every driver emitted its machine's root decide.
+    let decides = trace
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::Decided { path } if path.is_root()))
+        .count();
+    assert_eq!(decides, n, "one root Decided per peer");
+
+    // Protocol phases flow from every driver thread into the same stream.
+    for party in 0..n as u16 {
+        assert!(
+            trace.iter().any(|e| e.party == party
+                && matches!(e.kind, EventKind::Phase { phase: Phase::AbaRound, .. })),
+            "party {party} emitted no ABA round phase"
+        );
+    }
+
+    // The link summaries are the report's own counters, re-expressed.
+    let summarised_sent: u64 = trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::LinkSummary { sent, .. } => Some(sent),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(summarised_sent, report.total_sent_envelopes());
+
+    // And an untraced run stays trace-free (and pays for none of this).
+    let silent = traced_aba_untraced(n);
+    assert!(silent.trace.is_empty());
+}
+
+fn traced_aba_untraced(n: usize) -> setupfree_transport::SocketRunReport<bool> {
+    let (keyring, secrets) = keys(n, 0x7AC3);
+    TcpPeerGroup::new(n)
+        .timeout(Duration::from_secs(120))
+        .run(|i| {
+            let factory = CoinProtocolFactory::new(PartyId(i), keyring.clone(), secrets[i].clone());
+            Box::new(MmrAba::new(
+                Sid::new("untraced-aba"),
+                PartyId(i),
+                n,
+                keyring.f(),
+                i % 2 == 0,
+                factory,
+            )) as BoxedParty<Envelope, bool>
+        })
+        .expect("loopback setup")
+}
+
+#[test]
+fn a_forced_cut_tells_its_full_story_in_the_trace() {
+    let n = 4;
+    // Cut 0 → 1 at its 6th frame: an n = 4 ABA pushes far more than that
+    // per link, so the cut fires and reconnect must heal it for the run to
+    // decide at all.
+    let plan = LinkFaultPlan::new(0xC07).cut_link(0, 1, 5);
+    let report = traced_aba(n, "traced-cut-aba", plan);
+    assert!(report.all_decided(), "failure: {:?}", report.failure);
+
+    let trace = &report.trace;
+    assert!(
+        trace.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fault { from: 0, to: 1, fault: FaultKind::Cut, .. }
+        )),
+        "the injected cut is in the stream"
+    );
+    assert!(
+        trace.iter().any(|e| matches!(
+            e.kind,
+            EventKind::LinkDown { from: 0, to: 1, reason: LinkDownReason::Cut }
+        )),
+        "the writer observed its link go down"
+    );
+    let redial_events = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Redial { .. }))
+        .count() as u64;
+    assert!(redial_events >= 1, "the cut was healed by at least one redial");
+    assert_eq!(
+        redial_events,
+        report.total_redials(),
+        "trace redials and stats redials are the same count"
+    );
+
+    // The summary for the cut link carries the injected drop.
+    assert!(
+        trace.iter().any(|e| matches!(
+            e.kind,
+            EventKind::LinkSummary { from: 0, to: 1, drops, .. } if drops >= 1
+        )),
+        "the cut link's summary records the injection"
+    );
+}

@@ -476,6 +476,8 @@ impl<EF: ElectionFactory, AF: AbaFactory> Vba<EF, AF> {
     }
 
     fn start_round(&mut self, round: u32) -> Step<Envelope> {
+        // A VBA "view" in the trace: one election round with its vote-ABA.
+        setupfree_obs::phase(setupfree_obs::Phase::VbaView, round);
         let sid = self.sid.derive("election", round as usize);
         let election = self.election_factory.create(sid);
         // Mounting the round's election replays buffered traffic for it.

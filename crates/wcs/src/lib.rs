@@ -287,6 +287,7 @@ impl Wcs {
             return Step::none();
         }
         self.commit_seen = true;
+        setupfree_obs::phase(setupfree_obs::Phase::WcsCommit, self.local.len() as u32);
         // Alg 3 line 14: output the *current local* set (which contains the
         // committed core set for at least f + 1 honest parties).
         self.output = Some(self.local.clone());
